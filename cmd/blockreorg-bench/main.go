@@ -1,0 +1,117 @@
+// Command blockreorg-bench regenerates the tables and figures of the Block
+// Reorganizer paper's evaluation on the simulated devices.
+//
+//	blockreorg-bench -list
+//	blockreorg-bench fig8 fig10
+//	blockreorg-bench -scale 4 -csv results/ all
+//
+// Each experiment prints its tables; -csv additionally writes one CSV per
+// table into the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/blockreorg/blockreorg/internal/bench"
+	"github.com/blockreorg/blockreorg/internal/gpusim"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list experiments and exit")
+		scale    = flag.Int("scale", 8, "dataset scale divisor (1 = full published size)")
+		gpu      = flag.String("gpu", "TITAN Xp", "simulated GPU for single-device experiments")
+		csvDir   = flag.String("csv", "", "directory to write per-table CSV files into")
+		subset   = flag.String("datasets", "", "comma-separated dataset subset for grid experiments")
+		cacheDir = flag.String("cachedir", "", "directory to cache generated datasets between runs")
+	)
+	flag.Parse()
+
+	if *list {
+		listExperiments(os.Stdout)
+		return
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "blockreorg-bench: no experiments given; use -list or 'all'")
+		os.Exit(2)
+	}
+
+	dev, err := gpusim.ByName(*gpu)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blockreorg-bench:", err)
+		os.Exit(2)
+	}
+	cfg := bench.Config{Scale: *scale, Device: dev, CacheDir: *cacheDir}
+	if *subset != "" {
+		cfg.Datasets = strings.Split(*subset, ",")
+	}
+	if err := runExperiments(os.Stdout, ids, cfg, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "blockreorg-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// listExperiments prints the experiment catalog.
+func listExperiments(w io.Writer) {
+	for _, e := range bench.All() {
+		fmt.Fprintf(w, "%-10s %s\n", e.ID, e.Title)
+	}
+}
+
+// runExperiments executes the named experiments ("all" expands to the full
+// registry), rendering tables to w and optionally exporting CSVs.
+func runExperiments(w io.Writer, ids []string, cfg bench.Config, csvDir string) error {
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = ids[:0]
+		for _, e := range bench.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		e, err := bench.ByID(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "== %s: %s\n", e.ID, e.Title)
+		fmt.Fprintf(w, "   paper: %s\n", e.Expectation)
+		start := time.Now()
+		tables, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		for i, t := range tables {
+			fmt.Fprintln(w)
+			t.Render(w)
+			if csvDir != "" {
+				if err := writeCSV(csvDir, fmt.Sprintf("%s_%d.csv", e.ID, i), t); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Fprintf(w, "\n   (%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// writeCSV exports one table into dir/name.
+func writeCSV(dir, name string, t interface{ WriteCSV(io.Writer) error }) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

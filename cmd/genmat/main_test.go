@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/blockreorg/blockreorg/sparse"
+	"github.com/blockreorg/blockreorg/sparse/rmat"
+)
+
+func TestGenerateKinds(t *testing.T) {
+	params := rmat.Params{A: 0.45, B: 0.15, C: 0.15, D: 0.25}
+	cases := []struct {
+		kind string
+		rows int
+	}{
+		{"rmat", 500},
+		{"powerlaw", 500},
+		{"mesh", 500},
+		{"uniform", 500},
+	}
+	for _, c := range cases {
+		m, err := generate(c.kind, c.rows, 2000, 2.1, 8, 0, params, 7, "", 8)
+		if err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		if m.Rows != c.rows {
+			t.Fatalf("%s: %d rows", c.kind, m.Rows)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	m, err := generate("", 0, 0, 0, 0, 0, rmat.Params{}, 0, "harbor", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := sparse.ComputeStats(m); s.IsSkewed() {
+		t.Fatal("harbor stand-in skewed")
+	}
+	if _, err := generate("", 0, 0, 0, 0, 0, rmat.Params{}, 0, "nosuch", 32); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestGenerateRejectsUnknownKind(t *testing.T) {
+	if _, err := generate("fractal", 10, 10, 2, 2, 0, rmat.Params{A: 0.25, B: 0.25, C: 0.25, D: 0.25}, 1, "", 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

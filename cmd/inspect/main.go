@@ -1,0 +1,96 @@
+// Command inspect analyzes a sparse matrix the way the Block Reorganizer's
+// preprocessing does: degree statistics, skewness, and the predicted
+// dominator / normal / low-performer classification for a given alpha.
+//
+//	inspect -dataset as-caida -scale 8
+//	inspect -f matrix.mtx -alpha 20 -sms 80
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/blockreorg/blockreorg/internal/core"
+	"github.com/blockreorg/blockreorg/internal/datasets"
+	"github.com/blockreorg/blockreorg/internal/tableio"
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+func main() {
+	var (
+		file    = flag.String("f", "", "Matrix Market file")
+		dataset = flag.String("dataset", "", "Table II dataset name")
+		scale   = flag.Int("scale", 8, "dataset scale divisor (with -dataset)")
+		alpha   = flag.Float64("alpha", 0, "dominator threshold divisor (0 = paper default)")
+		beta    = flag.Float64("beta", 0, "limiting threshold multiplier (0 = paper default)")
+		sms     = flag.Int("sms", 30, "SM count of the target GPU")
+	)
+	flag.Parse()
+	if err := run(*file, *dataset, *scale, *alpha, *beta, *sms); err != nil {
+		fmt.Fprintln(os.Stderr, "inspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file, dataset string, scale int, alpha, beta float64, sms int) error {
+	var m *sparse.CSR
+	var err error
+	name := file
+	switch {
+	case dataset != "":
+		spec, err2 := datasets.ByName(dataset)
+		if err2 != nil {
+			return err2
+		}
+		m, err = spec.Generate(scale)
+		name = dataset
+	case file != "":
+		m, err = sparse.ReadMatrixMarketFile(file)
+	default:
+		return fmt.Errorf("provide -f FILE or -dataset NAME")
+	}
+	if err != nil {
+		return err
+	}
+
+	st := sparse.ComputeStats(m)
+	stats := tableio.New(fmt.Sprintf("%s — distribution", name), "metric", "value")
+	stats.AddRow("dimension", fmt.Sprintf("%dx%d", m.Rows, m.Cols))
+	stats.AddRow("nnz", tableio.Count(int64(st.NNZ)))
+	stats.AddRow("density", fmt.Sprintf("%.2e", st.Density))
+	stats.AddRow("mean row nnz", fmt.Sprintf("%.2f", st.MeanRowNNZ))
+	stats.AddRow("max row nnz", tableio.Count(int64(st.MaxRowNNZ)))
+	stats.AddRow("p99 row nnz", tableio.Count(int64(st.P99RowNNZ)))
+	stats.AddRow("gini", tableio.F2(st.Gini))
+	stats.AddRow("hub ratio (top 1%)", fmt.Sprintf("%.1f%%", 100*st.HubRatio))
+	stats.AddRow("rows under warp size", fmt.Sprintf("%.1f%%", 100*st.RowsUnderWarp))
+	stats.AddRow("power-law alpha (MLE)", tableio.F2(st.PowerLawAlpha))
+	stats.AddRow("skewed", fmt.Sprintf("%v", st.IsSkewed()))
+	stats.Render(os.Stdout)
+	fmt.Println()
+
+	plan, err := core.BuildPlan(m, m, core.Params{Alpha: alpha, Beta: beta, NumSMs: sms})
+	if err != nil {
+		return err
+	}
+	ps := plan.Stats()
+	cls := tableio.New(fmt.Sprintf("%s — Block Reorganizer classification for C=A² (SMs=%d)", name, sms), "population", "count", "share")
+	share := func(n int) string {
+		if ps.ActiveBlocks == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f%%", 100*float64(n)/float64(ps.ActiveBlocks))
+	}
+	cls.AddRow("active pairs", tableio.Count(int64(ps.ActiveBlocks)), "100%")
+	cls.AddRow("dominators", tableio.Count(int64(ps.Dominators)), share(ps.Dominators))
+	cls.AddRow("normals", tableio.Count(int64(ps.Normals)), share(ps.Normals))
+	cls.AddRow("low performers", tableio.Count(int64(ps.LowPerformers)), share(ps.LowPerformers))
+	cls.AddRow("split blocks", tableio.Count(int64(ps.SplitBlocks)), "-")
+	cls.AddRow("combined blocks", tableio.Count(int64(ps.CombinedBlocks)), "-")
+	cls.AddRow("limited merge rows", tableio.Count(int64(ps.LimitedRows)), "-")
+	cls.AddRow("nnz(Ĉ) products", tableio.Count(ps.TotalWork), "-")
+	cls.AddRow("dominator threshold", tableio.Count(ps.Threshold), "-")
+	cls.Render(os.Stdout)
+	return nil
+}

@@ -1,0 +1,124 @@
+// Link analysis on a web-like graph: PageRank by power iteration plus
+// co-citation scoring via C = AᵀA — the ranking and similarity workloads
+// the paper's introduction motivates ("ranking, similarity computation,
+// and recommendation").
+//
+//	go run ./examples/linkanalysis
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"github.com/blockreorg/blockreorg"
+	"github.com/blockreorg/blockreorg/sparse/rmat"
+)
+
+func main() {
+	// A web-like directed graph: page out-degrees follow a power law.
+	const pages = 20_000
+	web, err := rmat.PowerLaw(pages, 200_000, 2.2, 321)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("web graph: %d pages, %d links\n", pages, web.NNZ())
+
+	// --- PageRank ----------------------------------------------------
+	// Row-normalize to a transition matrix and power-iterate
+	// r ← d·Pᵀr + (1-d)/n.
+	p := web.Prune(0)
+	sums := p.RowSums()
+	norm := make([]float64, p.Rows)
+	for i, s := range sums {
+		if s > 0 {
+			norm[i] = 1 / s
+		}
+	}
+	p.ScaleRows(norm)
+	pt := p.Transpose()
+
+	const damping = 0.85
+	rank := make([]float64, pages)
+	for i := range rank {
+		rank[i] = 1.0 / pages
+	}
+	var iters int
+	for iters = 0; iters < 100; iters++ {
+		next, err := pt.MulVec(rank)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var dangling float64
+		for i, s := range sums {
+			if s == 0 {
+				dangling += rank[i]
+			}
+		}
+		var delta float64
+		for i := range next {
+			next[i] = damping*(next[i]+dangling/pages) + (1-damping)/pages
+			delta += math.Abs(next[i] - rank[i])
+		}
+		rank = next
+		if delta < 1e-10 {
+			break
+		}
+	}
+	top := topK(rank, 5)
+	fmt.Printf("PageRank converged in %d iterations; top pages:\n", iters+1)
+	for _, i := range top {
+		fmt.Printf("  page %-6d rank %.2e (in-degree %d)\n", i, rank[i], pt.RowNNZ(i))
+	}
+
+	// --- Co-citation similarity via spGEMM ---------------------------
+	// (AᵀA)[u][v] counts pages linking to both u and v. This is the
+	// skewed rectangular product the Block Reorganizer accelerates.
+	at := web.Transpose()
+	res, err := blockreorg.Multiply(at, web, blockreorg.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := blockreorg.Multiply(at, web, blockreorg.Options{
+		Algorithm: blockreorg.RowProduct, SkipValues: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nco-citation matrix: %d scored pairs from %d products\n", res.NNZC, res.Flops)
+	fmt.Printf("simulated GPU: %.3f ms with Block Reorganizer vs %.3f ms row-product (%.2fx)\n",
+		res.TotalSeconds*1e3, base.TotalSeconds*1e3, res.Speedup(base))
+
+	// Most co-cited with the top-ranked page.
+	hub := top[0]
+	idx, val := res.C.Row(hub)
+	type sim struct {
+		page  int
+		score float64
+	}
+	var sims []sim
+	for k, j := range idx {
+		if j != hub {
+			sims = append(sims, sim{j, val[k]})
+		}
+	}
+	sort.Slice(sims, func(i, j int) bool { return sims[i].score > sims[j].score })
+	fmt.Printf("\npages most co-cited with page %d:\n", hub)
+	for i := 0; i < len(sims) && i < 5; i++ {
+		fmt.Printf("  page %-6d co-cited %.0f times\n", sims[i].page, sims[i].score)
+	}
+}
+
+// topK returns the indices of the k largest values, descending.
+func topK(v []float64, k int) []int {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] > v[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}

@@ -1,0 +1,3 @@
+module github.com/blockreorg/blockreorg
+
+go 1.24

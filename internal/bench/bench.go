@@ -1,0 +1,147 @@
+// Package bench is the benchmark harness that regenerates every table and
+// figure of the Block Reorganizer paper's evaluation on the simulated
+// devices. Each experiment is addressable by the paper artifact it
+// reproduces (tab1..tab3, fig3a..fig16b, casestudy) and returns text tables
+// that cmd/blockreorg-bench renders or exports as CSV.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/blockreorg/blockreorg/internal/datasets"
+	"github.com/blockreorg/blockreorg/internal/gpusim"
+	"github.com/blockreorg/blockreorg/internal/kernels"
+	"github.com/blockreorg/blockreorg/internal/tableio"
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Scale divides every dataset's published dimensions (1 = full size).
+	// The default 8 keeps the full grid tractable on a laptop-class host.
+	Scale int
+	// Device is the simulated GPU; defaults to the paper's TITAN Xp.
+	Device gpusim.Config
+	// Datasets optionally restricts dataset-grid experiments to the named
+	// Table II entries.
+	Datasets []string
+	// CacheDir, when set, caches generated datasets on disk between runs.
+	CacheDir string
+	// Verbose reserves space for future per-kernel dumps.
+	Verbose bool
+}
+
+// normalize fills defaults.
+func (c Config) normalize() Config {
+	if c.Scale == 0 {
+		c.Scale = 8
+	}
+	if c.Device.NumSMs == 0 {
+		c.Device = gpusim.TitanXp()
+	}
+	return c
+}
+
+// Experiment reproduces one paper artifact.
+type Experiment struct {
+	// ID is the artifact handle: "fig8", "tab2", "casestudy", ...
+	ID string
+	// Title cites the artifact.
+	Title string
+	// Expectation summarizes the shape the paper reports, for
+	// paper-vs-measured comparison in EXPERIMENTS.md.
+	Expectation string
+	// Run executes the experiment.
+	Run func(cfg Config) ([]*tableio.Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		tab1(), tab2(), tab3(),
+		fig3a(), fig3b(), fig3c(),
+		fig8(), fig9(), fig10(),
+		fig11(), fig12(), fig13(), fig14(),
+		fig15(), fig16a(), fig16b(),
+		caseStudy(),
+		ablationAlpha(), ablationGather(),
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, 20)
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ids)
+}
+
+// selectedSpecs applies the config's dataset filter to the Table II
+// catalog subset given.
+func selectedSpecs(cfg Config, specs []datasets.Spec) ([]datasets.Spec, error) {
+	if len(cfg.Datasets) == 0 {
+		return specs, nil
+	}
+	byName := make(map[string]datasets.Spec, len(specs))
+	for _, s := range specs {
+		byName[s.Name] = s
+	}
+	var out []datasets.Spec
+	for _, name := range cfg.Datasets {
+		s, ok := byName[name]
+		if !ok {
+			// The name may simply fall outside this experiment's subset
+			// (e.g. a Florida matrix for a Stanford-only figure, or a
+			// Table III synthetic in a Table II grid).
+			if _, err := datasets.ByName(name); err != nil {
+				if _, synErr := datasets.SyntheticByName(name); synErr != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// generate materializes a Table II stand-in, through the disk cache when
+// one is configured.
+func (c Config) generate(spec datasets.Spec) (*sparse.CSR, error) {
+	return spec.GenerateCached(c.Scale, c.CacheDir)
+}
+
+// runAlg multiplies a by b with the given algorithm, timing only. pc may
+// carry the shared symbolic analysis (nil recomputes it).
+func runAlg(alg kernels.Algorithm, a, b *sparse.CSR, cfg Config, pc *kernels.Precomputed) (*kernels.Product, error) {
+	return alg.Multiply(a, b, kernels.Options{Device: cfg.Device, SkipValues: true, Pre: pc})
+}
+
+// runReorganizer runs the Block Reorganizer with explicit pass parameters.
+func runReorganizer(a, b *sparse.CSR, cfg Config, opts kernels.Options) (*kernels.Product, error) {
+	opts.Device = cfg.Device
+	opts.SkipValues = true
+	return kernels.Reorganizer{}.Multiply(a, b, opts)
+}
+
+// motivationDatasets returns the ten matrices of Figure 3: five regular
+// (Florida) and five skewed (Stanford), mirroring the paper's
+// harbor/protein/QCD/filter3D/ship + youtube/loc-gowalla/as-caida/
+// sx-mathoverflow/slashDot line-up.
+func motivationDatasets() []string {
+	return []string{
+		"harbor", "protein", "QCD", "filter3D", "ship",
+		"youtube", "loc-gowalla", "as-caida", "sx-mathoverflow", "slashDot",
+	}
+}
+
+// algorithms returns the evaluation line-up in figure order.
+func algorithms() []kernels.Algorithm { return kernels.All() }

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/blockreorg/blockreorg/internal/tableio"
+)
+
+// quickCfg runs experiments on heavily scaled-down data with a dataset
+// subset so the whole registry stays testable in seconds.
+func quickCfg() Config {
+	return Config{
+		Scale:    32,
+		Datasets: []string{"harbor", "QCD", "as-caida", "youtube", "slashDot", "s1", "p4", "sp4"},
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Expectation == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e.ID)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	// Every table and figure of the paper's evaluation must be present.
+	for _, want := range []string{
+		"tab1", "tab2", "tab3",
+		"fig3a", "fig3b", "fig3c",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"fig16a", "fig16b", "casestudy",
+		"ablation-alpha", "ablation-gather",
+	} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+	if _, err := ByID("fig8"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// Every experiment must run end-to-end and produce at least one non-empty
+// table.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep skipped in -short mode")
+	}
+	cfg := quickCfg()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s: no tables", e.ID)
+			}
+			for _, tb := range tables {
+				if len(tb.Columns) == 0 {
+					t.Fatalf("%s: table without columns", e.ID)
+				}
+				if tb.String() == "" {
+					t.Fatalf("%s: empty render", e.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestUnknownDatasetRejected(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Datasets = []string{"nosuch"}
+	if _, err := fig8().Run(cfg); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+// The headline shape: on the quick subset, the Block Reorganizer's average
+// speedup over the row-product baseline must exceed 1, and CUSP must trail
+// the baseline.
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape checks skipped in -short mode")
+	}
+	cfg := Config{Scale: 16, Datasets: []string{"as-caida", "slashDot", "harbor", "protein"}}
+	tables, err := fig8().Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := averagesRow(t, tables[0])
+	reorg := colValue(t, tables[0], avg, "Block-Reorganizer")
+	cusp := colValue(t, tables[0], avg, "CUSP")
+	if reorg <= 1.0 {
+		t.Fatalf("Block Reorganizer average %.2f not above 1.0\n%s", reorg, tables[0])
+	}
+	if cusp >= 1.0 {
+		t.Fatalf("CUSP average %.2f not below 1.0\n%s", cusp, tables[0])
+	}
+}
+
+// Figure 11's core claim on the quick subset: LBI rises monotonically-ish
+// with the splitting factor on a skewed dataset.
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape checks skipped in -short mode")
+	}
+	cfg := Config{Scale: 16, Datasets: []string{"as-caida"}}
+	tables, err := fig11().Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	var lbiRow []string
+	for _, row := range tb.Rows {
+		if row[1] == "LBI" {
+			lbiRow = row
+			break
+		}
+	}
+	if lbiRow == nil {
+		t.Fatalf("no LBI row\n%s", tb)
+	}
+	first, err := strconv.ParseFloat(lbiRow[2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := strconv.ParseFloat(lbiRow[len(lbiRow)-1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last <= first {
+		t.Fatalf("LBI did not rise with splitting factor: %.2f -> %.2f\n%s", first, last, tb)
+	}
+}
+
+// averagesRow locates the "average" row index.
+func averagesRow(t *testing.T, tb *tableio.Table) int {
+	t.Helper()
+	for i, row := range tb.Rows {
+		if row[0] == "average" {
+			return i
+		}
+	}
+	t.Fatalf("no average row\n%s", tb)
+	return -1
+}
+
+// colValue parses the numeric cell of the named column in row r.
+func colValue(t *testing.T, tb *tableio.Table, r int, col string) float64 {
+	t.Helper()
+	for c, name := range tb.Columns {
+		if name == col {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(tb.Rows[r][c], "x"), 64)
+			if err != nil {
+				t.Fatalf("cell %q: %v", tb.Rows[r][c], err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no column %q", col)
+	return 0
+}

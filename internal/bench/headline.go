@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/blockreorg/blockreorg/internal/core"
+	"github.com/blockreorg/blockreorg/internal/datasets"
+	"github.com/blockreorg/blockreorg/internal/kernels"
+	"github.com/blockreorg/blockreorg/internal/tableio"
+)
+
+// fig8 reproduces Figure 8: speedup of every method over the row-product
+// baseline on the 28 real-world datasets.
+func fig8() Experiment {
+	return Experiment{
+		ID:          "fig8",
+		Title:       "Figure 8: speedup over the row-product baseline, 28 real-world datasets",
+		Expectation: "averages — outer-product 0.95x, cuSPARSE 0.29x, CUSP 0.22x, bhSPARSE 0.55x, MKL 0.48x, Block Reorganizer 1.43x with the widest coverage of best-performer",
+		Run:         runSpeedupGrid(false),
+	}
+}
+
+// fig9 reproduces Figure 9: absolute GFLOPS on the same grid.
+func fig9() Experiment {
+	return Experiment{
+		ID:          "fig9",
+		Title:       "Figure 9: absolute performance (GFLOPS), 28 real-world datasets",
+		Expectation: "same ordering as Figure 8 in absolute terms; Block Reorganizer peaks on large regular matrices",
+		Run:         runSpeedupGrid(true),
+	}
+}
+
+// runSpeedupGrid renders the 28-dataset × 7-method grid, either as
+// normalized speedups (fig8) or absolute GFLOPS (fig9).
+func runSpeedupGrid(absolute bool) func(cfg Config) ([]*tableio.Table, error) {
+	return func(cfg Config) ([]*tableio.Table, error) {
+		cfg = cfg.normalize()
+		specs, err := selectedSpecs(cfg, datasets.RealWorld())
+		if err != nil {
+			return nil, err
+		}
+		algs := algorithms()
+		cols := []string{"dataset"}
+		for _, alg := range algs {
+			cols = append(cols, alg.Name())
+		}
+		title := fmt.Sprintf("Figure 8 — speedup vs row-product (scale 1/%d, %s)", cfg.Scale, cfg.Device.Name)
+		if absolute {
+			title = fmt.Sprintf("Figure 9 — absolute GFLOPS (scale 1/%d, %s)", cfg.Scale, cfg.Device.Name)
+		}
+		t := tableio.New(title, cols...)
+		sums := make([]float64, len(algs))
+		wins := make([]int, len(algs))
+		count := 0
+		for _, spec := range specs {
+			m, err := cfg.generate(spec)
+			if err != nil {
+				return nil, err
+			}
+			pc, err := kernels.Precompute(m, m)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{spec.Name}
+			var base float64
+			vals := make([]float64, len(algs))
+			for i, alg := range algs {
+				p, err := runAlg(alg, m, m, cfg, pc)
+				if err != nil {
+					return nil, fmt.Errorf("%s on %s: %w", alg.Name(), spec.Name, err)
+				}
+				secs := p.Report.TotalSeconds()
+				if alg.Name() == "row-product" {
+					base = secs
+				}
+				if absolute {
+					vals[i] = p.GFLOPS()
+				} else {
+					vals[i] = base / secs
+				}
+			}
+			best := 0
+			for i, v := range vals {
+				row = append(row, tableio.F2(v))
+				sums[i] += v
+				if v > vals[best] {
+					best = i
+				}
+			}
+			wins[best]++
+			count++
+			t.AddRow(row...)
+		}
+		if count > 0 {
+			avg := []string{"average"}
+			winRow := []string{"best-on"}
+			for i := range algs {
+				avg = append(avg, tableio.F2(sums[i]/float64(count)))
+				winRow = append(winRow, fmt.Sprintf("%d", wins[i]))
+			}
+			t.AddRow(avg...)
+			t.AddRow(winRow...)
+		}
+		return []*tableio.Table{t}, nil
+	}
+}
+
+// fig10 reproduces Figure 10: the contribution of each technique relative
+// to the outer-product baseline.
+func fig10() Experiment {
+	return Experiment{
+		ID:          "fig10",
+		Title:       "Figure 10: relative performance of B-Splitting, B-Gathering, B-Limiting and the full Block Reorganizer",
+		Expectation: "averages over the outer-product baseline — B-Limiting 1.05x, B-Splitting 1.05x, B-Gathering 1.28x, full Block Reorganizer 1.51x; splitting/limiting matter on skewed data, gathering has the widest coverage",
+		Run: func(cfg Config) ([]*tableio.Table, error) {
+			cfg = cfg.normalize()
+			specs, err := selectedSpecs(cfg, datasets.RealWorld())
+			if err != nil {
+				return nil, err
+			}
+			variants := []struct {
+				name string
+				core core.Params
+			}{
+				{"B-Limiting", core.Params{DisableSplit: true, DisableGather: true}},
+				{"B-Splitting", core.Params{DisableGather: true, DisableLimit: true}},
+				{"B-Gathering", core.Params{DisableSplit: true, DisableLimit: true}},
+				{"Block-Reorganizer", core.Params{}},
+			}
+			cols := []string{"dataset"}
+			for _, v := range variants {
+				cols = append(cols, v.name)
+			}
+			t := tableio.New(fmt.Sprintf("Figure 10 — technique speedups vs outer-product baseline (scale 1/%d)", cfg.Scale), cols...)
+			sums := make([]float64, len(variants))
+			count := 0
+			for _, spec := range specs {
+				m, err := cfg.generate(spec)
+				if err != nil {
+					return nil, err
+				}
+				pc, err := kernels.Precompute(m, m)
+				if err != nil {
+					return nil, err
+				}
+				baseP, err := runAlg(kernels.OuterProduct{}, m, m, cfg, pc)
+				if err != nil {
+					return nil, err
+				}
+				base := baseP.Report.TotalSeconds()
+				row := []string{spec.Name}
+				for i, v := range variants {
+					p, err := runReorganizer(m, m, cfg, kernels.Options{Core: v.core, Pre: pc})
+					if err != nil {
+						return nil, err
+					}
+					sp := base / p.Report.TotalSeconds()
+					sums[i] += sp
+					row = append(row, tableio.F2(sp))
+				}
+				count++
+				t.AddRow(row...)
+			}
+			if count > 0 {
+				avg := []string{"average"}
+				for i := range variants {
+					avg = append(avg, tableio.F2(sums[i]/float64(count)))
+				}
+				t.AddRow(avg...)
+			}
+			return []*tableio.Table{t}, nil
+		},
+	}
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/blockreorg/blockreorg/internal/datasets"
+	"github.com/blockreorg/blockreorg/internal/gpusim"
+	"github.com/blockreorg/blockreorg/internal/kernels"
+	"github.com/blockreorg/blockreorg/internal/tableio"
+)
+
+// fig15 reproduces Figure 15: Block Reorganizer scalability across the
+// three GPU generations.
+func fig15() Experiment {
+	return Experiment{
+		ID:          "fig15",
+		Title:       "Figure 15: performance scalability on various GPUs",
+		Expectation: "Block Reorganizer beats the row-product baseline on every device — 1.43x on TITAN Xp, 1.66x on Tesla V100, 1.40x on RTX 2080 Ti — while the outer-product baseline stays near 1.0x",
+		Run: func(cfg Config) ([]*tableio.Table, error) {
+			cfg = cfg.normalize()
+			specs, err := selectedSpecs(cfg, datasets.RealWorld())
+			if err != nil {
+				return nil, err
+			}
+			algs := algorithms()
+			cols := []string{"device"}
+			for _, alg := range algs {
+				cols = append(cols, alg.Name())
+			}
+			t := tableio.New(fmt.Sprintf("Figure 15 — mean speedup vs row-product per device (scale 1/%d)", cfg.Scale), cols...)
+			for _, dev := range gpusim.Presets() {
+				devCfg := cfg
+				devCfg.Device = dev
+				sums := make([]float64, len(algs))
+				count := 0
+				for _, spec := range specs {
+					m, err := cfg.generate(spec)
+					if err != nil {
+						return nil, err
+					}
+					pc, err := kernels.Precompute(m, m)
+					if err != nil {
+						return nil, err
+					}
+					var base float64
+					for i, alg := range algs {
+						p, err := runAlg(alg, m, m, devCfg, pc)
+						if err != nil {
+							return nil, fmt.Errorf("%s on %s (%s): %w", alg.Name(), spec.Name, dev.Name, err)
+						}
+						secs := p.Report.TotalSeconds()
+						if alg.Name() == "row-product" {
+							base = secs
+						}
+						sums[i] += base / secs
+					}
+					count++
+				}
+				row := []string{dev.Name}
+				for i := range algs {
+					row = append(row, tableio.F2(sums[i]/float64(count)))
+				}
+				t.AddRow(row...)
+			}
+			return []*tableio.Table{t}, nil
+		},
+	}
+}

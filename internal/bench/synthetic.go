@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/blockreorg/blockreorg/internal/datasets"
+	"github.com/blockreorg/blockreorg/internal/kernels"
+	"github.com/blockreorg/blockreorg/internal/tableio"
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+// fig16a reproduces Figure 16(a): C = A² speedups on the synthetic S
+// (scalability), P (skewness) and SP (sparsity) series.
+func fig16a() Experiment {
+	return Experiment{
+		ID:          "fig16a",
+		Title:       "Figure 16(a): speedups on synthetic datasets, C = A²",
+		Expectation: "cuSPARSE wins only on the smallest matrix and collapses as size grows; Block Reorganizer gains grow with size, skewness and sparsity; bhSPARSE is relatively strong on the densest SP entries",
+		Run: func(cfg Config) ([]*tableio.Table, error) {
+			cfg = cfg.normalize()
+			algs := algorithms()
+			cols := []string{"dataset", "series"}
+			for _, alg := range algs {
+				cols = append(cols, alg.Name())
+			}
+			t := tableio.New(fmt.Sprintf("Figure 16(a) — synthetic C=A² speedup vs row-product (scale 1/%d)", cfg.Scale), cols...)
+			for _, spec := range datasets.Synthetic() {
+				if len(cfg.Datasets) > 0 && !contains(cfg.Datasets, spec.Name) {
+					continue
+				}
+				m, err := spec.Generate(cfg.Scale)
+				if err != nil {
+					return nil, err
+				}
+				pc, err := kernels.Precompute(m, m)
+				if err != nil {
+					return nil, err
+				}
+				row := []string{spec.Name, spec.Series}
+				var base float64
+				for _, alg := range algs {
+					p, err := runAlg(alg, m, m, cfg, pc)
+					if err != nil {
+						return nil, fmt.Errorf("%s on %s: %w", alg.Name(), spec.Name, err)
+					}
+					secs := p.Report.TotalSeconds()
+					if alg.Name() == "row-product" {
+						base = secs
+					}
+					row = append(row, tableio.F2(base/secs))
+				}
+				t.AddRow(row...)
+			}
+			return []*tableio.Table{t}, nil
+		},
+	}
+}
+
+// fig16b reproduces Figure 16(b): C = AB speedups on the R-MAT pairs of
+// scale 15–18.
+func fig16b() Experiment {
+	return Experiment{
+		ID:          "fig16b",
+		Title:       "Figure 16(b): speedups on synthetic datasets, C = AB",
+		Expectation: "Block Reorganizer achieves ~1.09x average over the row-product baseline, best of the line-up, with gains scaling with input size; B-Gathering does most of the work because AB products are underloaded-block heavy",
+		Run: func(cfg Config) ([]*tableio.Table, error) {
+			cfg = cfg.normalize()
+			algs := algorithms()
+			cols := []string{"scale"}
+			for _, alg := range algs {
+				cols = append(cols, alg.Name())
+			}
+			// Map the config's dataset scale divisor onto an R-MAT scale
+			// reduction (each step halves the dimension).
+			down := 0
+			for s := 1; s < cfg.Scale; s *= 2 {
+				down++
+			}
+			t := tableio.New(fmt.Sprintf("Figure 16(b) — synthetic C=AB speedup vs row-product (scale -%d)", down), cols...)
+			sums := make([]float64, len(algs))
+			count := 0
+			for _, pair := range datasets.ABPairs() {
+				a, b, err := pair.Generate(down)
+				if err != nil {
+					return nil, err
+				}
+				pc, err := kernels.Precompute(a, b)
+				if err != nil {
+					return nil, err
+				}
+				row := []string{pair.Name()}
+				var base float64
+				for i, alg := range algs {
+					p, err := runAlg(alg, a, b, cfg, pc)
+					if err != nil {
+						return nil, fmt.Errorf("%s on AB-%s: %w", alg.Name(), pair.Name(), err)
+					}
+					secs := p.Report.TotalSeconds()
+					if alg.Name() == "row-product" {
+						base = secs
+					}
+					sp := base / secs
+					sums[i] += sp
+					row = append(row, tableio.F2(sp))
+				}
+				count++
+				t.AddRow(row...)
+			}
+			if count > 0 {
+				avg := []string{"average"}
+				for i := range algs {
+					avg = append(avg, tableio.F2(sums[i]/float64(count)))
+				}
+				t.AddRow(avg...)
+			}
+			return []*tableio.Table{t}, nil
+		},
+	}
+}
+
+// flopsOf is a tiny helper kept for experiment symmetry.
+func flopsOf(a, b *sparse.CSR) int64 {
+	f, err := sparse.MultiplyFlops(a, b)
+	if err != nil {
+		return 0
+	}
+	return f
+}

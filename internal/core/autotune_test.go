@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/blockreorg/blockreorg/sparse"
+	"github.com/blockreorg/blockreorg/sparse/rmat"
+)
+
+func TestAutoTuneAlphaSkewedCatchesHubs(t *testing.T) {
+	m, err := rmat.PowerLawCapped(8000, 80000, 1.9, 32, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csc := m.ToCSC()
+	alpha, err := AutoTuneAlpha(csc, m, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha < 1 || alpha > 64 {
+		t.Fatalf("alpha %g outside clamp", alpha)
+	}
+	cls, err := Classify(csc, m, Params{Alpha: alpha, NumSMs: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cls.Dominators) == 0 {
+		t.Fatal("auto alpha found no dominators on a hub-heavy network")
+	}
+	// The dominator bin must cover roughly the target share of the work:
+	// between half and double dominatorWorkShare.
+	var domWork int64
+	for _, k := range cls.Dominators {
+		domWork += cls.Work[k]
+	}
+	share := float64(domWork) / float64(cls.TotalWork)
+	if share < dominatorWorkShare/2 || share > 2.5*dominatorWorkShare {
+		t.Fatalf("dominator work share %.2f far from target %.2f", share, dominatorWorkShare)
+	}
+}
+
+func TestAutoTuneAlphaRegularStaysQuiet(t *testing.T) {
+	m, err := rmat.Mesh(20000, 24, 72, 62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csc := m.ToCSC()
+	alpha, err := AutoTuneAlpha(csc, m, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, err := Classify(csc, m, Params{Alpha: alpha, NumSMs: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A flat mesh has no hubs; the tuner must not invent a large
+	// dominator population (a handful of boundary pairs is fine).
+	if len(cls.Dominators)*2 > cls.ActiveBlocks {
+		t.Fatalf("auto alpha classified %d of %d pairs as dominators on a regular mesh",
+			len(cls.Dominators), cls.ActiveBlocks)
+	}
+}
+
+func TestAutoTuneAlphaEmpty(t *testing.T) {
+	m := sparse.NewCSR(50, 50)
+	alpha, err := AutoTuneAlpha(m.ToCSC(), m, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha != DefaultAlpha {
+		t.Fatalf("empty matrix alpha %g, want default", alpha)
+	}
+}
+
+func TestAutoTuneAlphaDeterministic(t *testing.T) {
+	m, _ := rmat.PowerLaw(3000, 30000, 2.1, 63)
+	csc := m.ToCSC()
+	a1, err := AutoTuneAlpha(csc, m, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := AutoTuneAlpha(csc, m, 30)
+	if a1 != a2 {
+		t.Fatalf("nondeterministic alpha: %g vs %g", a1, a2)
+	}
+	// More SMs spread the fair share thinner, lowering the implied alpha
+	// for the same boundary workload.
+	a3, _ := AutoTuneAlpha(csc, m, 80)
+	if a3 > a1 {
+		t.Fatalf("alpha rose with SM count: %g -> %g", a1, a3)
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import "sort"
+
+// GatherBin collects low-performer pairs whose effective thread counts fall
+// in (MaxEff/2, MaxEff]; Factor = GatherBlockSize/MaxEff of them fill one
+// combined block.
+type GatherBin struct {
+	// MaxEff is the bin's upper bound on effective threads (a power of
+	// two ≤ WarpSize).
+	MaxEff int
+	// Factor is how many micro-blocks one combined block holds
+	// (GatherBlockSize / MaxEff). Factor 1 means the bin is not gathered,
+	// "to avoid serialization" per the paper.
+	Factor int
+	// Pairs lists the pair indices binned here, ascending.
+	Pairs []int
+}
+
+// CombinedBlock is one gathered thread block: up to Factor micro-block
+// partitions, each executing one original low-performer pair compacted to
+// MaxEff lanes.
+type CombinedBlock struct {
+	// MaxEff is the per-partition lane budget (the bin's MaxEff).
+	MaxEff int
+	// Pairs are the partitions' original pair indices. A trailing block of
+	// its bin may hold fewer than Factor partitions.
+	Pairs []int
+}
+
+// GatherPlan is the outcome of B-Gathering over the low-performer pairs.
+type GatherPlan struct {
+	Bins []GatherBin
+	// Combined lists the gathered blocks across all bins with Factor > 1.
+	Combined []CombinedBlock
+	// Ungathered lists pairs from Factor-1 bins (17..31 effective
+	// threads), which launch as ordinary small blocks.
+	Ungathered []int
+}
+
+// PlanGather applies B-Gathering: low performers are binned by
+// power-of-two effective-thread ranges and compacted into combined
+// 32-thread blocks (paper §IV-C2 and Figure 6). With DisableGather the
+// pairs all land in Ungathered; GatherFirstFit selects the exact-packing
+// alternative instead of the paper's bins.
+func PlanGather(cls *Classification, p Params) (*GatherPlan, error) {
+	p, err := p.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	plan := &GatherPlan{}
+	if p.DisableGather {
+		plan.Ungathered = append(plan.Ungathered, cls.LowPerformers...)
+		return plan, nil
+	}
+	if p.GatherPolicy == GatherFirstFit {
+		return planGatherFirstFit(cls, plan), nil
+	}
+	// Bins at MaxEff = 1, 2, 4, 8, 16, 32; the last has factor 1.
+	bins := make([]GatherBin, 0, 6)
+	for maxEff := 1; maxEff <= WarpSize; maxEff *= 2 {
+		bins = append(bins, GatherBin{MaxEff: maxEff, Factor: GatherBlockSize / maxEff})
+	}
+	binOf := func(eff int) int {
+		b := 0
+		for 1<<b < eff {
+			b++
+		}
+		return b
+	}
+	for _, k := range cls.LowPerformers {
+		eff := cls.EffThreads[k]
+		if eff <= 0 {
+			continue
+		}
+		i := binOf(eff)
+		bins[i].Pairs = append(bins[i].Pairs, k)
+	}
+	for _, bin := range bins {
+		if len(bin.Pairs) == 0 {
+			continue
+		}
+		plan.Bins = append(plan.Bins, bin)
+		if bin.Factor <= 1 {
+			plan.Ungathered = append(plan.Ungathered, bin.Pairs...)
+			continue
+		}
+		for lo := 0; lo < len(bin.Pairs); lo += bin.Factor {
+			hi := lo + bin.Factor
+			if hi > len(bin.Pairs) {
+				hi = len(bin.Pairs)
+			}
+			plan.Combined = append(plan.Combined, CombinedBlock{
+				MaxEff: bin.MaxEff,
+				Pairs:  append([]int(nil), bin.Pairs[lo:hi]...),
+			})
+		}
+	}
+	return plan, nil
+}
+
+// planGatherFirstFit is the exact-packing alternative to the paper's
+// power-of-two bins: low performers are packed first-fit-decreasing into
+// combined blocks of at most GatherBlockSize total effective lanes. It
+// wastes fewer lanes than the bins (a 17-lane pair can share a block with a
+// 15-lane pair instead of launching alone) at the cost of mixed-length
+// partitions, whose slowest member sets the combined block's lock-step
+// critical path. The ablation benchmarks quantify the trade.
+func planGatherFirstFit(cls *Classification, plan *GatherPlan) *GatherPlan {
+	// First-fit-decreasing over effective thread counts. EffThreads are
+	// bounded by WarpSize here, so a simple open-bin scan stays cheap.
+	order := append([]int(nil), cls.LowPerformers...)
+	// Stable sort by descending effective threads, index ascending on ties
+	// (determinism).
+	sortByEffDesc(order, cls.EffThreads)
+	var bins []CombinedBlock
+	binFree := []int{}
+	for _, k := range order {
+		eff := cls.EffThreads[k]
+		if eff <= 0 {
+			continue
+		}
+		placed := false
+		for i := range bins {
+			if binFree[i] >= eff {
+				bins[i].Pairs = append(bins[i].Pairs, k)
+				binFree[i] -= eff
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			bins = append(bins, CombinedBlock{MaxEff: eff, Pairs: []int{k}})
+			binFree = append(binFree, GatherBlockSize-eff)
+		}
+	}
+	for _, b := range bins {
+		if len(b.Pairs) == 1 {
+			// A lone pair gains nothing from the combined-block framing.
+			plan.Ungathered = append(plan.Ungathered, b.Pairs[0])
+			continue
+		}
+		plan.Combined = append(plan.Combined, b)
+	}
+	return plan
+}
+
+// sortByEffDesc orders pair indices by descending effective threads with
+// ascending index as the tiebreak.
+func sortByEffDesc(pairs []int, eff []int) {
+	sort.SliceStable(pairs, func(i, j int) bool {
+		if eff[pairs[i]] != eff[pairs[j]] {
+			return eff[pairs[i]] > eff[pairs[j]]
+		}
+		return pairs[i] < pairs[j]
+	})
+}
+
+// NumBlocks returns the number of thread blocks the gathered low performers
+// launch (combined plus ungathered).
+func (p *GatherPlan) NumBlocks() int { return len(p.Combined) + len(p.Ungathered) }
+
+// MicroBlocks returns the number of original pairs covered by the plan.
+func (p *GatherPlan) MicroBlocks() int {
+	n := len(p.Ungathered)
+	for _, c := range p.Combined {
+		n += len(c.Pairs)
+	}
+	return n
+}

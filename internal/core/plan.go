@@ -1,0 +1,269 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+// BlockKind distinguishes the expansion blocks a Plan launches.
+type BlockKind uint8
+
+// Expansion block kinds.
+const (
+	// KindNormal is an untransformed pair block.
+	KindNormal BlockKind = iota
+	// KindSplit is one sub-block of a split dominator.
+	KindSplit
+	// KindGathered is a combined block of micro-block partitions.
+	KindGathered
+	// KindUngathered is a low performer launched alone (its bin had
+	// gathering factor 1, or gathering is disabled).
+	KindUngathered
+)
+
+// String names the kind for labels and reports.
+func (k BlockKind) String() string {
+	switch k {
+	case KindNormal:
+		return "normal"
+	case KindSplit:
+		return "split"
+	case KindGathered:
+		return "gathered"
+	case KindUngathered:
+		return "ungathered"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Partition is one unit of outer-product work inside an expansion block:
+// elements [ColLo, ColHi) of A's column Pair against all of B's row Pair.
+type Partition struct {
+	Pair         int
+	ColLo, ColHi int
+}
+
+// Plan is the complete Block Reorganizer output for one multiplication:
+// classification plus the three technique plans, ready for functional
+// execution or timing simulation.
+type Plan struct {
+	Params Params
+	A      *sparse.CSR
+	ACSC   *sparse.CSC
+	B      *sparse.CSR
+	Cls    *Classification
+	Split  *SplitPlan
+	Gather *GatherPlan
+	Limit  *LimitPlan
+}
+
+// BuildPlan runs the full Block Reorganizer preprocessing for C = A×B.
+func BuildPlan(a, b *sparse.CSR, p Params) (*Plan, error) {
+	if a == nil || b == nil {
+		return nil, errors.New("core: nil operand")
+	}
+	return BuildPlanCached(a, nil, b, nil, p)
+}
+
+// BuildPlanCached is BuildPlan with optionally precomputed inputs: acsc is
+// A in column orientation and rowWork the per-row intermediate populations
+// of C; either may be nil to compute it here. Callers that analyze the same
+// operands repeatedly (the benchmark harness) share these across runs.
+func BuildPlanCached(a *sparse.CSR, acsc *sparse.CSC, b *sparse.CSR, rowWork []int64, p Params) (*Plan, error) {
+	p, err := p.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if a == nil || b == nil {
+		return nil, errors.New("core: nil operand")
+	}
+	if acsc == nil {
+		acsc = a.ToCSC()
+	}
+	if p.AutoAlpha {
+		alpha, err := AutoTuneAlpha(acsc, b, p.NumSMs)
+		if err != nil {
+			return nil, err
+		}
+		p.Alpha = alpha
+	}
+	cls, err := Classify(acsc, b, p)
+	if err != nil {
+		return nil, err
+	}
+	split, err := PlanSplit(cls, acsc, p)
+	if err != nil {
+		return nil, err
+	}
+	gather, err := PlanGather(cls, p)
+	if err != nil {
+		return nil, err
+	}
+	if rowWork == nil {
+		rowWork, err = sparse.IntermediateRowNNZ(a, b)
+		if err != nil {
+			return nil, err
+		}
+	}
+	limit, err := PlanLimitFrom(rowWork, cls, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Params: p, A: a, ACSC: acsc, B: b, Cls: cls, Split: split, Gather: gather, Limit: limit}, nil
+}
+
+// VisitBlocks calls fn once per expansion thread block the plan launches,
+// in launch order: split dominator sub-blocks first (they run longest),
+// then normal blocks, then gathered and ungathered low performers. The
+// parts slice is reused between calls; callers must not retain it.
+func (p *Plan) VisitBlocks(fn func(kind BlockKind, parts []Partition)) {
+	buf := make([]Partition, 0, GatherBlockSize)
+	for _, blk := range p.Split.Blocks {
+		buf = buf[:0]
+		buf = append(buf, Partition{Pair: blk.Pair, ColLo: blk.ColLo, ColHi: blk.ColHi})
+		fn(KindSplit, buf)
+	}
+	for _, k := range p.Cls.Normals {
+		buf = buf[:0]
+		buf = append(buf, Partition{Pair: k, ColLo: 0, ColHi: p.ACSC.ColNNZ(k)})
+		fn(KindNormal, buf)
+	}
+	for _, cb := range p.Gather.Combined {
+		buf = buf[:0]
+		for _, k := range cb.Pairs {
+			buf = append(buf, Partition{Pair: k, ColLo: 0, ColHi: p.ACSC.ColNNZ(k)})
+		}
+		fn(KindGathered, buf)
+	}
+	for _, k := range p.Gather.Ungathered {
+		buf = buf[:0]
+		buf = append(buf, Partition{Pair: k, ColLo: 0, ColHi: p.ACSC.ColNNZ(k)})
+		fn(KindUngathered, buf)
+	}
+}
+
+// NumBlocks returns the number of expansion blocks launched.
+func (p *Plan) NumBlocks() int {
+	return p.Split.NumBlocks() + len(p.Cls.Normals) + p.Gather.NumBlocks()
+}
+
+// Execute computes C = A×B functionally by walking the transformed block
+// structure — every split sub-block, gathered partition and normal pair —
+// and merging the intermediate products, proving that the reorganized
+// launch produces exactly the reference product.
+//
+// Memory is O(nnz(Ĉ)); intended for validation and moderate sizes. The
+// maxIntermediate guard (0 = no limit) rejects materializations that would
+// not fit.
+func (p *Plan) Execute(maxIntermediate int64) (*sparse.CSR, error) {
+	if maxIntermediate > 0 && p.Cls.TotalWork > maxIntermediate {
+		return nil, fmt.Errorf("core: intermediate matrix has %d products, over limit %d", p.Cls.TotalWork, maxIntermediate)
+	}
+	coo := sparse.NewCOO(p.A.Rows, p.B.Cols, int(p.Cls.TotalWork))
+	p.VisitBlocks(func(_ BlockKind, parts []Partition) {
+		for _, part := range parts {
+			colIdx, colVal := p.ACSC.Col(part.Pair)
+			rowIdx, rowVal := p.B.Row(part.Pair)
+			for e := part.ColLo; e < part.ColHi; e++ {
+				i := colIdx[e]
+				av := colVal[e]
+				for r := range rowIdx {
+					coo.Add(i, rowIdx[r], av*rowVal[r])
+				}
+			}
+		}
+	})
+	return coo.ToCSR(), nil
+}
+
+// Stats summarizes a plan the way the paper's §IV-E walkthrough does.
+type PlanStats struct {
+	Pairs          int
+	ActiveBlocks   int
+	Dominators     int
+	Normals        int
+	LowPerformers  int
+	SplitBlocks    int
+	CombinedBlocks int
+	UngatheredLows int
+	LimitedRows    int
+	TotalWork      int64
+	Threshold      int64
+}
+
+// Stats returns the plan's population summary.
+func (p *Plan) Stats() PlanStats {
+	return PlanStats{
+		Pairs:          len(p.Cls.Work),
+		ActiveBlocks:   p.Cls.ActiveBlocks,
+		Dominators:     len(p.Cls.Dominators),
+		Normals:        len(p.Cls.Normals),
+		LowPerformers:  len(p.Cls.LowPerformers),
+		SplitBlocks:    p.Split.NumBlocks(),
+		CombinedBlocks: len(p.Gather.Combined),
+		UngatheredLows: len(p.Gather.Ungathered),
+		LimitedRows:    len(p.Limit.Limited),
+		TotalWork:      p.Cls.TotalWork,
+		Threshold:      p.Cls.Threshold,
+	}
+}
+
+// Validate checks the plan's structural invariants: every active pair is
+// covered by exactly one kind of expansion block, every dominator column is
+// chunked without gaps or overlap, gathered blocks respect the lane budget,
+// and the mapper is consistent with A′. It returns the first violation.
+func (p *Plan) Validate() error {
+	// Element coverage per pair, accumulated over all blocks.
+	covered := make([]int, len(p.Cls.Work))
+	p.VisitBlocks(func(kind BlockKind, parts []Partition) {
+		for _, part := range parts {
+			covered[part.Pair] += part.ColHi - part.ColLo
+		}
+	})
+	for k, w := range p.Cls.Work {
+		want := 0
+		if w > 0 {
+			want = p.ACSC.ColNNZ(k)
+		}
+		if covered[k] != want {
+			return fmt.Errorf("core: pair %d covers %d of %d column elements", k, covered[k], want)
+		}
+	}
+	// Dominator chunking and mapper consistency.
+	if p.Split.APrime != nil {
+		if err := p.Split.APrime.Validate(); err != nil {
+			return fmt.Errorf("core: A': %w", err)
+		}
+		if len(p.Split.Mapper) != len(p.Split.Blocks) {
+			return fmt.Errorf("core: mapper holds %d entries for %d blocks", len(p.Split.Mapper), len(p.Split.Blocks))
+		}
+		for c, blk := range p.Split.Blocks {
+			if p.Split.Mapper[c] != blk.Pair {
+				return fmt.Errorf("core: mapper[%d] = %d, block pair %d", c, p.Split.Mapper[c], blk.Pair)
+			}
+			if blk.ColLo < 0 || blk.ColHi <= blk.ColLo || blk.ColHi > p.ACSC.ColNNZ(blk.Pair) {
+				return fmt.Errorf("core: block %d chunk [%d,%d) out of range", c, blk.ColLo, blk.ColHi)
+			}
+		}
+	}
+	// Gathered lane budgets.
+	for i, cb := range p.Gather.Combined {
+		lanes := 0
+		for _, k := range cb.Pairs {
+			lanes += p.Cls.EffThreads[k]
+		}
+		if lanes > GatherBlockSize {
+			return fmt.Errorf("core: combined block %d packs %d lanes", i, lanes)
+		}
+	}
+	// Limited rows must exceed the threshold.
+	for _, r := range p.Limit.Limited {
+		if p.Limit.RowWork[r] <= p.Limit.Threshold {
+			return fmt.Errorf("core: limited row %d below threshold", r)
+		}
+	}
+	return nil
+}

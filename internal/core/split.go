@@ -1,0 +1,152 @@
+package core
+
+import (
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+// SplitBlock is one sub-block produced by B-Splitting: a contiguous chunk
+// [ColLo, ColHi) of the elements of A's column Pair, multiplied against the
+// whole of B's row Pair. ColLo/ColHi are offsets into the column's element
+// list (0 ≤ ColLo < ColHi ≤ nnz(a_{*Pair})).
+type SplitBlock struct {
+	Pair         int
+	ColLo, ColHi int
+}
+
+// SplitPlan is the outcome of B-Splitting over all dominator pairs.
+//
+// The plan materializes the paper's construction: the dominator columns are
+// copied into a temporary matrix A′ whose column pointers are expanded so
+// each sub-block is an ordinary column, and Mapper records which original
+// pair each A′ column multiplies (so the right row of B is fetched).
+type SplitPlan struct {
+	// Factor[i] is the splitting factor (a power of two) chosen for
+	// Dominators[i] of the classification.
+	Factor []int
+	// Blocks lists every sub-block in dominator order.
+	Blocks []SplitBlock
+	// APrime is the temporary matrix A′ holding the split dominator
+	// columns; column c of APrime corresponds to Blocks[c] and Mapper[c].
+	APrime *sparse.CSC
+	// Mapper[c] is the original pair index of A′ column c — the paper's
+	// mapper array.
+	Mapper []int
+}
+
+// PlanSplit applies B-Splitting to the dominator pairs of cls. Each
+// dominator's column vector is divided into the smallest power-of-two
+// number of chunks that brings the per-chunk workload under the dominator
+// threshold, spreads the pair over at least NumSMs blocks, and never
+// exceeds MaxSplit or the column population. Params.SplitFactorOverride
+// forces a fixed factor instead (the Figure 11 sweep).
+func PlanSplit(cls *Classification, a *sparse.CSC, p Params) (*SplitPlan, error) {
+	p, err := p.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	plan := &SplitPlan{Factor: make([]int, len(cls.Dominators))}
+	if p.DisableSplit {
+		// Dominators stay whole: one block per pair, factor 1.
+		for i, k := range cls.Dominators {
+			plan.Factor[i] = 1
+			plan.Blocks = append(plan.Blocks, SplitBlock{Pair: k, ColLo: 0, ColHi: a.ColNNZ(k)})
+		}
+		plan.buildAPrime(a)
+		return plan, nil
+	}
+	for i, k := range cls.Dominators {
+		colNNZ := a.ColNNZ(k)
+		factor := p.SplitFactorOverride
+		if factor == 0 {
+			factor = chooseFactor(cls.Work[k], cls.Threshold, colNNZ, p)
+		}
+		if factor > colNNZ {
+			factor = prevPow2(colNNZ)
+		}
+		if factor < 1 {
+			factor = 1
+		}
+		plan.Factor[i] = factor
+		// Chunk the column elements evenly; the first (colNNZ mod factor)
+		// chunks take one extra element.
+		base := colNNZ / factor
+		extra := colNNZ % factor
+		lo := 0
+		for c := 0; c < factor; c++ {
+			hi := lo + base
+			if c < extra {
+				hi++
+			}
+			if hi > lo {
+				plan.Blocks = append(plan.Blocks, SplitBlock{Pair: k, ColLo: lo, ColHi: hi})
+			}
+			lo = hi
+		}
+	}
+	plan.buildAPrime(a)
+	return plan, nil
+}
+
+// minSplitWork is the smallest per-sub-block workload splitting may
+// produce: shredding a dominator into blocks below this size trades load
+// balance for pure launch overhead.
+const minSplitWork = 4096
+
+// chooseFactor implements the paper's greedy power-of-two heuristic: double
+// the factor until the per-chunk workload falls below the dominator
+// threshold; for dominators heavy enough to feed every SM a useful chunk,
+// keep doubling until the pair covers at least the SM count. The factor is
+// capped at MaxSplit and never shreds chunks below minSplitWork.
+func chooseFactor(work, threshold int64, colNNZ int, p Params) int {
+	factor := 1
+	for factor < p.MaxSplit && work/int64(factor) > threshold {
+		factor *= 2
+	}
+	for factor < p.MaxSplit && factor < p.NumSMs && work/int64(factor*2) >= minSplitWork {
+		factor *= 2
+	}
+	for factor > 1 && work/int64(factor) < minSplitWork {
+		factor /= 2
+	}
+	if factor > p.MaxSplit {
+		factor = p.MaxSplit
+	}
+	return factor
+}
+
+// prevPow2 returns the largest power of two ≤ n (and 1 for n < 1).
+func prevPow2(n int) int {
+	if n < 1 {
+		return 1
+	}
+	f := 1
+	for f*2 <= n {
+		f *= 2
+	}
+	return f
+}
+
+// buildAPrime copies the dominator sub-blocks into the temporary matrix A′,
+// expanding the column pointers exactly as the paper's Figure 5 does, and
+// fills the mapper array.
+func (p *SplitPlan) buildAPrime(a *sparse.CSC) {
+	ap := sparse.NewCSC(a.Rows, len(p.Blocks))
+	nnz := 0
+	for _, blk := range p.Blocks {
+		nnz += blk.ColHi - blk.ColLo
+	}
+	ap.Idx = make([]int, 0, nnz)
+	ap.Val = make([]float64, 0, nnz)
+	p.Mapper = make([]int, len(p.Blocks))
+	for c, blk := range p.Blocks {
+		idx, val := a.Col(blk.Pair)
+		ap.Idx = append(ap.Idx, idx[blk.ColLo:blk.ColHi]...)
+		ap.Val = append(ap.Val, val[blk.ColLo:blk.ColHi]...)
+		ap.Ptr[c+1] = len(ap.Idx)
+		p.Mapper[c] = blk.Pair
+	}
+	p.APrime = ap
+}
+
+// NumBlocks returns the number of sub-blocks the plan launches.
+func (p *SplitPlan) NumBlocks() int { return len(p.Blocks) }

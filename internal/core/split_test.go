@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/blockreorg/blockreorg/sparse"
+	"github.com/blockreorg/blockreorg/sparse/rmat"
+)
+
+// splitInput bundles a test matrix in both orientations.
+type splitInput struct {
+	csr *sparse.CSR
+	csc *sparse.CSC
+}
+
+// skewedFixture returns a power-law matrix and its classification.
+func skewedFixture(t *testing.T, n, nnz int, seed uint64) (*Classification, *splitInput) {
+	t.Helper()
+	m, err := rmat.PowerLaw(n, nnz, 2.05, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csc := m.ToCSC()
+	cls, err := Classify(csc, m, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cls, &splitInput{csr: m, csc: csc}
+}
+
+func TestSplitCoversDominatorsExactly(t *testing.T) {
+	cls, in := skewedFixture(t, 3000, 45000, 9)
+	if len(cls.Dominators) == 0 {
+		t.Skip("no dominators drawn")
+	}
+	plan, err := PlanSplit(cls, in.csc, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group blocks by pair and verify disjoint, complete coverage.
+	coverage := make(map[int][]SplitBlock)
+	for _, blk := range plan.Blocks {
+		coverage[blk.Pair] = append(coverage[blk.Pair], blk)
+	}
+	if len(coverage) != len(cls.Dominators) {
+		t.Fatalf("blocks cover %d pairs, want %d", len(coverage), len(cls.Dominators))
+	}
+	for _, k := range cls.Dominators {
+		blocks := coverage[k]
+		next := 0
+		for _, blk := range blocks {
+			if blk.ColLo != next {
+				t.Fatalf("pair %d: gap or overlap at element %d (got %d)", k, next, blk.ColLo)
+			}
+			if blk.ColHi <= blk.ColLo {
+				t.Fatalf("pair %d: empty block", k)
+			}
+			next = blk.ColHi
+		}
+		if next != in.csc.ColNNZ(k) {
+			t.Fatalf("pair %d: covered %d of %d elements", k, next, in.csc.ColNNZ(k))
+		}
+	}
+}
+
+func TestSplitFactorsArePowersOfTwo(t *testing.T) {
+	cls, in := skewedFixture(t, 3000, 45000, 10)
+	plan, err := PlanSplit(cls, in.csc, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range plan.Factor {
+		if f < 1 || f&(f-1) != 0 {
+			t.Fatalf("dominator %d factor %d not a power of two", i, f)
+		}
+		if f > DefaultMaxSplit {
+			t.Fatalf("factor %d exceeds MaxSplit", f)
+		}
+	}
+}
+
+func TestSplitOverrideForcesFactor(t *testing.T) {
+	cls, in := skewedFixture(t, 3000, 45000, 11)
+	if len(cls.Dominators) == 0 {
+		t.Skip("no dominators drawn")
+	}
+	plan, err := PlanSplit(cls, in.csc, Params{SplitFactorOverride: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range cls.Dominators {
+		want := 8
+		if n := in.csc.ColNNZ(k); n < 8 {
+			want = prevPow2(n)
+		}
+		if plan.Factor[i] != want {
+			t.Fatalf("dominator %d factor %d, want %d", i, plan.Factor[i], want)
+		}
+	}
+}
+
+func TestSplitDisabledKeepsBlocksWhole(t *testing.T) {
+	cls, in := skewedFixture(t, 3000, 45000, 12)
+	plan, err := PlanSplit(cls, in.csc, Params{DisableSplit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Blocks) != len(cls.Dominators) {
+		t.Fatalf("disabled split launched %d blocks for %d dominators", len(plan.Blocks), len(cls.Dominators))
+	}
+	for _, blk := range plan.Blocks {
+		if blk.ColLo != 0 || blk.ColHi != in.csc.ColNNZ(blk.Pair) {
+			t.Fatal("disabled split still chunked a column")
+		}
+	}
+}
+
+// The mapper array and A' must reproduce the original dominator columns.
+func TestSplitAPrimeMatchesMapper(t *testing.T) {
+	cls, in := skewedFixture(t, 2000, 30000, 13)
+	plan, err := PlanSplit(cls, in.csc, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := plan.APrime
+	if err := ap.Validate(); err != nil {
+		t.Fatalf("A' invalid: %v", err)
+	}
+	if ap.Cols != len(plan.Blocks) || len(plan.Mapper) != len(plan.Blocks) {
+		t.Fatalf("A' has %d columns for %d blocks", ap.Cols, len(plan.Blocks))
+	}
+	for c, blk := range plan.Blocks {
+		if plan.Mapper[c] != blk.Pair {
+			t.Fatalf("mapper[%d] = %d, want %d", c, plan.Mapper[c], blk.Pair)
+		}
+		gotIdx, gotVal := ap.Col(c)
+		origIdx, origVal := in.csc.Col(blk.Pair)
+		if len(gotIdx) != blk.ColHi-blk.ColLo {
+			t.Fatalf("A' column %d has %d elements, want %d", c, len(gotIdx), blk.ColHi-blk.ColLo)
+		}
+		for e := range gotIdx {
+			if gotIdx[e] != origIdx[blk.ColLo+e] || gotVal[e] != origVal[blk.ColLo+e] {
+				t.Fatalf("A' column %d element %d differs from original", c, e)
+			}
+		}
+	}
+}
+
+func TestChooseFactorProperties(t *testing.T) {
+	f := func(work int64, threshold int64, colNNZ int) bool {
+		if work <= 0 || threshold <= 0 || colNNZ <= 0 {
+			return true
+		}
+		p, _ := Params{}.Normalize()
+		factor := chooseFactor(work, threshold, colNNZ, p)
+		if factor < 1 || factor > p.MaxSplit || factor&(factor-1) != 0 {
+			return false
+		}
+		// Either the chunk workload is under threshold, or the cap binds.
+		return work/int64(factor) <= threshold || factor == p.MaxSplit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrevPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 2, 4: 4, 5: 4, 31: 16, 32: 32, 1000: 512}
+	for in, want := range cases {
+		if got := prevPow2(in); got != want {
+			t.Errorf("prevPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package datasets
+
+import (
+	"testing"
+
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+// TestStandinCalibrationProbe prints, for every Stanford stand-in, how the
+// generated amplification compares to the published nnz(C)/nnz(A). It
+// never fails; run with -v while tuning the per-dataset exponents.
+func TestStandinCalibrationProbe(t *testing.T) {
+	for _, spec := range Skewed() {
+		m, err := spec.Generate(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flops, _ := sparse.MultiplyFlops(m, m)
+		work, _ := sparse.OuterProductWork(m.ToCSC(), m)
+		var maxW, tot int64
+		for _, w := range work {
+			tot += w
+			if w > maxW {
+				maxW = w
+			}
+		}
+		st := sparse.ComputeStats(m)
+		amp := float64(flops) / float64(m.NNZ())
+		target := float64(spec.NNZC) / float64(spec.NNZ)
+		t.Logf("%-16s alpha=%.2f amp=%6.1f target=%6.1f maxpair=%4.1f%% gini=%.2f maxrow=%d",
+			spec.Name, spec.Alpha, amp, target, 100*float64(maxW)/float64(tot), st.Gini, st.MaxRowNNZ)
+	}
+}

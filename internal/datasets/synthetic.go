@@ -1,0 +1,113 @@
+package datasets
+
+import (
+	"fmt"
+
+	"github.com/blockreorg/blockreorg/sparse"
+	"github.com/blockreorg/blockreorg/sparse/rmat"
+)
+
+// SynthSpec is one Table III C = A² entry: an R-MAT matrix defined by
+// dimension, element count and recursion parameters.
+type SynthSpec struct {
+	Name string
+	// Series groups the entry: "S" (scalability), "P" (skewness) or
+	// "SP" (sparsity).
+	Series string
+	N, NNZ int
+	Params rmat.Params
+	Seed   uint64
+}
+
+// Synthetic returns the twelve C = A² synthetic datasets of Table III:
+// the S series varies size, the P series varies skewness, and the SP
+// series varies sparsity.
+func Synthetic() []SynthSpec {
+	s := rmat.Params{A: 0.45, B: 0.15, C: 0.15, D: 0.25}
+	return []SynthSpec{
+		{Name: "s1", Series: "S", N: 250_000, NNZ: 62_500, Params: s, Seed: 301},
+		{Name: "s2", Series: "S", N: 500_000, NNZ: 250_000, Params: s, Seed: 302},
+		{Name: "s3", Series: "S", N: 750_000, NNZ: 562_500, Params: s, Seed: 303},
+		{Name: "s4", Series: "S", N: 1_000_000, NNZ: 1_000_000, Params: s, Seed: 304},
+		{Name: "p1", Series: "P", N: 1_000_000, NNZ: 1_000_000, Params: rmat.Params{A: 0.25, B: 0.25, C: 0.25, D: 0.25}, Seed: 305},
+		{Name: "p2", Series: "P", N: 1_000_000, NNZ: 1_000_000, Params: s, Seed: 306},
+		{Name: "p3", Series: "P", N: 1_000_000, NNZ: 1_000_000, Params: rmat.Params{A: 0.55, B: 0.15, C: 0.15, D: 0.15}, Seed: 307},
+		{Name: "p4", Series: "P", N: 1_000_000, NNZ: 1_000_000, Params: rmat.Params{A: 0.57, B: 0.19, C: 0.19, D: 0.05}, Seed: 308},
+		{Name: "sp1", Series: "SP", N: 1_000_000, NNZ: 4_000_000, Params: rmat.Params{A: 0.25, B: 0.25, C: 0.25, D: 0.25}, Seed: 309},
+		{Name: "sp2", Series: "SP", N: 1_000_000, NNZ: 3_000_000, Params: rmat.Params{A: 0.25, B: 0.25, C: 0.25, D: 0.25}, Seed: 310},
+		{Name: "sp3", Series: "SP", N: 1_000_000, NNZ: 2_000_000, Params: rmat.Params{A: 0.25, B: 0.25, C: 0.25, D: 0.25}, Seed: 311},
+		{Name: "sp4", Series: "SP", N: 1_000_000, NNZ: 1_000_000, Params: rmat.Params{A: 0.25, B: 0.25, C: 0.25, D: 0.25}, Seed: 312},
+	}
+}
+
+// SyntheticByName returns the Table III C = A² entry with the given name.
+func SyntheticByName(name string) (SynthSpec, error) {
+	for _, s := range Synthetic() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return SynthSpec{}, fmt.Errorf("datasets: unknown synthetic dataset %q", name)
+}
+
+// Generate materializes the synthetic entry at 1/scale size.
+func (s SynthSpec) Generate(scale int) (*sparse.CSR, error) {
+	if scale < 1 {
+		return nil, fmt.Errorf("datasets: scale %d must be >= 1", scale)
+	}
+	n := s.N / scale
+	nnz := s.NNZ / scale
+	if n < 64 {
+		n = 64
+	}
+	if nnz < 64 {
+		nnz = 64
+	}
+	return rmat.Generate(n, nnz, s.Params, s.Seed)
+}
+
+// ABSpec is one Table III C = AB entry: a pair of R-MAT matrices defined by
+// a Graph500-style scale and edge factor.
+type ABSpec struct {
+	Scale      int
+	EdgeFactor int
+	SeedA      uint64
+	SeedB      uint64
+}
+
+// ABPairs returns the four C = AB input pairs of Table III (scale 15–18,
+// edge factor 16).
+func ABPairs() []ABSpec {
+	out := make([]ABSpec, 0, 4)
+	for scale := 15; scale <= 18; scale++ {
+		out = append(out, ABSpec{
+			Scale:      scale,
+			EdgeFactor: 16,
+			SeedA:      uint64(400 + scale),
+			SeedB:      uint64(450 + scale),
+		})
+	}
+	return out
+}
+
+// Generate materializes the A and B matrices. downscale reduces the scale
+// parameter (halving the dimension per step) for fast runs.
+func (p ABSpec) Generate(downscale int) (a, b *sparse.CSR, err error) {
+	scale := p.Scale - downscale
+	if scale < 6 {
+		scale = 6
+	}
+	params := rmat.Params{A: 0.45, B: 0.15, C: 0.15, D: 0.25}
+	a, err = rmat.GenerateScale(scale, p.EdgeFactor, params, p.SeedA)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err = rmat.GenerateScale(scale, p.EdgeFactor, params, p.SeedB)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
+// Name labels the pair as the paper's Figure 16(b) x-axis does.
+func (p ABSpec) Name() string { return fmt.Sprintf("%d", p.Scale) }

@@ -1,0 +1,226 @@
+// Package gpusim is a deterministic, cycle-approximate simulator of a CUDA
+// capable GPU, specialized for the memory-bound, block-structured kernels
+// that sparse matrix multiplication produces.
+//
+// The simulator models the scheduling and contention behaviour that the
+// Block Reorganizer paper measures, rather than individual instructions:
+//
+//   - thread blocks are dispatched in FIFO order to streaming
+//     multiprocessors (SMs) under real occupancy limits (threads, block
+//     slots and shared memory per SM), so an overloaded block occupies an
+//     SM while the others drain — the paper's Figure 3(a) load imbalance;
+//   - warps execute in 32-lane lock-step, so a block with few effective
+//     threads wastes issue slots and cannot hide memory latency — the
+//     paper's underloaded-block pathology (Figures 3(b) and 13);
+//   - all global traffic flows through a shared L2/DRAM pipe with
+//     processor-sharing bandwidth contention, a per-block memory-level
+//     parallelism cap, and a segment-granularity L2 reuse model — the
+//     levers behind B-Splitting's cache gain (Figure 12) and B-Limiting's
+//     contention relief (Figure 14).
+//
+// Timing is quasi-static: a block's duration is computed from the machine
+// state at dispatch. Identical blocks may be dispatched in chunks to bound
+// event counts on million-block grids. The simulation is single-threaded
+// and fully deterministic.
+package gpusim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config describes the simulated device. Bandwidths are stored in bytes per
+// core clock cycle so the simulator never leaves the cycle domain; use the
+// preset constructors for real devices.
+type Config struct {
+	// Name identifies the device in reports, e.g. "TITAN Xp".
+	Name string
+	// NumSMs is the number of streaming multiprocessors.
+	NumSMs int
+	// CoresPerSM is the number of CUDA cores per SM (reporting only).
+	CoresPerSM int
+	// WarpSize is the SIMT width; 32 on every NVIDIA architecture.
+	WarpSize int
+	// SchedulersPerSM is the number of warp schedulers, i.e. how many warp
+	// instructions an SM can issue per cycle.
+	SchedulersPerSM int
+	// MaxThreadsPerSM limits concurrently resident threads on one SM.
+	MaxThreadsPerSM int
+	// MaxBlocksPerSM limits concurrently resident thread blocks on one SM.
+	MaxBlocksPerSM int
+	// SharedMemPerSM is the shared memory capacity of one SM in bytes.
+	SharedMemPerSM int
+	// SharedMemPerBlock is the per-block shared memory limit in bytes.
+	SharedMemPerBlock int
+	// ClockMHz is the core clock used to convert cycles to seconds.
+	ClockMHz float64
+	// L2Size is the device-wide L2 cache capacity in bytes.
+	L2Size int
+	// DRAMLatency and L2Latency are access latencies in cycles.
+	DRAMLatency int
+	L2Latency   int
+	// DRAMBandwidth and L2Bandwidth are aggregate bandwidths in bytes per
+	// cycle. L2 bandwidth is typically ~3x DRAM bandwidth.
+	DRAMBandwidth float64
+	L2Bandwidth   float64
+	// OutstandingPerWarp caps memory-level parallelism: the number of
+	// in-flight 32-byte sectors one warp sustains.
+	OutstandingPerWarp int
+	// StreamFactor discounts the per-iteration latency floor of a warp's
+	// critical path: loop iterations read consecutive elements, so several
+	// iterations share one cache line and the full access latency is paid
+	// once per line rather than once per iteration.
+	StreamFactor int
+	// BlockOverhead is the fixed dispatch/drain cost of one thread block in
+	// cycles. It is what makes a grid of millions of tiny blocks slow and
+	// B-Gathering profitable.
+	BlockOverhead int
+	// KernelOverheadCycles is the fixed launch cost of one kernel.
+	KernelOverheadCycles int
+	// AtomicCost is the added cost in cycles of an uncontended global
+	// atomic beyond a plain store; contention multiplies it.
+	AtomicCost float64
+	// MaxChunk bounds how many identical blocks one dispatch may fuse.
+	// 1 disables chunking (exact per-block events).
+	MaxChunk int
+	// TraceEvents, when positive, records up to that many per-dispatch
+	// trace events in the kernel result for timeline rendering.
+	TraceEvents int
+}
+
+// Validate reports the first implausible field, if any.
+func (c *Config) Validate() error {
+	switch {
+	case c.NumSMs <= 0:
+		return errors.New("gpusim: NumSMs must be positive")
+	case c.WarpSize <= 0:
+		return errors.New("gpusim: WarpSize must be positive")
+	case c.SchedulersPerSM <= 0:
+		return errors.New("gpusim: SchedulersPerSM must be positive")
+	case c.MaxThreadsPerSM < c.WarpSize:
+		return fmt.Errorf("gpusim: MaxThreadsPerSM %d below warp size", c.MaxThreadsPerSM)
+	case c.MaxBlocksPerSM <= 0:
+		return errors.New("gpusim: MaxBlocksPerSM must be positive")
+	case c.SharedMemPerSM < 0 || c.SharedMemPerBlock < 0:
+		return errors.New("gpusim: negative shared memory capacity")
+	case c.ClockMHz <= 0:
+		return errors.New("gpusim: ClockMHz must be positive")
+	case c.L2Size <= 0:
+		return errors.New("gpusim: L2Size must be positive")
+	case c.DRAMLatency <= 0 || c.L2Latency <= 0:
+		return errors.New("gpusim: latencies must be positive")
+	case c.L2Latency >= c.DRAMLatency:
+		return errors.New("gpusim: L2 latency must be below DRAM latency")
+	case c.DRAMBandwidth <= 0 || c.L2Bandwidth <= 0:
+		return errors.New("gpusim: bandwidths must be positive")
+	case c.OutstandingPerWarp <= 0:
+		return errors.New("gpusim: OutstandingPerWarp must be positive")
+	case c.StreamFactor <= 0:
+		return errors.New("gpusim: StreamFactor must be positive")
+	case c.MaxChunk < 0:
+		return errors.New("gpusim: MaxChunk must be non-negative")
+	}
+	return nil
+}
+
+// bytesPerCycle converts a bandwidth in GB/s to bytes per core cycle.
+func bytesPerCycle(gbPerSec, clockMHz float64) float64 {
+	return gbPerSec * 1e9 / (clockMHz * 1e6)
+}
+
+// common fills the fields that do not differ between the paper's devices.
+func common(c Config) Config {
+	c.WarpSize = 32
+	c.SchedulersPerSM = 4
+	c.OutstandingPerWarp = 16
+	c.StreamFactor = 4
+	c.BlockOverhead = 600
+	c.KernelOverheadCycles = 4000
+	c.AtomicCost = 4
+	c.MaxChunk = 1024
+	return c
+}
+
+// TitanXp returns the paper's primary target (Table I, system 1): a Pascal
+// GP102 with 30 SMs.
+func TitanXp() Config {
+	c := common(Config{
+		Name:              "TITAN Xp",
+		NumSMs:            30,
+		CoresPerSM:        128,
+		MaxThreadsPerSM:   2048,
+		MaxBlocksPerSM:    32,
+		SharedMemPerSM:    96 << 10,
+		SharedMemPerBlock: 48 << 10,
+		ClockMHz:          1582,
+		L2Size:            3 << 20,
+		DRAMLatency:       440,
+		L2Latency:         220,
+	})
+	c.DRAMBandwidth = bytesPerCycle(547.6, c.ClockMHz)
+	c.L2Bandwidth = 3 * c.DRAMBandwidth
+	return c
+}
+
+// TeslaV100 returns Table I system 2: a Volta GV100 with 80 SMs (DGX
+// Station part).
+func TeslaV100() Config {
+	c := common(Config{
+		Name:              "Tesla V100",
+		NumSMs:            80,
+		CoresPerSM:        64,
+		MaxThreadsPerSM:   2048,
+		MaxBlocksPerSM:    32,
+		SharedMemPerSM:    96 << 10,
+		SharedMemPerBlock: 96 << 10,
+		ClockMHz:          1380,
+		L2Size:            6 << 20,
+		DRAMLatency:       400,
+		L2Latency:         200,
+	})
+	c.DRAMBandwidth = bytesPerCycle(900, c.ClockMHz)
+	c.L2Bandwidth = 3 * c.DRAMBandwidth
+	return c
+}
+
+// RTX2080Ti returns Table I system 3: a Turing TU102 with 68 SMs.
+func RTX2080Ti() Config {
+	c := common(Config{
+		Name:              "RTX 2080 Ti",
+		NumSMs:            68,
+		CoresPerSM:        64,
+		MaxThreadsPerSM:   1024,
+		MaxBlocksPerSM:    16,
+		SharedMemPerSM:    64 << 10,
+		SharedMemPerBlock: 64 << 10,
+		ClockMHz:          1545,
+		L2Size:            11 << 19, // 5.5 MiB
+		DRAMLatency:       420,
+		L2Latency:         210,
+	})
+	c.DRAMBandwidth = bytesPerCycle(616, c.ClockMHz)
+	c.L2Bandwidth = 3 * c.DRAMBandwidth
+	return c
+}
+
+// Presets returns the three evaluation devices of the paper's Table I in
+// presentation order.
+func Presets() []Config {
+	return []Config{TitanXp(), TeslaV100(), RTX2080Ti()}
+}
+
+// ByName returns the preset whose Name matches (case-sensitively), or an
+// error listing the available devices.
+func ByName(name string) (Config, error) {
+	for _, c := range Presets() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("gpusim: unknown device %q (have TITAN Xp, Tesla V100, RTX 2080 Ti)", name)
+}
+
+// Seconds converts a cycle count on this device to wall-clock seconds.
+func (c *Config) Seconds(cycles float64) float64 {
+	return cycles / (c.ClockMHz * 1e6)
+}

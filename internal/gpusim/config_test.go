@@ -1,0 +1,92 @@
+package gpusim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPresetsValid(t *testing.T) {
+	for _, cfg := range Presets() {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestPresetsMatchTableI(t *testing.T) {
+	cases := []struct {
+		cfg   Config
+		sms   int
+		clock float64
+	}{
+		{TitanXp(), 30, 1582},
+		{TeslaV100(), 80, 1380},
+		{RTX2080Ti(), 68, 1545},
+	}
+	for _, c := range cases {
+		if c.cfg.NumSMs != c.sms {
+			t.Errorf("%s: %d SMs, want %d", c.cfg.Name, c.cfg.NumSMs, c.sms)
+		}
+		if c.cfg.ClockMHz != c.clock {
+			t.Errorf("%s: clock %g, want %g", c.cfg.Name, c.cfg.ClockMHz, c.clock)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	cfg, err := ByName("Tesla V100")
+	if err != nil || cfg.NumSMs != 80 {
+		t.Fatalf("ByName(V100) = %v, %v", cfg.NumSMs, err)
+	}
+	if _, err := ByName("GTX 480"); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	mutations := map[string]func(*Config){
+		"no SMs":         func(c *Config) { c.NumSMs = 0 },
+		"zero clock":     func(c *Config) { c.ClockMHz = 0 },
+		"L2 over DRAM":   func(c *Config) { c.L2Latency = c.DRAMLatency + 1 },
+		"no bandwidth":   func(c *Config) { c.DRAMBandwidth = 0 },
+		"no block slots": func(c *Config) { c.MaxBlocksPerSM = 0 },
+		"tiny threads":   func(c *Config) { c.MaxThreadsPerSM = 8 },
+		"neg chunk":      func(c *Config) { c.MaxChunk = -1 },
+		"no outstanding": func(c *Config) { c.OutstandingPerWarp = 0 },
+	}
+	for name, mutate := range mutations {
+		cfg := TitanXp()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSecondsConversion(t *testing.T) {
+	cfg := TitanXp()
+	// 1582 MHz: 1.582e9 cycles is one second.
+	if s := cfg.Seconds(1.582e9); s < 0.999 || s > 1.001 {
+		t.Fatalf("Seconds = %g, want 1", s)
+	}
+}
+
+func TestBandwidthUnits(t *testing.T) {
+	cfg := TitanXp()
+	// 547.6 GB/s at 1582 MHz is ~346 bytes per cycle.
+	if cfg.DRAMBandwidth < 340 || cfg.DRAMBandwidth > 352 {
+		t.Fatalf("DRAM bytes/cycle = %g, want ~346", cfg.DRAMBandwidth)
+	}
+	if cfg.L2Bandwidth <= cfg.DRAMBandwidth {
+		t.Fatal("L2 bandwidth not above DRAM bandwidth")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhasePre.String() != "pre" || PhaseExpansion.String() != "expansion" || PhaseMerge.String() != "merge" {
+		t.Fatal("phase names wrong")
+	}
+	if !strings.Contains(Phase(9).String(), "9") {
+		t.Fatal("unknown phase not descriptive")
+	}
+}

@@ -1,0 +1,131 @@
+package gpusim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// randomKernel builds a random but schedulable grid for property tests.
+func randomKernel(seed uint64) *Kernel {
+	rng := rand.New(rand.NewPCG(seed, 0xC0FFEE))
+	n := 1 + rng.IntN(12)
+	blocks := make([]BlockWork, n)
+	for i := range blocks {
+		threads := 32 * (1 + rng.IntN(8))
+		eff := 1 + rng.IntN(threads)
+		iters := int64(1 + rng.IntN(5000))
+		warps := int64((eff + 31) / 32)
+		blocks[i] = BlockWork{
+			Count:             1 + rng.IntN(400),
+			Threads:           threads,
+			EffThreads:        eff,
+			MaxWarpIters:      iters,
+			SumWarpIters:      iters * warps,
+			SumThreadIters:    iters * int64(eff),
+			ReadBytesPerIter:  float64(rng.IntN(16)),
+			WriteBytesPerIter: float64(rng.IntN(16)),
+			SharedMem:         rng.IntN(8 << 10),
+		}
+		if rng.IntN(3) == 0 {
+			blocks[i].AccumTrafficPerIter = float64(rng.IntN(24))
+			blocks[i].AccumBytes = rng.IntN(64 << 10)
+			blocks[i].AtomicsPerIter = rng.Float64()
+		}
+	}
+	return &Kernel{Name: "prop", Blocks: blocks}
+}
+
+// Conservation properties of the dynamic processor-sharing scheduler:
+//   - every block executes exactly once;
+//   - the makespan cannot beat the aggregate-bandwidth lower bound
+//     (total traffic over the fastest pipe);
+//   - no SM is busy longer than the makespan;
+//   - traffic accounting is consistent (DRAM ≤ total L2 traffic).
+func TestSchedulerConservation(t *testing.T) {
+	cfg := TitanXp()
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		k := randomKernel(seed)
+		res, err := sim.Run(k)
+		if err != nil {
+			return false
+		}
+		if res.BlocksExecuted != k.NumBlocks() {
+			return false
+		}
+		if res.ThreadIters != k.TotalThreadIters() {
+			return false
+		}
+		// Bandwidth lower bound: all traffic through the widest pipe.
+		totalBytes := res.L2ReadBytes + res.L2WriteBytes
+		minCycles := totalBytes / cfg.L2Bandwidth
+		if res.Cycles+1e-6 < minCycles {
+			return false
+		}
+		for _, busy := range res.SMBusyCycles {
+			if busy > res.Cycles+1e-6 {
+				return false
+			}
+		}
+		if res.DRAMBytes > totalBytes+1e-6 || res.DRAMBytes < -1e-6 {
+			return false
+		}
+		if res.LBI < 0 || res.LBI > 1+1e-9 {
+			return false
+		}
+		if res.Occupancy < 0 || res.Occupancy > 1+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The makespan must also respect the slowest block's fixed floor: no block
+// can finish faster than its dispatch overhead plus critical path.
+func TestSchedulerRespectsCriticalPath(t *testing.T) {
+	cfg := TitanXp()
+	long := BlockWork{
+		Threads: 32, EffThreads: 32,
+		MaxWarpIters: 1_000_000, SumWarpIters: 1_000_000, SumThreadIters: 32_000_000,
+	}
+	res := mustRun(t, cfg, &Kernel{Name: "crit", Blocks: []BlockWork{long}})
+	// Critical path floor: MaxWarpIters × instrPerIter (compute-bound).
+	floor := 1_000_000 * float64(defaultInstrPerIter)
+	if res.Cycles < floor {
+		t.Fatalf("makespan %.0f below the critical-path floor %.0f", res.Cycles, floor)
+	}
+}
+
+// Two kernels whose grids are permutations of each other at class
+// granularity must produce identical total traffic (scheduling order may
+// shift time, never bytes).
+func TestTrafficInvariantUnderReordering(t *testing.T) {
+	k := randomKernel(99)
+	rev := &Kernel{Name: "rev", Blocks: make([]BlockWork, len(k.Blocks))}
+	for i, b := range k.Blocks {
+		rev.Blocks[len(k.Blocks)-1-i] = b
+	}
+	sim, _ := New(TitanXp())
+	a, err := sim.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Run(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.L2ReadBytes != b.L2ReadBytes || a.L2WriteBytes != b.L2WriteBytes {
+		t.Fatalf("traffic changed under reordering: %g/%g vs %g/%g",
+			a.L2ReadBytes, a.L2WriteBytes, b.L2ReadBytes, b.L2WriteBytes)
+	}
+	if a.BlocksExecuted != b.BlocksExecuted {
+		t.Fatal("block count changed under reordering")
+	}
+}

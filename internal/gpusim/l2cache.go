@@ -1,0 +1,72 @@
+package gpusim
+
+import "container/list"
+
+// segmentCache is a coarse L2 reuse model: an LRU over named data segments
+// (e.g. "dominator column 17") with byte-granular capacity. A block that
+// touches a segment already resident reads it at L2 cost; the first toucher
+// pays DRAM cost and installs it. This captures the mechanism behind
+// B-Splitting's cache gain: split sub-blocks share their parent vector, so
+// all but the first find it in L2.
+type segmentCache struct {
+	capacity int
+	used     int
+	lru      *list.List            // front = most recent; values are segEntry
+	index    map[int]*list.Element // segment id -> element
+}
+
+type segEntry struct {
+	id   int
+	size int
+}
+
+func newSegmentCache(capacity int) *segmentCache {
+	return &segmentCache{
+		capacity: capacity,
+		lru:      list.New(),
+		index:    make(map[int]*list.Element),
+	}
+}
+
+// touch records an access to segment id of the given size and reports
+// whether it hit. Segments larger than the cache never hit and are not
+// installed. A size change on an existing segment re-accounts it.
+func (c *segmentCache) touch(id, size int) bool {
+	if id == NoSegment || size <= 0 {
+		return false
+	}
+	if size > c.capacity {
+		return false
+	}
+	if el, ok := c.index[id]; ok {
+		ent := el.Value.(segEntry)
+		c.lru.MoveToFront(el)
+		if ent.size != size {
+			c.used += size - ent.size
+			el.Value = segEntry{id, size}
+			c.evict()
+		}
+		return true
+	}
+	c.used += size
+	c.index[id] = c.lru.PushFront(segEntry{id, size})
+	c.evict()
+	return false
+}
+
+// evict trims least-recently-used segments until usage fits capacity.
+func (c *segmentCache) evict() {
+	for c.used > c.capacity {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		ent := back.Value.(segEntry)
+		c.lru.Remove(back)
+		delete(c.index, ent.id)
+		c.used -= ent.size
+	}
+}
+
+// len returns the number of resident segments (used by tests).
+func (c *segmentCache) len() int { return c.lru.Len() }

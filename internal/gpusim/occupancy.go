@@ -1,0 +1,84 @@
+package gpusim
+
+// Occupancy describes how many copies of a block an SM can host
+// concurrently and which resource binds first.
+type Occupancy struct {
+	// BlocksPerSM is the number of co-resident blocks one SM supports.
+	BlocksPerSM int
+	// Limiter names the binding resource: "blocks", "threads" or "smem".
+	Limiter string
+}
+
+// OccupancyOf computes the theoretical occupancy of a block profile on the
+// device, mirroring the CUDA occupancy calculator for the three resources
+// the paper manipulates (thread slots, block slots, shared memory). A block
+// whose shared memory exceeds the per-block limit gets occupancy zero.
+func (c *Config) OccupancyOf(b *BlockWork) Occupancy {
+	if b.SharedMem > c.SharedMemPerBlock || b.Threads > c.MaxThreadsPerSM {
+		return Occupancy{0, "unschedulable"}
+	}
+	byBlocks := c.MaxBlocksPerSM
+	byThreads := c.MaxThreadsPerSM / b.Threads
+	bySmem := c.MaxBlocksPerSM
+	if b.SharedMem > 0 {
+		bySmem = c.SharedMemPerSM / b.SharedMem
+	}
+	occ := Occupancy{byBlocks, "blocks"}
+	if byThreads < occ.BlocksPerSM {
+		occ = Occupancy{byThreads, "threads"}
+	}
+	if bySmem < occ.BlocksPerSM {
+		occ = Occupancy{bySmem, "smem"}
+	}
+	return occ
+}
+
+// smState tracks the live resources of one simulated SM.
+type smState struct {
+	id        int
+	blocks    int
+	threads   int
+	sharedMem int
+	// warps and effWarps aggregate resident warp counts; effWarps is the
+	// latency-hiding population.
+	warps    int
+	effWarps int
+	// busyCycles accumulates wall-clock time with at least one resident
+	// block — the per-SM execution time behind the LBI metric.
+	busyCycles float64
+}
+
+// fits reports whether block b can be placed on the SM right now.
+func (s *smState) fits(c *Config, b *BlockWork) bool {
+	if b.SharedMem > c.SharedMemPerBlock || b.Threads > c.MaxThreadsPerSM {
+		return false // never schedulable; caller surfaces the error
+	}
+	if s.blocks+1 > c.MaxBlocksPerSM {
+		return false
+	}
+	if s.threads+b.Threads > c.MaxThreadsPerSM {
+		return false
+	}
+	if s.sharedMem+b.SharedMem > c.SharedMemPerSM {
+		return false
+	}
+	return true
+}
+
+// place reserves resources for block b.
+func (s *smState) place(c *Config, b *BlockWork) {
+	s.blocks++
+	s.threads += b.Threads
+	s.sharedMem += b.SharedMem
+	s.warps += b.warps(c.WarpSize)
+	s.effWarps += b.effWarps(c.WarpSize)
+}
+
+// release frees resources held by block b.
+func (s *smState) release(c *Config, b *BlockWork) {
+	s.blocks--
+	s.threads -= b.Threads
+	s.sharedMem -= b.SharedMem
+	s.warps -= b.warps(c.WarpSize)
+	s.effWarps -= b.effWarps(c.WarpSize)
+}

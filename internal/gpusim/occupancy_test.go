@@ -1,0 +1,96 @@
+package gpusim
+
+import "testing"
+
+func TestOccupancyBlockLimited(t *testing.T) {
+	cfg := TitanXp()
+	b := &BlockWork{Threads: 32}
+	occ := cfg.OccupancyOf(b)
+	if occ.BlocksPerSM != cfg.MaxBlocksPerSM || occ.Limiter != "blocks" {
+		t.Fatalf("tiny block occupancy %+v", occ)
+	}
+}
+
+func TestOccupancyThreadLimited(t *testing.T) {
+	cfg := TitanXp()
+	b := &BlockWork{Threads: 512}
+	occ := cfg.OccupancyOf(b)
+	if occ.BlocksPerSM != 4 || occ.Limiter != "threads" {
+		t.Fatalf("512-thread occupancy %+v, want 4 blocks (threads)", occ)
+	}
+}
+
+func TestOccupancySharedMemLimited(t *testing.T) {
+	cfg := TitanXp()
+	// 96 KiB SM with 24 KiB blocks: 4 blocks, limited by shared memory.
+	b := &BlockWork{Threads: 64, SharedMem: 24 << 10}
+	occ := cfg.OccupancyOf(b)
+	if occ.BlocksPerSM != 4 || occ.Limiter != "smem" {
+		t.Fatalf("occupancy %+v, want 4 blocks (smem)", occ)
+	}
+}
+
+func TestOccupancyExtraSharedMemReducesBlocks(t *testing.T) {
+	// The B-Limiting mechanism: adding shared memory must monotonically
+	// reduce occupancy.
+	cfg := TitanXp()
+	prev := cfg.MaxBlocksPerSM + 1
+	for factor := 0; factor <= 7; factor++ {
+		b := &BlockWork{Threads: 128, SharedMem: 1024 + factor*6144}
+		occ := cfg.OccupancyOf(b)
+		if occ.BlocksPerSM > prev {
+			t.Fatalf("occupancy rose with limiting factor %d", factor)
+		}
+		prev = occ.BlocksPerSM
+	}
+	if prev >= 8 {
+		t.Fatalf("max limiting factor still allows %d blocks", prev)
+	}
+}
+
+func TestOccupancyUnschedulable(t *testing.T) {
+	cfg := TitanXp()
+	b := &BlockWork{Threads: 64, SharedMem: cfg.SharedMemPerBlock + 1}
+	if occ := cfg.OccupancyOf(b); occ.BlocksPerSM != 0 {
+		t.Fatalf("oversized block got occupancy %+v", occ)
+	}
+	b = &BlockWork{Threads: cfg.MaxThreadsPerSM + 1}
+	if occ := cfg.OccupancyOf(b); occ.BlocksPerSM != 0 {
+		t.Fatalf("oversized thread count got occupancy %+v", occ)
+	}
+}
+
+func TestSMStatePlaceRelease(t *testing.T) {
+	cfg := TitanXp()
+	var sm smState
+	b := &BlockWork{Threads: 256, EffThreads: 100, SharedMem: 4096}
+	if !sm.fits(&cfg, b) {
+		t.Fatal("block does not fit on empty SM")
+	}
+	sm.place(&cfg, b)
+	if sm.blocks != 1 || sm.threads != 256 || sm.sharedMem != 4096 {
+		t.Fatalf("place wrong: %+v", sm)
+	}
+	if sm.warps != 8 || sm.effWarps != 4 {
+		t.Fatalf("warp accounting wrong: warps=%d effWarps=%d", sm.warps, sm.effWarps)
+	}
+	sm.release(&cfg, b)
+	if sm.blocks != 0 || sm.threads != 0 || sm.sharedMem != 0 || sm.warps != 0 || sm.effWarps != 0 {
+		t.Fatalf("release did not restore: %+v", sm)
+	}
+}
+
+func TestSMStateFitsLimits(t *testing.T) {
+	cfg := TitanXp()
+	var sm smState
+	big := &BlockWork{Threads: 1024}
+	sm.place(&cfg, big)
+	sm.place(&cfg, big)
+	// 2048 threads used: a third 1024-thread block must not fit.
+	if sm.fits(&cfg, big) {
+		t.Fatal("thread limit not enforced")
+	}
+	if !sm.fits(&cfg, &BlockWork{Threads: 0 + 32}) == false {
+		t.Fatal("unexpected")
+	}
+}

@@ -1,0 +1,397 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+)
+
+// uniformBlock builds a fully-effective block: every thread runs iters
+// iterations reading rd and writing wr bytes per iteration.
+func uniformBlock(threads int, iters int64, rd, wr float64) BlockWork {
+	warps := int64((threads + 31) / 32)
+	return BlockWork{
+		Threads: threads, EffThreads: threads,
+		MaxWarpIters: iters, SumWarpIters: iters * warps, SumThreadIters: iters * int64(threads),
+		ReadBytesPerIter: rd, WriteBytesPerIter: wr,
+	}
+}
+
+// underloadedBlock builds the paper's pathological block: a full-size block
+// with only eff effective threads.
+func underloadedBlock(threads, eff int, iters int64, wr float64) BlockWork {
+	warps := int64((threads + 31) / 32)
+	return BlockWork{
+		Threads: threads, EffThreads: eff,
+		MaxWarpIters: iters, SumWarpIters: iters * warps, SumThreadIters: iters * int64(eff),
+		WriteBytesPerIter: wr,
+	}
+}
+
+func mustRun(t *testing.T, cfg Config, k *Kernel) *KernelResult {
+	t.Helper()
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunEmptyKernel(t *testing.T) {
+	res := mustRun(t, TitanXp(), &Kernel{Name: "empty"})
+	if res.BlocksExecuted != 0 {
+		t.Fatalf("executed %d blocks", res.BlocksExecuted)
+	}
+	if res.Cycles != float64(TitanXp().KernelOverheadCycles) {
+		t.Fatalf("empty kernel cycles = %g, want launch overhead", res.Cycles)
+	}
+	if res.LBI != 1 {
+		t.Fatalf("empty kernel LBI = %g", res.LBI)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	k := &Kernel{Name: "det", Blocks: []BlockWork{
+		uniformBlock(256, 1000, 2, 12),
+		{Count: 500, Threads: 256, EffThreads: 17, MaxWarpIters: 40, SumWarpIters: 320, SumThreadIters: 680, WriteBytesPerIter: 12},
+		uniformBlock(128, 50000, 2, 12),
+	}}
+	a := mustRun(t, TitanXp(), k)
+	b := mustRun(t, TitanXp(), k)
+	if a.Cycles != b.Cycles || a.DRAMBytes != b.DRAMBytes || a.SyncStallPct != b.SyncStallPct {
+		t.Fatalf("nondeterministic: %g vs %g cycles", a.Cycles, b.Cycles)
+	}
+}
+
+func TestRunBlockConservation(t *testing.T) {
+	k := &Kernel{Name: "cons", Blocks: []BlockWork{
+		{Count: 12345, Threads: 64, EffThreads: 10, MaxWarpIters: 5, SumWarpIters: 10, SumThreadIters: 50, WriteBytesPerIter: 12},
+		{Count: 7, Threads: 512, EffThreads: 512, MaxWarpIters: 900, SumWarpIters: 14400, SumThreadIters: 460800, WriteBytesPerIter: 12},
+	}}
+	res := mustRun(t, TitanXp(), k)
+	if res.BlocksExecuted != 12352 {
+		t.Fatalf("executed %d blocks, want 12352", res.BlocksExecuted)
+	}
+	wantIters := int64(12345*50 + 7*460800)
+	if res.ThreadIters != wantIters {
+		t.Fatalf("thread iters %d, want %d", res.ThreadIters, wantIters)
+	}
+}
+
+// One giant block plus a swarm of small ones: the giant must dominate one
+// SM while the others finish early — low LBI, the paper's Figure 3(a).
+func TestOverloadedBlockSkewsLBI(t *testing.T) {
+	blocks := []BlockWork{uniformBlock(256, 2_000_000, 2, 12)}
+	blocks[0].Label = "dominator"
+	blocks = append(blocks, BlockWork{
+		Count: 2000, Threads: 256, EffThreads: 16, MaxWarpIters: 8,
+		SumWarpIters: 64, SumThreadIters: 128, WriteBytesPerIter: 12,
+	})
+	skewed := mustRun(t, TitanXp(), &Kernel{Name: "skewed", Blocks: blocks})
+	if skewed.LBI > 0.35 {
+		t.Fatalf("skewed kernel LBI = %.2f, want well below balanced", skewed.LBI)
+	}
+	// Split the giant into 128 pieces: balance must improve a lot and the
+	// makespan must shrink.
+	split := make([]BlockWork, 0, 2001)
+	piece := uniformBlock(256, 2_000_000/128, 2, 12)
+	piece.Count = 128
+	piece.Label = "dominator"
+	split = append(split, piece)
+	split = append(split, blocks[1])
+	balanced := mustRun(t, TitanXp(), &Kernel{Name: "split", Blocks: split})
+	if balanced.LBI < 2*skewed.LBI {
+		t.Fatalf("splitting did not improve LBI: %.2f -> %.2f", skewed.LBI, balanced.LBI)
+	}
+	if balanced.Cycles > 0.5*skewed.Cycles {
+		t.Fatalf("splitting did not speed up: %.0f -> %.0f cycles", skewed.Cycles, balanced.Cycles)
+	}
+	if _, ok := balanced.Label("dominator"); !ok {
+		t.Fatal("dominator label lost")
+	}
+}
+
+// Gathering: replacing N underloaded blocks (2/256 effective lanes) by
+// N/16 packed 32-thread blocks must cut both time and sync-stall share.
+func TestGatheringSpeedsUpUnderloaded(t *testing.T) {
+	const n = 20000
+	before := &Kernel{Name: "before", Blocks: []BlockWork{
+		func() BlockWork {
+			b := underloadedBlock(256, 2, 30, 12)
+			b.Count = n
+			return b
+		}(),
+	}}
+	// Gathered: 16 micro-blocks of 2 lanes each fill one 32-thread block.
+	after := &Kernel{Name: "after", Blocks: []BlockWork{
+		{
+			Count: n / 16, Threads: 32, EffThreads: 32,
+			MaxWarpIters: 30, SumWarpIters: 30, SumThreadIters: 30 * 32,
+			WriteBytesPerIter: 12, Partitions: 16,
+		},
+	}}
+	rb := mustRun(t, TitanXp(), before)
+	ra := mustRun(t, TitanXp(), after)
+	if ra.Cycles > 0.5*rb.Cycles {
+		t.Fatalf("gathering speedup too small: %.0f -> %.0f cycles", rb.Cycles, ra.Cycles)
+	}
+	if ra.SyncStallPct > 0.5*rb.SyncStallPct {
+		t.Fatalf("sync stalls did not drop: %.1f%% -> %.1f%%", rb.SyncStallPct, ra.SyncStallPct)
+	}
+}
+
+// Memory traffic must cost time: tripling bytes per iteration on a
+// bandwidth-bound kernel must stretch the makespan.
+func TestBandwidthBound(t *testing.T) {
+	mk := func(wr float64) *Kernel {
+		b := uniformBlock(256, 50000, 2, wr)
+		b.Count = 600
+		return &Kernel{Name: "bw", Blocks: []BlockWork{b}}
+	}
+	light := mustRun(t, TitanXp(), mk(12))
+	heavy := mustRun(t, TitanXp(), mk(36))
+	if heavy.Cycles < 1.5*light.Cycles {
+		t.Fatalf("3x traffic only %.2fx slower", heavy.Cycles/light.Cycles)
+	}
+}
+
+// Blocks sharing one read segment must beat blocks reading distinct
+// segments of the same size, because the shared one hits in L2.
+func TestSegmentReuseHelps(t *testing.T) {
+	mk := func(shared bool) *Kernel {
+		blocks := make([]BlockWork, 300)
+		for i := range blocks {
+			b := uniformBlock(256, 30000, 24, 4)
+			b.Segment = i + 1
+			if shared {
+				b.Segment = 1
+			}
+			b.SegmentBytes = 512 << 10
+			blocks[i] = b
+		}
+		return &Kernel{Name: "seg", Blocks: blocks}
+	}
+	distinct := mustRun(t, TitanXp(), mk(false))
+	shared := mustRun(t, TitanXp(), mk(true))
+	if shared.Cycles >= distinct.Cycles {
+		t.Fatalf("shared segment not faster: %.0f vs %.0f", shared.Cycles, distinct.Cycles)
+	}
+	if shared.DRAMBytes >= distinct.DRAMBytes {
+		t.Fatalf("shared segment DRAM traffic not lower: %g vs %g", shared.DRAMBytes, distinct.DRAMBytes)
+	}
+}
+
+// The B-Limiting mechanism: with a merge working set far beyond L2,
+// restricting co-residency via extra shared memory must reduce DRAM
+// traffic per byte moved.
+func TestAccumulatorContention(t *testing.T) {
+	mk := func(smem int) *Kernel {
+		b := uniformBlock(256, 40000, 4, 12)
+		b.AtomicsPerIter = 1
+		b.AccumBytes = 1 << 20 // 1 MiB accumulator slice per block
+		b.SharedMem = smem
+		b.Count = 400
+		return &Kernel{Name: "merge", Blocks: []BlockWork{b}}
+	}
+	free := mustRun(t, TitanXp(), mk(1024))
+	limited := mustRun(t, TitanXp(), mk(1024+4*6144))
+	missFree := free.DRAMBytes / (free.L2ReadBytes + free.L2WriteBytes)
+	missLim := limited.DRAMBytes / (limited.L2ReadBytes + limited.L2WriteBytes)
+	if missLim >= missFree {
+		t.Fatalf("limiting did not cut miss ratio: %.3f vs %.3f", missLim, missFree)
+	}
+}
+
+func TestUnschedulableBlockRejected(t *testing.T) {
+	sim, err := New(TitanXp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := &Kernel{Name: "bad", Blocks: []BlockWork{{
+		Threads: 64, EffThreads: 64, SharedMem: 1 << 20, MaxWarpIters: 1, SumWarpIters: 2, SumThreadIters: 64,
+	}}}
+	if _, err := sim.Run(k); err == nil {
+		t.Fatal("oversized shared memory block accepted")
+	}
+}
+
+func TestInvalidProfileRejected(t *testing.T) {
+	sim, _ := New(TitanXp())
+	k := &Kernel{Name: "bad", Blocks: []BlockWork{{
+		Threads: 0,
+	}}}
+	if _, err := sim.Run(k); err == nil {
+		t.Fatal("zero-thread block accepted")
+	}
+	k = &Kernel{Name: "bad2", Blocks: []BlockWork{{
+		Threads: 32, EffThreads: 40,
+	}}}
+	if _, err := sim.Run(k); err == nil {
+		t.Fatal("EffThreads > Threads accepted")
+	}
+}
+
+// Chunked dispatch is an approximation; with MaxChunk=1 (exact) the
+// makespan must agree within a few percent.
+func TestChunkingFidelity(t *testing.T) {
+	blocks := []BlockWork{
+		{Count: 60000, Threads: 256, EffThreads: 20, MaxWarpIters: 12, SumWarpIters: 96, SumThreadIters: 240, WriteBytesPerIter: 12},
+		uniformBlock(256, 300000, 2, 12),
+	}
+	k := &Kernel{Name: "chunk", Blocks: blocks}
+	exact := TitanXp()
+	exact.MaxChunk = 1
+	re := mustRun(t, exact, k)
+	rc := mustRun(t, TitanXp(), k)
+	ratio := rc.Cycles / re.Cycles
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("chunked makespan off by %.2fx", ratio)
+	}
+}
+
+// A device with more SMs must not be slower in cycles on an SM-parallel
+// workload (same kernel, same config except SM count).
+func TestMoreSMsNotSlower(t *testing.T) {
+	b := uniformBlock(256, 20000, 2, 12)
+	b.Count = 3000
+	k := &Kernel{Name: "scale", Blocks: []BlockWork{b}}
+	small := TitanXp()
+	big := TitanXp()
+	big.NumSMs = 60
+	rs := mustRun(t, small, k)
+	rb := mustRun(t, big, k)
+	if rb.Cycles > rs.Cycles*1.01 {
+		t.Fatalf("60 SMs slower than 30: %.0f vs %.0f", rb.Cycles, rs.Cycles)
+	}
+}
+
+func TestLBIBounds(t *testing.T) {
+	if v := lbi([]float64{5, 5, 5}); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("uniform LBI = %g", v)
+	}
+	if v := lbi([]float64{10, 0, 0, 0, 0}); math.Abs(v-0.2) > 1e-12 {
+		t.Fatalf("concentrated LBI = %g, want 0.2", v)
+	}
+	if v := lbi(nil); v != 1 {
+		t.Fatalf("empty LBI = %g", v)
+	}
+}
+
+func TestReportAggregation(t *testing.T) {
+	cfg := TitanXp()
+	r := &Report{Device: cfg.Name, HostSeconds: 0.001}
+	b := uniformBlock(256, 10000, 2, 12)
+	b.Count = 100
+	exp := mustRun(t, cfg, &Kernel{Name: "expand", Phase: PhaseExpansion, Blocks: []BlockWork{b}})
+	mrg := mustRun(t, cfg, &Kernel{Name: "merge", Phase: PhaseMerge, Blocks: []BlockWork{b}})
+	r.Kernels = append(r.Kernels, exp, mrg)
+	if got := r.TotalSeconds(); math.Abs(got-(0.001+exp.Seconds+mrg.Seconds)) > 1e-12 {
+		t.Fatalf("TotalSeconds = %g", got)
+	}
+	if r.PhaseSeconds(PhaseExpansion) != exp.Seconds {
+		t.Fatal("PhaseSeconds wrong")
+	}
+	if r.Kernel("merge") != mrg || r.Kernel("nope") != nil {
+		t.Fatal("Kernel lookup wrong")
+	}
+	if g := r.GFLOPS(1e9); g <= 0 {
+		t.Fatalf("GFLOPS = %g", g)
+	}
+	if r.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestCapacityHitCurve(t *testing.T) {
+	capacity := 1000.0
+	if h := capacityHit(capacity, 100); h != 1 {
+		t.Fatalf("small working set hit = %g", h)
+	}
+	if h := capacityHit(capacity, 8000); h > 0.15 {
+		t.Fatalf("overflowing working set hit = %g", h)
+	}
+	// Monotone decreasing.
+	prev := 1.0
+	for ws := 100.0; ws < 10000; ws += 100 {
+		h := capacityHit(capacity, ws)
+		if h > prev+1e-12 {
+			t.Fatalf("capacityHit not monotone at %g", ws)
+		}
+		prev = h
+	}
+}
+
+// Achieved occupancy: a grid of full 1024-thread blocks must show higher
+// occupancy than a grid of lone 32-thread blocks doing the same work.
+func TestOccupancyMetric(t *testing.T) {
+	big := uniformBlock(1024, 20000, 2, 12)
+	big.Count = 200
+	rBig := mustRun(t, TitanXp(), &Kernel{Name: "big", Blocks: []BlockWork{big}})
+	small := uniformBlock(32, 20000, 2, 12)
+	small.Count = 200
+	rSmall := mustRun(t, TitanXp(), &Kernel{Name: "small", Blocks: []BlockWork{small}})
+	if rBig.Occupancy <= rSmall.Occupancy {
+		t.Fatalf("1024-thread occupancy %.2f not above 32-thread %.2f", rBig.Occupancy, rSmall.Occupancy)
+	}
+	if rBig.Occupancy > 1.001 || rSmall.Occupancy < 0 {
+		t.Fatalf("occupancy out of range: %.2f / %.2f", rBig.Occupancy, rSmall.Occupancy)
+	}
+	if rBig.AvgResidentWarps <= 0 {
+		t.Fatal("no resident warps recorded")
+	}
+}
+
+func TestTraceAndTimeline(t *testing.T) {
+	cfg := TitanXp()
+	cfg.TraceEvents = 1000
+	blocks := []BlockWork{uniformBlock(256, 200000, 2, 12)}
+	blocks[0].Label = "dominator"
+	blocks = append(blocks, BlockWork{
+		Count: 300, Threads: 256, EffThreads: 16, MaxWarpIters: 8,
+		SumWarpIters: 64, SumThreadIters: 128, WriteBytesPerIter: 12, Label: "tiny",
+	})
+	res := mustRun(t, cfg, &Kernel{Name: "traced", Blocks: blocks})
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	if len(res.Trace)+int(res.TraceDropped) == 0 {
+		t.Fatal("trace accounting empty")
+	}
+	for _, ev := range res.Trace {
+		if ev.End <= ev.Start || ev.SM < 0 || ev.SM >= cfg.NumSMs {
+			t.Fatalf("malformed event %+v", ev)
+		}
+	}
+	out := RenderTimeline(res, 40)
+	if out == "" || !containsStr(out, "d=dominator") || !containsStr(out, "SM0") {
+		t.Fatalf("timeline render wrong:\n%s", out)
+	}
+	// Without tracing, the renderer degrades gracefully.
+	plain := mustRun(t, TitanXp(), &Kernel{Name: "plain", Blocks: blocks})
+	if got := RenderTimeline(plain, 40); !containsStr(got, "no trace") {
+		t.Fatalf("untraced render: %q", got)
+	}
+	// The cap must hold.
+	capped := TitanXp()
+	capped.TraceEvents = 5
+	r2 := mustRun(t, capped, &Kernel{Name: "capped", Blocks: blocks})
+	if len(r2.Trace) > 5 || r2.TraceDropped == 0 {
+		t.Fatalf("cap not enforced: %d events, %d dropped", len(r2.Trace), r2.TraceDropped)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

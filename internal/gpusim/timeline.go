@@ -1,0 +1,125 @@
+package gpusim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TraceEvent records one dispatch interval on one SM. Tracing is enabled by
+// setting Config.TraceEvents > 0; events beyond the cap are dropped (the
+// result notes how many).
+type TraceEvent struct {
+	SM         int
+	Start, End float64
+	Label      string
+	Blocks     int
+}
+
+// RenderTimeline draws the kernel's per-SM occupancy as an ASCII Gantt
+// chart of the given width: one row per SM, one column per time bucket,
+// the densest label's initial in each occupied bucket and '.' for idle.
+// Returns a note when the kernel carried no trace.
+func RenderTimeline(res *KernelResult, width int) string {
+	if len(res.Trace) == 0 {
+		return "(no trace recorded; set Config.TraceEvents > 0)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	start, end := res.Trace[0].Start, res.Trace[0].End
+	maxSM := 0
+	for _, ev := range res.Trace {
+		if ev.Start < start {
+			start = ev.Start
+		}
+		if ev.End > end {
+			end = ev.End
+		}
+		if ev.SM > maxSM {
+			maxSM = ev.SM
+		}
+	}
+	span := end - start
+	if span <= 0 {
+		span = 1
+	}
+	bucket := span / float64(width)
+
+	// Per SM and bucket, the label occupying the most time wins the cell.
+	type cellKey struct{ sm, col int }
+	occupancy := make(map[cellKey]map[string]float64)
+	for _, ev := range res.Trace {
+		label := ev.Label
+		if label == "" {
+			label = "block"
+		}
+		c0 := int((ev.Start - start) / bucket)
+		c1 := int((ev.End - start) / bucket)
+		if c1 >= width {
+			c1 = width - 1
+		}
+		for c := c0; c <= c1; c++ {
+			k := cellKey{ev.SM, c}
+			if occupancy[k] == nil {
+				occupancy[k] = map[string]float64{}
+			}
+			lo := start + float64(c)*bucket
+			hi := lo + bucket
+			if ev.Start > lo {
+				lo = ev.Start
+			}
+			if ev.End < hi {
+				hi = ev.End
+			}
+			if hi > lo {
+				occupancy[k][label] += hi - lo
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %d SMs, %.0f cycles, %d trace events\n", res.Name, maxSM+1, span, len(res.Trace))
+	for sm := 0; sm <= maxSM; sm++ {
+		fmt.Fprintf(&b, "SM%-3d |", sm)
+		for c := 0; c < width; c++ {
+			cell := occupancy[cellKey{sm, c}]
+			if len(cell) == 0 {
+				b.WriteByte('.')
+				continue
+			}
+			// Deterministic winner: highest occupancy, name as tiebreak.
+			names := make([]string, 0, len(cell))
+			for n := range cell {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			best := names[0]
+			for _, n := range names[1:] {
+				if cell[n] > cell[best] {
+					best = n
+				}
+			}
+			b.WriteByte(best[0])
+		}
+		b.WriteString("|\n")
+	}
+	// Legend: labels in first-seen order, deduplicated.
+	seen := map[string]bool{}
+	legend := []string{}
+	for _, ev := range res.Trace {
+		label := ev.Label
+		if label == "" {
+			label = "block"
+		}
+		if !seen[label] {
+			seen[label] = true
+			legend = append(legend, fmt.Sprintf("%c=%s", label[0], label))
+		}
+	}
+	fmt.Fprintf(&b, "legend: %s, .=idle\n", strings.Join(legend, ", "))
+	if res.TraceDropped > 0 {
+		fmt.Fprintf(&b, "(%d events beyond the trace cap were dropped)\n", res.TraceDropped)
+	}
+	return b.String()
+}

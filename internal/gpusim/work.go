@@ -1,0 +1,178 @@
+package gpusim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NoSegment marks a block that reads no shared (reusable) data segment.
+const NoSegment = -1
+
+// BlockWork describes the workload of one thread block — or, via Count, of
+// a class of identical thread blocks. Kernel implementations translate
+// their launch geometry into these profiles; the simulator prices them.
+//
+// The iteration counts encode lock-step execution: SumWarpIters is the
+// number of warp-instruction iterations issued (a warp iterates as long as
+// its slowest lane, regardless of how many lanes are effective), while
+// SumThreadIters is the real work (effective-lane iterations) that
+// determines flops and memory traffic. MaxWarpIters is the critical path of
+// the slowest warp.
+type BlockWork struct {
+	// Count is the number of identical blocks this profile stands for.
+	// Zero is treated as one.
+	Count int
+	// Threads is the configured block size; EffThreads (≤ Threads) is the
+	// number of lanes that perform work.
+	Threads    int
+	EffThreads int
+	// MaxWarpIters is the iteration count of the slowest warp (critical
+	// path). SumWarpIters sums each warp's slowest lane over all warps.
+	// SumThreadIters sums real per-lane iterations.
+	MaxWarpIters   int64
+	SumWarpIters   int64
+	SumThreadIters int64
+	// InstrPerIter is the number of warp instructions one loop iteration
+	// issues; 0 selects the default (10).
+	InstrPerIter int
+	// ReadBytesPerIter / WriteBytesPerIter are global memory bytes moved
+	// per effective-thread iteration, already divided by any coalescing
+	// the kernel achieves.
+	ReadBytesPerIter  float64
+	WriteBytesPerIter float64
+	// AtomicsPerIter is the number of global atomic operations per
+	// effective-thread iteration.
+	AtomicsPerIter float64
+	// AccumTrafficPerIter is read-modify-write traffic per iteration
+	// against the block's accumulator working set (AccumBytes); its L2 hit
+	// ratio follows the resident accumulator footprint, unlike the
+	// streaming ReadBytesPerIter.
+	AccumTrafficPerIter float64
+	// SharedMem is the block's shared memory footprint in bytes; it limits
+	// how many blocks co-reside on an SM (the B-Limiting lever).
+	SharedMem int
+	// Segment identifies a read-shared data segment (e.g. the dominator
+	// column a block multiplies). Blocks touching a segment already
+	// resident in L2 read it at L2 rather than DRAM cost. NoSegment
+	// disables the modeling.
+	Segment      int
+	SegmentBytes int
+	// AccumBytes is the block's merge-accumulator working set: bytes of
+	// output rows it updates in place. The aggregate resident AccumBytes
+	// versus L2 capacity sets the merge hit ratio (the B-Limiting effect).
+	AccumBytes int
+	// Partitions is the number of gathered micro-block partitions inside
+	// the block; each beyond the first costs one barrier.
+	Partitions int
+	// Label tags the block class in per-class statistics ("dominator",
+	// "gathered", ...). Optional.
+	Label string
+}
+
+// norm returns the effective count (Count 0 → 1).
+func (b *BlockWork) norm() int {
+	if b.Count <= 0 {
+		return 1
+	}
+	return b.Count
+}
+
+// warps returns the number of warps the block occupies.
+func (b *BlockWork) warps(warpSize int) int {
+	return (b.Threads + warpSize - 1) / warpSize
+}
+
+// effWarps returns the number of warps containing at least one effective
+// thread — the warps available for latency hiding.
+func (b *BlockWork) effWarps(warpSize int) int {
+	w := (b.EffThreads + warpSize - 1) / warpSize
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// validate reports the first inconsistency in the profile.
+func (b *BlockWork) validate() error {
+	switch {
+	case b.Threads <= 0:
+		return errors.New("gpusim: block with no threads")
+	case b.EffThreads < 0 || b.EffThreads > b.Threads:
+		return fmt.Errorf("gpusim: EffThreads %d outside [0, %d]", b.EffThreads, b.Threads)
+	case b.MaxWarpIters < 0 || b.SumWarpIters < 0 || b.SumThreadIters < 0:
+		return errors.New("gpusim: negative iteration count")
+	case b.SumWarpIters < b.MaxWarpIters:
+		return fmt.Errorf("gpusim: SumWarpIters %d below MaxWarpIters %d", b.SumWarpIters, b.MaxWarpIters)
+	case b.ReadBytesPerIter < 0 || b.WriteBytesPerIter < 0 || b.AtomicsPerIter < 0 || b.AccumTrafficPerIter < 0:
+		return errors.New("gpusim: negative memory intensity")
+	case b.SharedMem < 0 || b.AccumBytes < 0 || b.SegmentBytes < 0:
+		return errors.New("gpusim: negative footprint")
+	case b.Count < 0:
+		return errors.New("gpusim: negative count")
+	}
+	return nil
+}
+
+// Kernel is one launch: an ordered grid of block classes plus launch-level
+// metadata. Blocks are dispatched to SMs in slice order, FIFO, as real
+// grids are.
+type Kernel struct {
+	Name string
+	// Phase tags the kernel for per-phase reporting.
+	Phase Phase
+	// Blocks is the grid. Classes with Count > 1 stand for runs of
+	// identical consecutive blocks.
+	Blocks []BlockWork
+}
+
+// Phase labels the pipeline stage a kernel belongs to.
+type Phase int
+
+// Pipeline stages, in execution order.
+const (
+	PhasePre Phase = iota
+	PhaseExpansion
+	PhaseMerge
+)
+
+// String returns the lowercase stage name.
+func (p Phase) String() string {
+	switch p {
+	case PhasePre:
+		return "pre"
+	case PhaseExpansion:
+		return "expansion"
+	case PhaseMerge:
+		return "merge"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// NumBlocks returns the total number of thread blocks in the grid.
+func (k *Kernel) NumBlocks() int64 {
+	var n int64
+	for i := range k.Blocks {
+		n += int64(k.Blocks[i].norm())
+	}
+	return n
+}
+
+// TotalThreadIters returns the total effective work in the grid.
+func (k *Kernel) TotalThreadIters() int64 {
+	var n int64
+	for i := range k.Blocks {
+		n += k.Blocks[i].SumThreadIters * int64(k.Blocks[i].norm())
+	}
+	return n
+}
+
+// Validate checks every block profile in the grid.
+func (k *Kernel) Validate() error {
+	for i := range k.Blocks {
+		if err := k.Blocks[i].validate(); err != nil {
+			return fmt.Errorf("kernel %q block %d: %w", k.Name, i, err)
+		}
+	}
+	return nil
+}

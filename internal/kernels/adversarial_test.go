@@ -1,0 +1,176 @@
+package kernels
+
+import (
+	"testing"
+
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+// adversarialMatrices builds the degenerate structures that break naive
+// spGEMM implementations: single hub rows/columns, diagonals, dense single
+// rows, empty interiors, and 1x1 corner cases.
+func adversarialMatrices() map[string]*sparse.CSR {
+	out := map[string]*sparse.CSR{}
+
+	out["identity"] = sparse.Identity(64)
+
+	// One dense row, everything else empty.
+	denseRow := sparse.NewCSR(64, 64)
+	for j := 0; j < 64; j++ {
+		denseRow.Idx = append(denseRow.Idx, j)
+		denseRow.Val = append(denseRow.Val, 1)
+	}
+	for i := 0; i < 64; i++ {
+		if i == 0 {
+			denseRow.Ptr[1] = 64
+			continue
+		}
+		denseRow.Ptr[i+1] = denseRow.Ptr[i]
+	}
+	out["dense-row"] = denseRow
+
+	// One dense column: every row points at column 0.
+	denseCol := sparse.NewCSR(64, 64)
+	for i := 0; i < 64; i++ {
+		denseCol.Idx = append(denseCol.Idx, 0)
+		denseCol.Val = append(denseCol.Val, float64(i+1))
+		denseCol.Ptr[i+1] = i + 1
+	}
+	out["dense-col"] = denseCol
+
+	// A single entry in the corner.
+	single := sparse.NewCSR(64, 64)
+	single.Idx = []int{63}
+	single.Val = []float64{3}
+	for i := 1; i <= 64; i++ {
+		single.Ptr[i] = 1
+	}
+	out["single-entry"] = single
+
+	// The hub-and-spokes star: both a dense row and a dense column.
+	star := sparse.NewCOO(64, 64, 128)
+	for i := 1; i < 64; i++ {
+		star.Add(0, i, 1)
+		star.Add(i, 0, 1)
+	}
+	out["star"] = star.ToCSR()
+
+	// 1x1 matrices.
+	one := sparse.NewCSR(1, 1)
+	one.Idx = []int{0}
+	one.Val = []float64{2}
+	one.Ptr[1] = 1
+	out["one-by-one"] = one
+
+	// Completely empty.
+	out["empty"] = sparse.NewCSR(64, 64)
+
+	return out
+}
+
+// Every algorithm must survive and agree with the reference on every
+// adversarial structure (squared, and against the star).
+func TestAlgorithmsOnAdversarialMatrices(t *testing.T) {
+	mats := adversarialMatrices()
+	star := mats["star"]
+	for name, m := range mats {
+		want, err := sparse.Multiply(m, m)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", name, err)
+		}
+		for _, alg := range All() {
+			p, err := alg.Multiply(m, m, titanOpts())
+			if err != nil {
+				t.Fatalf("%s on %s: %v", alg.Name(), name, err)
+			}
+			if !p.C.Equal(want, 1e-9) {
+				t.Fatalf("%s on %s: wrong product", alg.Name(), name)
+			}
+		}
+		if m.Rows == star.Cols {
+			wantMix, err := sparse.Multiply(star, m)
+			if err != nil {
+				continue
+			}
+			for _, alg := range All() {
+				p, err := alg.Multiply(star, m, titanOpts())
+				if err != nil {
+					t.Fatalf("%s on star×%s: %v", alg.Name(), name, err)
+				}
+				if !p.C.Equal(wantMix, 1e-9) {
+					t.Fatalf("%s on star×%s: wrong product", alg.Name(), name)
+				}
+			}
+		}
+	}
+}
+
+// The reorganizer must handle a matrix where every active pair is a
+// dominator (dense column × dense row: one massive pair, large enough that
+// the splitting heuristic's minimum chunk size does not veto it).
+func TestReorganizerAllDominators(t *testing.T) {
+	const n = 256
+	a := sparse.NewCSR(n, n) // dense column 0
+	for i := 0; i < n; i++ {
+		a.Idx = append(a.Idx, 0)
+		a.Val = append(a.Val, float64(i+1))
+		a.Ptr[i+1] = i + 1
+	}
+	b := sparse.NewCSR(n, n) // dense row 0
+	for j := 0; j < n; j++ {
+		b.Idx = append(b.Idx, j)
+		b.Val = append(b.Val, 1)
+	}
+	for i := 1; i <= n; i++ {
+		b.Ptr[i] = n
+	}
+	want, err := sparse.Multiply(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Reorganizer{}.Multiply(a, b, titanOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.C.Equal(want, 1e-9) {
+		t.Fatal("wrong product on all-dominator input")
+	}
+	if p.PlanStats.Dominators == 0 {
+		t.Fatal("the single massive pair was not classified as a dominator")
+	}
+	if p.PlanStats.SplitBlocks <= p.PlanStats.Dominators {
+		t.Fatalf("dominator not split: %d blocks for %d dominators",
+			p.PlanStats.SplitBlocks, p.PlanStats.Dominators)
+	}
+}
+
+// A rectangular chain with extreme aspect ratios.
+func TestAlgorithmsExtremeAspectRatio(t *testing.T) {
+	tall := sparse.NewCSR(2000, 3)
+	for i := 0; i < 2000; i++ {
+		tall.Idx = append(tall.Idx, i%3)
+		tall.Val = append(tall.Val, 1)
+		tall.Ptr[i+1] = i + 1
+	}
+	wide := sparse.NewCSR(3, 2000)
+	for j := 0; j < 2000; j++ {
+		wide.Idx = append(wide.Idx, j)
+		wide.Val = append(wide.Val, 0.5)
+	}
+	wide.Ptr[1] = 2000 // row 0 dense; rows 1, 2 empty
+	wide.Ptr[2] = 2000
+	wide.Ptr[3] = 2000
+	want, err := sparse.Multiply(tall, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range All() {
+		p, err := alg.Multiply(tall, wide, titanOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if !p.C.Equal(want, 1e-9) {
+			t.Fatalf("%s: wrong product on 2000x3 × 3x2000", alg.Name())
+		}
+	}
+}

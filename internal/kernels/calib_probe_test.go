@@ -1,0 +1,45 @@
+package kernels
+
+import (
+	"testing"
+
+	"github.com/blockreorg/blockreorg/internal/gpusim"
+	"github.com/blockreorg/blockreorg/sparse"
+	"github.com/blockreorg/blockreorg/sparse/rmat"
+)
+
+// TestCalibrationProbe prints the relative performance of every algorithm
+// on one skewed and one regular matrix. It never fails; it exists so that
+// `go test -v -run CalibrationProbe` shows the current calibration at a
+// glance while tuning the timing model.
+func TestCalibrationProbe(t *testing.T) {
+	skewed, err := rmat.PowerLaw(20000, 200000, 2.05, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regular, err := rmat.Mesh(100000, 26, 60, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Device: gpusim.TitanXp(), SkipValues: true}
+	for _, input := range []struct {
+		name string
+		m    *sparse.CSR
+	}{{"skewed", skewed}, {"regular", regular}} {
+		var base float64
+		for _, alg := range All() {
+			p, err := alg.Multiply(input.m, input.m, opts)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", alg.Name(), input.name, err)
+			}
+			tt := p.Report.TotalSeconds()
+			if alg.Name() == "row-product" {
+				base = tt
+			}
+			t.Logf("%-8s %-18s %9.3f ms  speedup=%5.2fx  GFLOPS=%6.2f  exp=%6.3fms mrg=%6.3fms",
+				input.name, alg.Name(), tt*1e3, base/tt, p.GFLOPS(),
+				p.Report.PhaseSeconds(gpusim.PhaseExpansion)*1e3,
+				p.Report.PhaseSeconds(gpusim.PhaseMerge)*1e3)
+		}
+	}
+}

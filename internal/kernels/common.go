@@ -1,0 +1,245 @@
+package kernels
+
+import (
+	"github.com/blockreorg/blockreorg/internal/gpusim"
+)
+
+// Shared cost constants. A sparse element is a (float64 value, int32 index)
+// pair on the device.
+const (
+	elemBytes = 12
+	// expansion traffic per effective-thread iteration: outer-product
+	// broadcasts the column element across the warp (amortized read),
+	// row-product gathers from scattered B rows (uncoalesced read).
+	outerReadBytes = 1.5
+	rowReadBytes   = 12
+	productWrite   = elemBytes
+	// merge read cost per intermediate element: row-form intermediates
+	// (row-product) stream linearly; matrix-form intermediates
+	// (outer-product) pay extra column address indexing, the paper's
+	// stated merge disadvantage of the outer-product scheme.
+	mergeReadRowForm    = 12
+	mergeReadMatrixForm = 14
+	// mergeAccumTraffic is the read-modify-write traffic per product
+	// against the dense accumulator (8B load + 8B store).
+	mergeAccumTraffic = 16
+	// mergeBaseSmem is the merge kernel's static shared memory per block.
+	mergeBaseSmem = 2048
+	// mergeItersPerThread is the grid-stride depth of merge threads.
+	mergeItersPerThread = 16
+	// accumSector is the cache footprint of one accumulator update: the
+	// dense accumulator spans the full output dimension, so each touched
+	// entry occupies its own 32-byte sector.
+	accumSector = 32
+	// accumWindow bounds a merge block's *active* accumulator working set:
+	// rows are processed in segments, so only the recent sectors compete
+	// for L2 residency at any instant.
+	accumWindow = 32 << 10
+	// heavyWork is the per-block workload above which expansion blocks are
+	// kept as individual profiles instead of deduplicated classes.
+	heavyWork = 8192
+	// longRow is the intermediate population above which a merge row gets
+	// its own thread block.
+	longRow = 256
+	// expansionBlockThreads is the configured thread-block size of
+	// expansion kernels (paper's fixed launch size).
+	expansionBlockThreads = 256
+)
+
+// lightKey identifies a deduplicatable block profile. Two blocks with equal
+// keys are priced identically by the simulator.
+type lightKey struct {
+	threads, eff       int
+	maxIter            int64
+	sumWarp, sumThread int64
+	read, write, atom  float64
+	accumTraffic       float64
+	smem, accum, parts int
+	label              string
+}
+
+// blockBuilder assembles a grid, deduplicating light blocks into counted
+// classes while keeping heavy blocks as individual profiles in encounter
+// order (heavy blocks are what load balance hinges on).
+type blockBuilder struct {
+	blocks []gpusim.BlockWork
+	light  map[lightKey]int // key -> index into blocks
+}
+
+func newBlockBuilder() *blockBuilder {
+	return &blockBuilder{light: make(map[lightKey]int)}
+}
+
+// add appends block b, merging it into an existing class when it is light
+// and has no segment identity.
+func (bb *blockBuilder) add(b gpusim.BlockWork) {
+	if b.Count == 0 {
+		b.Count = 1
+	}
+	if b.SumThreadIters > heavyWork || b.Segment != gpusim.NoSegment {
+		bb.blocks = append(bb.blocks, b)
+		return
+	}
+	key := lightKey{
+		threads: b.Threads, eff: b.EffThreads,
+		maxIter: b.MaxWarpIters, sumWarp: b.SumWarpIters, sumThread: b.SumThreadIters,
+		read: b.ReadBytesPerIter, write: b.WriteBytesPerIter, atom: b.AtomicsPerIter,
+		accumTraffic: b.AccumTrafficPerIter,
+		smem:         b.SharedMem, accum: b.AccumBytes, parts: b.Partitions, label: b.Label,
+	}
+	if i, ok := bb.light[key]; ok {
+		bb.blocks[i].Count += b.Count
+		return
+	}
+	bb.light[key] = len(bb.blocks)
+	bb.blocks = append(bb.blocks, b)
+}
+
+// grid returns the assembled block classes.
+func (bb *blockBuilder) grid() []gpusim.BlockWork { return bb.blocks }
+
+// expansionPairBlock builds the outer-product expansion profile for a pair
+// chunk: colNNZ column elements (the per-thread iteration count) against
+// rowNNZ row elements (the effective thread count), under a fixed block
+// size. Used for normal pairs (full column) and split sub-blocks (chunk).
+func expansionPairBlock(colNNZ, rowNNZ int, label string) gpusim.BlockWork {
+	threads := expansionBlockThreads
+	eff := rowNNZ
+	if eff > threads {
+		eff = threads
+	}
+	passes := int64((rowNNZ + threads - 1) / threads)
+	iters := int64(colNNZ) * passes
+	effWarps := int64((eff + 31) / 32)
+	return gpusim.BlockWork{
+		Threads:           threads,
+		EffThreads:        eff,
+		MaxWarpIters:      iters,
+		SumWarpIters:      iters * effWarps,
+		SumThreadIters:    int64(colNNZ) * int64(rowNNZ),
+		ReadBytesPerIter:  outerReadBytes,
+		WriteBytesPerIter: productWrite,
+		Segment:           gpusim.NoSegment,
+		Label:             label,
+	}
+}
+
+// mergeKernel builds the Gustavson dense-accumulator merge: one block per
+// long intermediate row, packed grid-stride blocks for the rest. readBytes
+// selects the row-form or matrix-form intermediate cost. limited rows (may
+// be nil) receive extraSmem bytes of additional shared memory — the
+// B-Limiting mechanism.
+func mergeKernel(name string, rowWork []int64, rowNNZ []int, readBytes float64, limited []int, extraSmem int) *gpusim.Kernel {
+	isLimited := make(map[int]bool, len(limited))
+	for _, r := range limited {
+		isLimited[r] = true
+	}
+	bb := newBlockBuilder()
+	var smallWork, smallOut int64
+	for i, w := range rowWork {
+		if w == 0 {
+			continue
+		}
+		outBytes := int64(rowNNZ[i]) * elemBytes
+		if w < longRow {
+			smallWork += w
+			smallOut += outBytes
+			continue
+		}
+		threads := expansionBlockThreads
+		iters := (w + int64(threads) - 1) / int64(threads)
+		smem := mergeBaseSmem
+		label := "merge-long"
+		if isLimited[i] {
+			smem += extraSmem
+			label = "merge-limited"
+		}
+		accumWS := int64(rowNNZ[i]) * accumSector
+		if accumWS > accumWindow {
+			accumWS = accumWindow
+		}
+		bb.add(gpusim.BlockWork{
+			Threads:             threads,
+			EffThreads:          threads,
+			MaxWarpIters:        iters,
+			SumWarpIters:        iters * int64(threads/32),
+			SumThreadIters:      w,
+			ReadBytesPerIter:    readBytes,
+			WriteBytesPerIter:   float64(outBytes) / float64(w),
+			AccumTrafficPerIter: mergeAccumTraffic,
+			AtomicsPerIter:      1,
+			SharedMem:           smem,
+			Segment:             gpusim.NoSegment,
+			AccumBytes:          int(accumWS),
+			Label:               label,
+		})
+	}
+	if smallWork > 0 {
+		perBlock := int64(expansionBlockThreads * mergeItersPerThread)
+		nblocks := (smallWork + perBlock - 1) / perBlock
+		smallWS := smallOut / elemBytes * accumSector / max64(nblocks, 1)
+		if smallWS > accumWindow {
+			smallWS = accumWindow
+		}
+		bb.add(gpusim.BlockWork{
+			Count:               int(nblocks),
+			Threads:             expansionBlockThreads,
+			EffThreads:          expansionBlockThreads,
+			MaxWarpIters:        mergeItersPerThread,
+			SumWarpIters:        mergeItersPerThread * int64(expansionBlockThreads/32),
+			SumThreadIters:      perBlock,
+			ReadBytesPerIter:    readBytes,
+			WriteBytesPerIter:   float64(smallOut) / float64(smallWork),
+			AccumTrafficPerIter: mergeAccumTraffic,
+			AtomicsPerIter:      1,
+			SharedMem:           mergeBaseSmem,
+			Segment:             gpusim.NoSegment,
+			AccumBytes:          int(smallWS),
+			Label:               "merge-small",
+		})
+	}
+	return &gpusim.Kernel{Name: name, Phase: gpusim.PhaseMerge, Blocks: bb.grid()}
+}
+
+// uniformKernel builds a perfectly balanced grid covering `elements` units
+// of work at the given per-element traffic — the shape of ESC expansion,
+// sort passes and compaction sweeps.
+func uniformKernel(name string, phase gpusim.Phase, elements int64, readBytes, writeBytes float64, label string) *gpusim.Kernel {
+	if elements <= 0 {
+		return &gpusim.Kernel{Name: name, Phase: phase}
+	}
+	perBlock := int64(expansionBlockThreads * mergeItersPerThread)
+	nblocks := (elements + perBlock - 1) / perBlock
+	return &gpusim.Kernel{Name: name, Phase: phase, Blocks: []gpusim.BlockWork{{
+		Count:             int(nblocks),
+		Threads:           expansionBlockThreads,
+		EffThreads:        expansionBlockThreads,
+		MaxWarpIters:      mergeItersPerThread,
+		SumWarpIters:      mergeItersPerThread * int64(expansionBlockThreads/32),
+		SumThreadIters:    perBlock,
+		ReadBytesPerIter:  readBytes,
+		WriteBytesPerIter: writeBytes,
+		Segment:           gpusim.NoSegment,
+		Label:             label,
+	}}}
+}
+
+// precalcKernel models the GPU-side precalculation pass over n pairs
+// (block-wise and row-wise nnz estimation).
+func precalcKernel(name string, n int) *gpusim.Kernel {
+	k := uniformKernel(name, gpusim.PhasePre, int64(n), 8, 8, "precalc")
+	return k
+}
+
+// hostSeconds models single-core host preprocessing at ~2ns per touched
+// element plus a fixed invocation cost.
+func hostSeconds(ops int64) float64 {
+	return 10e-6 + float64(ops)*2e-9
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,134 @@
+// Package kernels implements the spGEMM algorithms of the Block Reorganizer
+// evaluation as coupled functional/timing kernels for the gpusim device
+// model:
+//
+//   - RowProduct — the paper's baseline: row-product (Gustavson) expansion
+//     plus a dense-accumulator merge;
+//   - OuterProduct — the column-by-row expansion baseline the Block
+//     Reorganizer builds on;
+//   - Reorganizer — outer-product expansion transformed by B-Splitting and
+//     B-Gathering, plus a B-Limited merge (the paper's contribution);
+//   - CuSPARSE, CUSP, BhSPARSE — algorithmic emulations of the library
+//     baselines (hash-per-row, expand-sort-compress, and row-binning
+//     respectively) with their characteristic cost structures;
+//   - MKL — a multicore CPU Gustavson model.
+//
+// Every algorithm produces the numerically correct product (verified
+// against sparse.Multiply in tests) and a gpusim.Report with the timing
+// the paper's figures are built from.
+package kernels
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/blockreorg/blockreorg/internal/core"
+	"github.com/blockreorg/blockreorg/internal/gpusim"
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+// Options configures one multiplication run.
+type Options struct {
+	// Device is the simulated GPU. Required for GPU algorithms; ignored
+	// by MKL.
+	Device gpusim.Config
+	// Core tunes the Block Reorganizer pass (Reorganizer only).
+	Core core.Params
+	// SkipValues suppresses the numeric product: only the symbolic
+	// structure is computed and Product.C stays nil. Used by large
+	// benchmark sweeps where only timing matters.
+	SkipValues bool
+	// CPU overrides the CPU model used by MKL; zero value selects the
+	// paper's system 1 host.
+	CPU CPUConfig
+	// Pre optionally supplies the shared symbolic analysis of (A, B),
+	// letting callers that run several algorithms on the same operands
+	// (the benchmark harness) pay for it once. Ignored when it does not
+	// match the operands.
+	Pre *Precomputed
+}
+
+// Product is the outcome of one multiplication.
+type Product struct {
+	// C is the product matrix, nil when Options.SkipValues is set.
+	C *sparse.CSR
+	// Report carries the simulated timing of every kernel plus host time.
+	Report *gpusim.Report
+	// Flops is the multiply-add count nnz(Ĉ); NNZC is nnz(C).
+	Flops int64
+	NNZC  int64
+	// PlanStats is populated by the Reorganizer (classification counts).
+	PlanStats *core.PlanStats
+}
+
+// GFLOPS returns the paper's throughput metric for this run.
+func (p *Product) GFLOPS() float64 { return p.Report.GFLOPS(p.Flops) }
+
+// Algorithm is one spGEMM implementation.
+type Algorithm interface {
+	// Name returns the display name used across figures and tables.
+	Name() string
+	// Multiply computes C = A×B under the given options.
+	Multiply(a, b *sparse.CSR, opts Options) (*Product, error)
+}
+
+// ErrUnknownAlgorithm is returned by ByName for unregistered names.
+var ErrUnknownAlgorithm = errors.New("kernels: unknown algorithm")
+
+// All returns the algorithms in the paper's presentation order
+// (row-product, outer-product, cuSPARSE, CUSP, bhSPARSE, MKL, Block
+// Reorganizer).
+func All() []Algorithm {
+	return []Algorithm{
+		RowProduct{},
+		OuterProduct{},
+		CuSPARSE{},
+		CUSP{},
+		BhSPARSE{},
+		MKL{},
+		Reorganizer{},
+	}
+}
+
+// ByName resolves an algorithm by its display name (case-sensitive).
+func ByName(name string) (Algorithm, error) {
+	for _, alg := range All() {
+		if alg.Name() == name {
+			return alg, nil
+		}
+	}
+	names := make([]string, 0, 7)
+	for _, alg := range All() {
+		names = append(names, alg.Name())
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownAlgorithm, name, names)
+}
+
+// checkShapes validates operand compatibility once, up front.
+func checkShapes(a, b *sparse.CSR) error {
+	if a == nil || b == nil {
+		return errors.New("kernels: nil operand")
+	}
+	if a.Cols != b.Rows {
+		return fmt.Errorf("kernels: cannot multiply %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	return nil
+}
+
+// finishProduct fills the shared Product fields: the numeric result (unless
+// skipped) and the symbolic counts from the shared analysis.
+func finishProduct(a, b *sparse.CSR, opts Options, rep *gpusim.Report, pc *Precomputed) (*Product, error) {
+	p := &Product{Report: rep, Flops: pc.Flops, NNZC: pc.NNZC}
+	if opts.SkipValues {
+		return p, nil
+	}
+	c, err := sparse.Multiply(a, b)
+	if err != nil {
+		return nil, err
+	}
+	p.C = c
+	p.NNZC = int64(c.NNZ())
+	return p, nil
+}

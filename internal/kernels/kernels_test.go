@@ -1,0 +1,356 @@
+package kernels
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"github.com/blockreorg/blockreorg/internal/gpusim"
+	"github.com/blockreorg/blockreorg/sparse"
+	"github.com/blockreorg/blockreorg/sparse/rmat"
+)
+
+func testRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 3)) }
+
+func randomCSR(rng *rand.Rand, rows, cols int, density float64) *sparse.CSR {
+	coo := sparse.NewCOO(rows, cols, 0)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				coo.Add(i, j, rng.Float64()+0.25)
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+func titanOpts() Options { return Options{Device: gpusim.TitanXp()} }
+
+func TestRegistry(t *testing.T) {
+	algs := All()
+	if len(algs) != 7 {
+		t.Fatalf("expected 7 algorithms, got %d", len(algs))
+	}
+	seen := map[string]bool{}
+	for _, alg := range algs {
+		if alg.Name() == "" || seen[alg.Name()] {
+			t.Fatalf("bad or duplicate name %q", alg.Name())
+		}
+		seen[alg.Name()] = true
+		got, err := ByName(alg.Name())
+		if err != nil || got.Name() != alg.Name() {
+			t.Fatalf("ByName(%q) = %v, %v", alg.Name(), got, err)
+		}
+	}
+	if _, err := ByName("cuBLAS"); !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Fatalf("unknown name error = %v", err)
+	}
+}
+
+// Every algorithm must produce exactly the reference product.
+func TestAllAlgorithmsMatchReference(t *testing.T) {
+	rng := testRNG(1)
+	a := randomCSR(rng, 60, 50, 0.15)
+	b := randomCSR(rng, 50, 70, 0.15)
+	want, err := sparse.Multiply(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range All() {
+		p, err := alg.Multiply(a, b, titanOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if p.C == nil || !p.C.Equal(want, 1e-9) {
+			t.Fatalf("%s: product differs from reference", alg.Name())
+		}
+		if p.NNZC != int64(want.NNZ()) {
+			t.Fatalf("%s: NNZC = %d, want %d", alg.Name(), p.NNZC, want.NNZ())
+		}
+		if p.Report.TotalSeconds() <= 0 {
+			t.Fatalf("%s: non-positive time", alg.Name())
+		}
+	}
+}
+
+// Property: algorithms agree with each other on random shapes, including
+// rectangular ones, with and without value computation.
+func TestAlgorithmsAgreeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := testRNG(seed)
+		n := 2 + rng.IntN(25)
+		k := 2 + rng.IntN(25)
+		m := 2 + rng.IntN(25)
+		a := randomCSR(rng, n, k, 0.2)
+		b := randomCSR(rng, k, m, 0.2)
+		want, err := sparse.Multiply(a, b)
+		if err != nil {
+			return false
+		}
+		for _, alg := range All() {
+			p, err := alg.Multiply(a, b, titanOpts())
+			if err != nil || !p.C.Equal(want, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipValues(t *testing.T) {
+	rng := testRNG(4)
+	a := randomCSR(rng, 40, 40, 0.2)
+	want, _ := sparse.Multiply(a, a)
+	for _, alg := range All() {
+		opts := titanOpts()
+		opts.SkipValues = true
+		p, err := alg.Multiply(a, a, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if p.C != nil {
+			t.Fatalf("%s: SkipValues still produced a matrix", alg.Name())
+		}
+		if p.NNZC != int64(want.NNZ()) {
+			t.Fatalf("%s: symbolic NNZC = %d, want %d", alg.Name(), p.NNZC, want.NNZ())
+		}
+	}
+}
+
+func TestShapeMismatchRejected(t *testing.T) {
+	a := sparse.NewCSR(4, 5)
+	b := sparse.NewCSR(6, 4)
+	for _, alg := range All() {
+		if _, err := alg.Multiply(a, b, titanOpts()); err == nil {
+			t.Errorf("%s accepted mismatched shapes", alg.Name())
+		}
+		if _, err := alg.Multiply(nil, b, titanOpts()); err == nil {
+			t.Errorf("%s accepted nil operand", alg.Name())
+		}
+	}
+}
+
+func TestEmptyOperands(t *testing.T) {
+	a := sparse.NewCSR(10, 10)
+	for _, alg := range All() {
+		p, err := alg.Multiply(a, a, titanOpts())
+		if err != nil {
+			t.Fatalf("%s on empty: %v", alg.Name(), err)
+		}
+		if p.NNZC != 0 || p.Flops != 0 {
+			t.Fatalf("%s: empty product has nnz %d flops %d", alg.Name(), p.NNZC, p.Flops)
+		}
+	}
+}
+
+// The headline behaviour: on a skewed matrix the Block Reorganizer must
+// beat both baselines, and the outer-product baseline must trail the
+// row-product baseline (the paper's motivating observation).
+func TestReorganizerWinsOnSkewed(t *testing.T) {
+	// An as-caida-like graph: heavy hubs well beyond the default
+	// structural cutoff, the regime the Block Reorganizer targets.
+	m, err := rmat.PowerLawCapped(12000, 120000, 1.9, 32, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := titanOpts()
+	opts.SkipValues = true
+	times := map[string]float64{}
+	for _, alg := range All() {
+		p, err := alg.Multiply(m, m, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		times[alg.Name()] = p.Report.TotalSeconds()
+	}
+	if times["Block-Reorganizer"] >= times["row-product"] {
+		t.Fatalf("reorganizer (%.3fms) not faster than row-product (%.3fms)",
+			times["Block-Reorganizer"]*1e3, times["row-product"]*1e3)
+	}
+	if times["Block-Reorganizer"] >= times["outer-product"] {
+		t.Fatalf("reorganizer (%.3fms) not faster than outer-product (%.3fms)",
+			times["Block-Reorganizer"]*1e3, times["outer-product"]*1e3)
+	}
+	if times["outer-product"] <= times["row-product"] {
+		t.Fatalf("outer-product (%.3fms) unexpectedly beats row-product (%.3fms) on skewed input",
+			times["outer-product"]*1e3, times["row-product"]*1e3)
+	}
+	// The libraries must all trail the row-product baseline, as in Fig 8.
+	for _, lib := range []string{"cuSPARSE", "CUSP", "bhSPARSE", "MKL"} {
+		if times[lib] <= times["row-product"] {
+			t.Errorf("%s (%.3fms) beats the baseline (%.3fms) on skewed input",
+				lib, times[lib]*1e3, times["row-product"]*1e3)
+		}
+	}
+}
+
+// Ablations: disabling a technique must not make the reorganizer faster on
+// inputs that exercise it.
+func TestReorganizerTechniqueToggles(t *testing.T) {
+	m, err := rmat.PowerLawCapped(12000, 120000, 1.9, 32, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p Options) float64 {
+		prod, err := Reorganizer{}.Multiply(m, m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prod.Report.TotalSeconds()
+	}
+	full := titanOpts()
+	full.SkipValues = true
+	noSplit := full
+	noSplit.Core.DisableSplit = true
+	noGather := full
+	noGather.Core.DisableGather = true
+	tFull := run(full)
+	if tNoSplit := run(noSplit); tNoSplit < tFull*0.98 {
+		t.Errorf("disabling B-Splitting sped things up: %.3f vs %.3f ms", tNoSplit*1e3, tFull*1e3)
+	}
+	if tNoGather := run(noGather); tNoGather < tFull*0.98 {
+		t.Errorf("disabling B-Gathering sped things up: %.3f vs %.3f ms", tNoGather*1e3, tFull*1e3)
+	}
+}
+
+// The reorganizer's expansion must balance SMs far better than the plain
+// outer product on skewed data (the LBI story of Figure 11).
+func TestReorganizerImprovesLBI(t *testing.T) {
+	m, err := rmat.PowerLawCapped(12000, 120000, 1.9, 32, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := titanOpts()
+	opts.SkipValues = true
+	outer, err := OuterProduct{}.Multiply(m, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reorg, err := Reorganizer{}.Multiply(m, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbiOuter := outer.Report.Kernel("expand(outer-product)").LBI
+	domK := reorg.Report.Kernel("expand(dominators)")
+	if domK == nil {
+		t.Skip("no dominators on this fixture")
+	}
+	if domK.LBI <= lbiOuter {
+		t.Fatalf("dominator expansion LBI %.2f not above outer-product %.2f", domK.LBI, lbiOuter)
+	}
+}
+
+// Gathering must cut the sync-stall share of the expansion kernel, the
+// paper's Figure 13.
+func TestGatheringReducesSyncStalls(t *testing.T) {
+	m, err := rmat.PowerLaw(12000, 60000, 2.2, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := titanOpts()
+	opts.SkipValues = true
+	with, err := Reorganizer{}.Multiply(m, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsNo := opts
+	optsNo.Core.DisableGather = true
+	without, err := Reorganizer{}.Multiply(m, m, optsNo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sWith := with.Report.Kernel("expand(reorganized)").SyncStallPct
+	sWithout := without.Report.Kernel("expand(reorganized)").SyncStallPct
+	if sWith >= sWithout {
+		t.Fatalf("gathering did not cut sync stalls: %.1f%% vs %.1f%%", sWith, sWithout)
+	}
+}
+
+func TestPlanStatsExposed(t *testing.T) {
+	m, err := rmat.PowerLaw(4000, 40000, 2.1, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := titanOpts()
+	opts.SkipValues = true
+	p, err := Reorganizer{}.Multiply(m, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PlanStats == nil || p.PlanStats.TotalWork != p.Flops {
+		t.Fatal("plan stats missing or inconsistent")
+	}
+	if p.GFLOPS() <= 0 {
+		t.Fatal("non-positive GFLOPS")
+	}
+}
+
+func TestMKLCustomCPU(t *testing.T) {
+	rng := testRNG(5)
+	a := randomCSR(rng, 50, 50, 0.2)
+	opts := titanOpts()
+	opts.CPU = CPUConfig{Name: "test", Cores: 1, ClockGHz: 1, CyclesPerProduct: 10, MemBandwidthGBs: 1, DispatchSeconds: 0}
+	slow, err := MKL{}.Multiply(a, a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := MKL{}.Multiply(a, a, titanOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Report.TotalSeconds() <= fast.Report.TotalSeconds() {
+		t.Fatal("1-core 1GB/s CPU not slower than the Xeon")
+	}
+	if fast.Report.Device == "" || slow.Report.Device != "test" {
+		t.Fatal("device naming wrong")
+	}
+}
+
+// Determinism across runs: identical inputs yield identical reports.
+func TestKernelsDeterministic(t *testing.T) {
+	m, err := rmat.PowerLaw(3000, 30000, 2.1, 46)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := titanOpts()
+	opts.SkipValues = true
+	for _, alg := range All() {
+		p1, err := alg.Multiply(m, m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := alg.Multiply(m, m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p1.Report.TotalSeconds() != p2.Report.TotalSeconds() {
+			t.Fatalf("%s nondeterministic: %g vs %g", alg.Name(), p1.Report.TotalSeconds(), p2.Report.TotalSeconds())
+		}
+	}
+}
+
+// More work must not take less time (coarse monotonicity of the model).
+func TestTimingMonotoneInWork(t *testing.T) {
+	small, _ := rmat.PowerLaw(8000, 40000, 2.2, 47)
+	large, _ := rmat.PowerLaw(8000, 160000, 2.2, 47)
+	opts := titanOpts()
+	opts.SkipValues = true
+	for _, alg := range All() {
+		ps, err := alg.Multiply(small, small, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := alg.Multiply(large, large, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pl.Report.TotalSeconds() <= ps.Report.TotalSeconds() {
+			t.Errorf("%s: 16x work not slower (%.3f vs %.3f ms)",
+				alg.Name(), pl.Report.TotalSeconds()*1e3, ps.Report.TotalSeconds()*1e3)
+		}
+	}
+}

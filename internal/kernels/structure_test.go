@@ -1,0 +1,145 @@
+package kernels
+
+import (
+	"testing"
+
+	"github.com/blockreorg/blockreorg/internal/gpusim"
+	"github.com/blockreorg/blockreorg/sparse/rmat"
+)
+
+// These tests lock down each algorithm's kernel structure — names, phases
+// and launch counts — so refactors cannot silently change what the
+// experiments measure.
+
+func reportOf(t *testing.T, alg Algorithm) *gpusim.Report {
+	t.Helper()
+	m, err := rmat.PowerLawCapped(6000, 60000, 1.95, 16, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := titanOpts()
+	opts.SkipValues = true
+	p, err := alg.Multiply(m, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Report
+}
+
+func TestRowProductStructure(t *testing.T) {
+	rep := reportOf(t, RowProduct{})
+	if len(rep.Kernels) != 3 {
+		t.Fatalf("row-product launches %d kernels, want 3", len(rep.Kernels))
+	}
+	if rep.Kernels[0].Phase != gpusim.PhasePre ||
+		rep.Kernels[1].Name != "expand(row-product)" ||
+		rep.Kernels[2].Name != "merge(gustavson)" {
+		t.Fatalf("row-product kernel sequence wrong: %v", names(rep))
+	}
+	if rep.HostSeconds != 0 {
+		t.Fatal("row-product has no host preprocessing")
+	}
+}
+
+func TestOuterProductStructure(t *testing.T) {
+	rep := reportOf(t, OuterProduct{})
+	if len(rep.Kernels) != 3 {
+		t.Fatalf("outer-product launches %d kernels, want 3", len(rep.Kernels))
+	}
+	if rep.Kernels[1].Name != "expand(outer-product)" {
+		t.Fatalf("kernel sequence wrong: %v", names(rep))
+	}
+}
+
+func TestReorganizerStructure(t *testing.T) {
+	rep := reportOf(t, Reorganizer{})
+	// precalc + dominators + reorganized + merge on a hub-heavy input.
+	if len(rep.Kernels) != 4 {
+		t.Fatalf("reorganizer launches %d kernels, want 4: %v", len(rep.Kernels), names(rep))
+	}
+	if rep.Kernels[1].Name != "expand(dominators)" || rep.Kernels[2].Name != "expand(reorganized)" {
+		t.Fatalf("kernel sequence wrong: %v", names(rep))
+	}
+	if rep.Kernels[3].Name != "merge(b-limiting)" || rep.Kernels[3].Phase != gpusim.PhaseMerge {
+		t.Fatalf("merge kernel wrong: %v", names(rep))
+	}
+	if rep.HostSeconds <= 0 {
+		t.Fatal("B-Splitting host preprocessing missing")
+	}
+	// The dominator kernel must carry the dominator label; the rest kernel
+	// the gathered/ungathered populations.
+	if _, ok := rep.Kernels[1].Label("dominator"); !ok {
+		t.Fatal("dominator label missing from the A'B' kernel")
+	}
+	rest := rep.Kernels[2]
+	if _, ok := rest.Label("gathered"); !ok {
+		t.Fatal("gathered label missing from the main expansion")
+	}
+}
+
+func TestCuSPARSEStructure(t *testing.T) {
+	rep := reportOf(t, CuSPARSE{})
+	if len(rep.Kernels) != 2 {
+		t.Fatalf("cuSPARSE launches %d kernels, want 2 (symbolic+numeric): %v", len(rep.Kernels), names(rep))
+	}
+	// The hub rows must take the long-row (workspace sort) path.
+	if _, ok := rep.Kernels[1].Label("warp-per-row-long"); !ok {
+		t.Fatal("no long-row blocks on a hub-heavy input")
+	}
+}
+
+func TestCUSPStructure(t *testing.T) {
+	rep := reportOf(t, CUSP{})
+	// expand + 8 radix passes + compress.
+	if len(rep.Kernels) != 10 {
+		t.Fatalf("CUSP launches %d kernels, want 10: %v", len(rep.Kernels), names(rep))
+	}
+	sorts := 0
+	for _, k := range rep.Kernels {
+		if k.Name == "esc(sort)" {
+			sorts++
+		}
+	}
+	if sorts != 8 {
+		t.Fatalf("CUSP runs %d sort passes, want 8", sorts)
+	}
+}
+
+func TestBhSPARSEStructure(t *testing.T) {
+	rep := reportOf(t, BhSPARSE{})
+	if len(rep.Kernels) != 5 {
+		t.Fatalf("bhSPARSE launches %d kernels, want 5 (bin + 4 row bins): %v", len(rep.Kernels), names(rep))
+	}
+	// The hub rows must hit the spill path on this input.
+	spilled := false
+	for _, k := range rep.Kernels {
+		if _, ok := k.Label("bh-spill"); ok {
+			spilled = true
+		}
+	}
+	if !spilled {
+		t.Fatal("no spill blocks on a hub-heavy input")
+	}
+	if rep.HostSeconds <= 0 {
+		t.Fatal("progressive re-allocation host overhead missing")
+	}
+}
+
+func TestMKLStructure(t *testing.T) {
+	rep := reportOf(t, MKL{})
+	if len(rep.Kernels) != 0 {
+		t.Fatal("MKL must not launch GPU kernels")
+	}
+	if rep.HostSeconds <= 0 {
+		t.Fatal("MKL host time missing")
+	}
+}
+
+// names extracts kernel names for failure messages.
+func names(rep *gpusim.Report) []string {
+	out := make([]string, len(rep.Kernels))
+	for i, k := range rep.Kernels {
+		out[i] = k.Name
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package tableio
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.AddRow("a", "1.00")
+	tb.AddRow("longer-name", "2.50")
+	out := tb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "longer-name") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines (title, header, rule, 2 rows), got %d:\n%s", len(lines), out)
+	}
+	// Header and rule align.
+	if len(lines[1]) == 0 || lines[1][2] != 'n' {
+		t.Fatalf("header misaligned: %q", lines[1])
+	}
+}
+
+func TestAddRowPadsAndPanics(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.AddRow("x")
+	if len(tb.Rows[0]) != 3 {
+		t.Fatalf("short row not padded: %v", tb.Rows[0])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized row accepted")
+		}
+	}()
+	tb.AddRow("1", "2", "3", "4")
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := New("t", "x", "y")
+	tb.AddRow("a,comma", "1")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n\"a,comma\",1\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(5, 10, 10); got != "#####" {
+		t.Fatalf("Bar(5,10,10) = %q", got)
+	}
+	if got := Bar(20, 10, 10); got != "##########" {
+		t.Fatalf("over-max bar = %q", got)
+	}
+	if Bar(-1, 10, 10) != "" || Bar(1, 0, 10) != "" || Bar(1, 10, 0) != "" {
+		t.Fatal("degenerate bars not empty")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F2(1.005) != "1.00" && F2(1.005) != "1.01" {
+		t.Fatalf("F2 = %q", F2(1.005))
+	}
+	if Ms(0.0015) != "1.500 ms" {
+		t.Fatalf("Ms = %q", Ms(0.0015))
+	}
+	if GBs(2.5e9) != "2.5 GB/s" {
+		t.Fatalf("GBs = %q", GBs(2.5e9))
+	}
+	cases := map[int64]string{0: "0", 999: "999", 1000: "1,000", 1234567: "1,234,567", -4200: "-4,200"}
+	for in, want := range cases {
+		if got := Count(in); got != want {
+			t.Errorf("Count(%d) = %q, want %q", in, got, want)
+		}
+	}
+	if F3(0.1234) != "0.123" {
+		t.Fatalf("F3 = %q", F3(0.1234))
+	}
+}

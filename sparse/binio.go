@@ -1,0 +1,180 @@
+package sparse
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary CSR container: a fast, compact cache format for generated
+// datasets. Layout (little endian):
+//
+//	magic "CSRB" | version u32 | rows u64 | cols u64 | nnz u64
+//	ptr  (rows+1) × u64
+//	idx  nnz × u32
+//	val  nnz × f64
+//
+// Column indices are stored as u32; matrices wider than 2^32-1 columns are
+// rejected (far beyond anything this library simulates).
+
+var binMagic = [4]byte{'C', 'S', 'R', 'B'}
+
+const binVersion = 1
+
+// ErrBinaryFormat is wrapped by all binary-container parse errors.
+var ErrBinaryFormat = errors.New("sparse: invalid binary CSR data")
+
+// WriteBinary writes m in the binary CSR container format.
+func WriteBinary(w io.Writer, m *CSR) error {
+	if m.Cols > math.MaxUint32 {
+		return fmt.Errorf("sparse: %d columns exceed the binary format's u32 indices", m.Cols)
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	var u32 [4]byte
+	var u64 [8]byte
+	putU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		_, err := bw.Write(u32[:])
+		return err
+	}
+	putU64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		_, err := bw.Write(u64[:])
+		return err
+	}
+	if err := putU32(binVersion); err != nil {
+		return err
+	}
+	for _, v := range []uint64{uint64(m.Rows), uint64(m.Cols), uint64(m.NNZ())} {
+		if err := putU64(v); err != nil {
+			return err
+		}
+	}
+	for _, p := range m.Ptr {
+		if err := putU64(uint64(p)); err != nil {
+			return err
+		}
+	}
+	for _, j := range m.Idx {
+		if err := putU32(uint32(j)); err != nil {
+			return err
+		}
+	}
+	for _, v := range m.Val {
+		if err := putU64(math.Float64bits(v)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a binary CSR container and validates the result.
+func ReadBinary(r io.Reader) (*CSR, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrBinaryFormat, err)
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBinaryFormat, magic[:])
+	}
+	var u32 [4]byte
+	var u64 [8]byte
+	getU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, u32[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(u32[:]), nil
+	}
+	getU64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, u64[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(u64[:]), nil
+	}
+	version, err := getU32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrBinaryFormat)
+	}
+	if version != binVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBinaryFormat, version)
+	}
+	dims := [3]uint64{}
+	for i := range dims {
+		if dims[i], err = getU64(); err != nil {
+			return nil, fmt.Errorf("%w: truncated header", ErrBinaryFormat)
+		}
+	}
+	rows, cols, nnz := dims[0], dims[1], dims[2]
+	const sane = 1 << 33 // refuse absurd headers instead of allocating
+	if rows > sane || cols > sane || nnz > sane {
+		return nil, fmt.Errorf("%w: implausible dimensions %dx%d nnz=%d", ErrBinaryFormat, rows, cols, nnz)
+	}
+	m := &CSR{
+		Rows: int(rows), Cols: int(cols),
+		Ptr: make([]int, rows+1),
+		Idx: make([]int, nnz),
+		Val: make([]float64, nnz),
+	}
+	for i := range m.Ptr {
+		v, err := getU64()
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated ptr array", ErrBinaryFormat)
+		}
+		m.Ptr[i] = int(v)
+	}
+	for i := range m.Idx {
+		v, err := getU32()
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated idx array", ErrBinaryFormat)
+		}
+		m.Idx[i] = int(v)
+	}
+	for i := range m.Val {
+		v, err := getU64()
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated val array", ErrBinaryFormat)
+		}
+		m.Val[i] = math.Float64frombits(v)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBinaryFormat, err)
+	}
+	return m, nil
+}
+
+// WriteBinaryFile writes m to path atomically (temp file + rename).
+func WriteBinaryFile(path string, m *CSR) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, m); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadBinaryFile reads a binary CSR container from disk.
+func ReadBinaryFile(path string) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}

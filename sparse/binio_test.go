@@ -1,0 +1,82 @@
+package sparse
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := testRNG(seed)
+		m := randomCSR(rng, 1+rng.IntN(30), 1+rng.IntN(30), 0.25)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, m); err != nil {
+			return false
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return m.Equal(back, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	m := randomCSR(testRNG(31), 50, 40, 0.2)
+	path := filepath.Join(t.TempDir(), "m.csrb")
+	if err := WriteBinaryFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back, 0) {
+		t.Fatal("file round trip changed the matrix")
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	m := randomCSR(testRNG(32), 10, 10, 0.4)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string]func([]byte) []byte{
+		"bad magic":   func(b []byte) []byte { c := append([]byte(nil), b...); c[0] = 'X'; return c },
+		"bad version": func(b []byte) []byte { c := append([]byte(nil), b...); c[4] = 99; return c },
+		"truncated":   func(b []byte) []byte { return b[:len(b)-5] },
+		"empty":       func([]byte) []byte { return nil },
+		"corrupt ptr": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[4+4+24+8] = 0xFF // second ptr entry
+			c[4+4+24+9] = 0xFF
+			return c
+		},
+	}
+	for name, corrupt := range cases {
+		if _, err := ReadBinary(bytes.NewReader(corrupt(good))); !errors.Is(err, ErrBinaryFormat) {
+			t.Errorf("%s: error = %v, want ErrBinaryFormat", name, err)
+		}
+	}
+}
+
+func TestBinaryRejectsAbsurdHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(binMagic[:])
+	buf.Write([]byte{1, 0, 0, 0})
+	// rows = 2^60 — must be rejected before allocation.
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0, 16})
+	buf.Write(make([]byte, 16))
+	if _, err := ReadBinary(&buf); !errors.Is(err, ErrBinaryFormat) {
+		t.Fatalf("absurd header accepted: %v", err)
+	}
+}

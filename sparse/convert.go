@@ -1,0 +1,91 @@
+package sparse
+
+// ToCSC converts the matrix to compressed sparse column format.
+// The conversion is a counting sort over columns and runs in O(nnz + cols).
+func (m *CSR) ToCSC() *CSC {
+	c := NewCSC(m.Rows, m.Cols)
+	counts := make([]int, m.Cols+1)
+	for _, j := range m.Idx {
+		counts[j+1]++
+	}
+	for j := 0; j < m.Cols; j++ {
+		counts[j+1] += counts[j]
+	}
+	idx := make([]int, len(m.Idx))
+	val := make([]float64, len(m.Val))
+	next := append([]int(nil), counts...)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.Ptr[i]; k < m.Ptr[i+1]; k++ {
+			j := m.Idx[k]
+			p := next[j]
+			idx[p] = i
+			val[p] = m.Val[k]
+			next[j]++
+		}
+	}
+	c.Ptr = counts
+	c.Idx = idx
+	c.Val = val
+	return c
+}
+
+// ToCSR converts the matrix to compressed sparse row format.
+func (m *CSC) ToCSR() *CSR {
+	c := NewCSR(m.Rows, m.Cols)
+	counts := make([]int, m.Rows+1)
+	for _, i := range m.Idx {
+		counts[i+1]++
+	}
+	for i := 0; i < m.Rows; i++ {
+		counts[i+1] += counts[i]
+	}
+	idx := make([]int, len(m.Idx))
+	val := make([]float64, len(m.Val))
+	next := append([]int(nil), counts...)
+	for j := 0; j < m.Cols; j++ {
+		for k := m.Ptr[j]; k < m.Ptr[j+1]; k++ {
+			i := m.Idx[k]
+			p := next[i]
+			idx[p] = j
+			val[p] = m.Val[k]
+			next[i]++
+		}
+	}
+	c.Ptr = counts
+	c.Idx = idx
+	c.Val = val
+	return c
+}
+
+// Transpose returns the transpose of the matrix in CSR format.
+// Because a CSC matrix is structurally the CSR of its transpose, this is a
+// relabeling of ToCSC and runs in O(nnz + cols).
+func (m *CSR) Transpose() *CSR {
+	c := m.ToCSC()
+	return &CSR{Rows: m.Cols, Cols: m.Rows, Ptr: c.Ptr, Idx: c.Idx, Val: c.Val}
+}
+
+// ToCOO converts the matrix to coordinate format, preserving row order.
+func (m *CSR) ToCOO() *COO {
+	c := NewCOO(m.Rows, m.Cols, m.NNZ())
+	for i := 0; i < m.Rows; i++ {
+		for k := m.Ptr[i]; k < m.Ptr[i+1]; k++ {
+			c.I = append(c.I, i)
+			c.J = append(c.J, m.Idx[k])
+			c.V = append(c.V, m.Val[k])
+		}
+	}
+	return c
+}
+
+// ToDense converts the matrix to a dense row-major representation.
+// Intended for tests and small matrices only.
+func (m *CSR) ToDense() *Dense {
+	d := NewDense(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.Ptr[i]; k < m.Ptr[i+1]; k++ {
+			d.Set(i, m.Idx[k], m.Val[k])
+		}
+	}
+	return d
+}

@@ -1,0 +1,111 @@
+package sparse
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCSRToCSCRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := testRNG(seed)
+		m := randomCSR(rng, 1+rng.IntN(20), 1+rng.IntN(20), 0.25)
+		csc := m.ToCSC()
+		if csc.Validate() != nil {
+			return false
+		}
+		back := csc.ToCSR()
+		return back.Validate() == nil && m.Equal(back, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := testRNG(seed)
+		m := randomCSR(rng, 1+rng.IntN(15), 1+rng.IntN(15), 0.3)
+		tt := m.Transpose().Transpose()
+		return m.Equal(tt, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeEntries(t *testing.T) {
+	m := randomCSR(testRNG(9), 7, 11, 0.3)
+	tr := m.Transpose()
+	if tr.Rows != m.Cols || tr.Cols != m.Rows {
+		t.Fatalf("transpose shape %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCSCColumnAccess(t *testing.T) {
+	m := randomCSR(testRNG(4), 9, 6, 0.4)
+	csc := m.ToCSC()
+	for j := 0; j < m.Cols; j++ {
+		idx, val := csc.Col(j)
+		if len(idx) != csc.ColNNZ(j) {
+			t.Fatalf("column %d accessor mismatch", j)
+		}
+		for k, i := range idx {
+			if m.At(i, j) != val[k] {
+				t.Fatalf("CSC value mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Spot-check At on CSC too.
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != csc.At(i, j) {
+				t.Fatalf("CSC.At mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCSCValidateRejects(t *testing.T) {
+	m := randomCSR(testRNG(5), 6, 6, 0.4).ToCSC()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid CSC rejected: %v", err)
+	}
+	if m.NNZ() < 2 {
+		t.Skip("degenerate draw")
+	}
+	m.Idx[0] = -4
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative row index accepted")
+	}
+}
+
+func TestToCOORoundTrip(t *testing.T) {
+	m := randomCSR(testRNG(6), 10, 10, 0.3)
+	back := m.ToCOO().ToCSR()
+	if !m.Equal(back, 0) {
+		t.Fatal("COO round trip changed the matrix")
+	}
+}
+
+func TestDenseConversionRoundTrip(t *testing.T) {
+	m := randomCSR(testRNG(7), 8, 13, 0.35)
+	back := m.ToDense().ToCSR()
+	if !m.Equal(back, 0) {
+		t.Fatal("dense round trip changed the matrix")
+	}
+}
+
+func TestDenseMulShapes(t *testing.T) {
+	a := NewDense(2, 3)
+	b := NewDense(4, 2)
+	if _, err := a.Mul(b); err == nil {
+		t.Fatal("incompatible dense multiply accepted")
+	}
+}

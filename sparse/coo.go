@@ -1,0 +1,94 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a matrix in coordinate (triplet) format. It is the natural format
+// for incremental construction (generators, file readers); duplicates are
+// allowed and are merged by addition when converting to CSR or CSC.
+type COO struct {
+	Rows, Cols int
+	I, J       []int
+	V          []float64
+}
+
+// NewCOO returns an empty Rows×Cols coordinate matrix with capacity for
+// nnzHint entries.
+func NewCOO(rows, cols, nnzHint int) *COO {
+	return &COO{
+		Rows: rows, Cols: cols,
+		I: make([]int, 0, nnzHint),
+		J: make([]int, 0, nnzHint),
+		V: make([]float64, 0, nnzHint),
+	}
+}
+
+// NNZ returns the number of stored triplets (duplicates counted).
+func (m *COO) NNZ() int { return len(m.I) }
+
+// Add appends the triplet (i, j, v). It panics if the coordinates are out of
+// range, because silently accepting them would corrupt later conversions.
+func (m *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("sparse: COO.Add(%d, %d) out of range for %dx%d", i, j, m.Rows, m.Cols))
+	}
+	m.I = append(m.I, i)
+	m.J = append(m.J, j)
+	m.V = append(m.V, v)
+}
+
+// ToCSR converts the triplets to CSR, summing duplicates.
+func (m *COO) ToCSR() *CSR {
+	c := NewCSR(m.Rows, m.Cols)
+	counts := make([]int, m.Rows+1)
+	for _, i := range m.I {
+		counts[i+1]++
+	}
+	for i := 0; i < m.Rows; i++ {
+		counts[i+1] += counts[i]
+	}
+	idx := make([]int, len(m.I))
+	val := make([]float64, len(m.I))
+	next := append([]int(nil), counts...)
+	for k := range m.I {
+		p := next[m.I[k]]
+		idx[p] = m.J[k]
+		val[p] = m.V[k]
+		next[m.I[k]]++
+	}
+	c.Ptr = counts
+	c.Idx = idx
+	c.Val = val
+	c.SortRows() // sorts within rows and merges duplicates
+	return c
+}
+
+// ToCSC converts the triplets to CSC, summing duplicates.
+func (m *COO) ToCSC() *CSC {
+	return m.ToCSR().ToCSC()
+}
+
+// Sort orders the triplets by (row, column). Mostly useful to make dumps and
+// golden-file comparisons deterministic; conversions do not require it.
+func (m *COO) Sort() {
+	ord := make([]int, len(m.I))
+	for k := range ord {
+		ord[k] = k
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		ka, kb := ord[a], ord[b]
+		if m.I[ka] != m.I[kb] {
+			return m.I[ka] < m.I[kb]
+		}
+		return m.J[ka] < m.J[kb]
+	})
+	i2 := make([]int, len(m.I))
+	j2 := make([]int, len(m.J))
+	v2 := make([]float64, len(m.V))
+	for k, o := range ord {
+		i2[k], j2[k], v2[k] = m.I[o], m.J[o], m.V[o]
+	}
+	m.I, m.J, m.V = i2, j2, v2
+}

@@ -1,0 +1,97 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSC is a matrix in compressed sparse column format.
+//
+// Ptr has length Cols+1; the row indices and values of column j live in
+// Idx[Ptr[j]:Ptr[j+1]] and Val[Ptr[j]:Ptr[j+1]]. Entries within a column are
+// kept sorted by row index with no duplicates.
+//
+// The outer-product spGEMM formulation multiplies column j of A with row j
+// of B, so A is consumed in CSC form while B stays in CSR form.
+type CSC struct {
+	Rows, Cols int
+	Ptr        []int
+	Idx        []int
+	Val        []float64
+}
+
+// NewCSC returns an empty Rows×Cols matrix in CSC format.
+func NewCSC(rows, cols int) *CSC {
+	return &CSC{Rows: rows, Cols: cols, Ptr: make([]int, cols+1)}
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSC) NNZ() int { return len(m.Idx) }
+
+// ColNNZ returns the number of stored entries in column j.
+func (m *CSC) ColNNZ(j int) int { return m.Ptr[j+1] - m.Ptr[j] }
+
+// Col returns the row indices and values of column j. The returned slices
+// alias the matrix storage and must not be modified structurally.
+func (m *CSC) Col(j int) (idx []int, val []float64) {
+	lo, hi := m.Ptr[j], m.Ptr[j+1]
+	return m.Idx[lo:hi], m.Val[lo:hi]
+}
+
+// At returns the value at (i, j), or zero if the entry is not stored.
+func (m *CSC) At(i, j int) float64 {
+	idx, val := m.Col(j)
+	k := sort.SearchInts(idx, i)
+	if k < len(idx) && idx[k] == i {
+		return val[k]
+	}
+	return 0
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *CSC) Clone() *CSC {
+	return &CSC{
+		Rows: m.Rows, Cols: m.Cols,
+		Ptr: append([]int(nil), m.Ptr...),
+		Idx: append([]int(nil), m.Idx...),
+		Val: append([]float64(nil), m.Val...),
+	}
+}
+
+// Validate checks the structural invariants of the CSC format.
+func (m *CSC) Validate() error {
+	if m.Rows < 0 || m.Cols < 0 {
+		return fmt.Errorf("sparse: negative dimension %dx%d", m.Rows, m.Cols)
+	}
+	if len(m.Ptr) != m.Cols+1 {
+		return fmt.Errorf("sparse: ptr length %d, want %d", len(m.Ptr), m.Cols+1)
+	}
+	if len(m.Idx) != len(m.Val) {
+		return fmt.Errorf("sparse: idx length %d != val length %d", len(m.Idx), len(m.Val))
+	}
+	if m.Ptr[0] != 0 {
+		return fmt.Errorf("sparse: ptr[0] = %d, want 0", m.Ptr[0])
+	}
+	if m.Ptr[m.Cols] != len(m.Idx) {
+		return fmt.Errorf("sparse: ptr[cols] = %d, want nnz %d", m.Ptr[m.Cols], len(m.Idx))
+	}
+	for j := 0; j < m.Cols; j++ {
+		if m.Ptr[j] > m.Ptr[j+1] {
+			return fmt.Errorf("sparse: ptr not monotone at column %d", j)
+		}
+	}
+	for j := 0; j < m.Cols; j++ {
+		prev := -1
+		for k := m.Ptr[j]; k < m.Ptr[j+1]; k++ {
+			i := m.Idx[k]
+			if i < 0 || i >= m.Rows {
+				return fmt.Errorf("sparse: row %d out of range in column %d", i, j)
+			}
+			if i <= prev {
+				return fmt.Errorf("sparse: column %d not strictly sorted at position %d", j, k)
+			}
+			prev = i
+		}
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSR is a matrix in compressed sparse row format.
+//
+// Ptr has length Rows+1; the column indices and values of row i live in
+// Idx[Ptr[i]:Ptr[i+1]] and Val[Ptr[i]:Ptr[i+1]]. Entries within a row are
+// kept sorted by column index and contain no duplicates (see Validate).
+type CSR struct {
+	Rows, Cols int
+	Ptr        []int
+	Idx        []int
+	Val        []float64
+}
+
+// NewCSR returns an empty Rows×Cols matrix in CSR format.
+func NewCSR(rows, cols int) *CSR {
+	return &CSR{Rows: rows, Cols: cols, Ptr: make([]int, rows+1)}
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Idx) }
+
+// RowNNZ returns the number of stored entries in row i.
+func (m *CSR) RowNNZ(i int) int { return m.Ptr[i+1] - m.Ptr[i] }
+
+// Row returns the column indices and values of row i. The returned slices
+// alias the matrix storage and must not be modified structurally.
+func (m *CSR) Row(i int) (idx []int, val []float64) {
+	lo, hi := m.Ptr[i], m.Ptr[i+1]
+	return m.Idx[lo:hi], m.Val[lo:hi]
+}
+
+// At returns the value at (i, j), or zero if the entry is not stored.
+// Entries within the row must be sorted (binary search is used).
+func (m *CSR) At(i, j int) float64 {
+	idx, val := m.Row(i)
+	k := sort.SearchInts(idx, j)
+	if k < len(idx) && idx[k] == j {
+		return val[k]
+	}
+	return 0
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *CSR) Clone() *CSR {
+	c := &CSR{
+		Rows: m.Rows, Cols: m.Cols,
+		Ptr: append([]int(nil), m.Ptr...),
+		Idx: append([]int(nil), m.Idx...),
+		Val: append([]float64(nil), m.Val...),
+	}
+	return c
+}
+
+// Validate checks the structural invariants of the CSR format: monotone
+// pointer array, in-range sorted column indices without duplicates, and
+// consistent slice lengths. It returns the first violation found.
+func (m *CSR) Validate() error {
+	if m.Rows < 0 || m.Cols < 0 {
+		return fmt.Errorf("sparse: negative dimension %dx%d", m.Rows, m.Cols)
+	}
+	if len(m.Ptr) != m.Rows+1 {
+		return fmt.Errorf("sparse: ptr length %d, want %d", len(m.Ptr), m.Rows+1)
+	}
+	if len(m.Idx) != len(m.Val) {
+		return fmt.Errorf("sparse: idx length %d != val length %d", len(m.Idx), len(m.Val))
+	}
+	if m.Ptr[0] != 0 {
+		return fmt.Errorf("sparse: ptr[0] = %d, want 0", m.Ptr[0])
+	}
+	if m.Ptr[m.Rows] != len(m.Idx) {
+		return fmt.Errorf("sparse: ptr[rows] = %d, want nnz %d", m.Ptr[m.Rows], len(m.Idx))
+	}
+	for i := 0; i < m.Rows; i++ {
+		if m.Ptr[i] > m.Ptr[i+1] {
+			return fmt.Errorf("sparse: ptr not monotone at row %d", i)
+		}
+	}
+	for i := 0; i < m.Rows; i++ {
+		prev := -1
+		for k := m.Ptr[i]; k < m.Ptr[i+1]; k++ {
+			j := m.Idx[k]
+			if j < 0 || j >= m.Cols {
+				return fmt.Errorf("sparse: column %d out of range in row %d", j, i)
+			}
+			if j <= prev {
+				return fmt.Errorf("sparse: row %d not strictly sorted at position %d", i, k)
+			}
+			prev = j
+		}
+	}
+	return nil
+}
+
+// Equal reports whether m and o have the same shape and stored structure and
+// whether all values agree within tol (absolute difference).
+func (m *CSR) Equal(o *CSR, tol float64) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols || len(m.Idx) != len(o.Idx) {
+		return false
+	}
+	for i := range m.Ptr {
+		if m.Ptr[i] != o.Ptr[i] {
+			return false
+		}
+	}
+	for k := range m.Idx {
+		if m.Idx[k] != o.Idx[k] {
+			return false
+		}
+		if d := m.Val[k] - o.Val[k]; d > tol || d < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxRowNNZ returns the largest row population, 0 for an empty matrix.
+func (m *CSR) MaxRowNNZ() int {
+	max := 0
+	for i := 0; i < m.Rows; i++ {
+		if n := m.RowNNZ(i); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// FrobeniusNorm returns the Frobenius norm of the matrix.
+func (m *CSR) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Val {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Scale multiplies every stored value by f in place.
+func (m *CSR) Scale(f float64) {
+	for k := range m.Val {
+		m.Val[k] *= f
+	}
+}
+
+// SortRows re-sorts every row by column index, merging duplicate entries by
+// addition. It is used after bulk construction from unsorted input.
+func (m *CSR) SortRows() {
+	outIdx := m.Idx[:0]
+	outVal := m.Val[:0]
+	newPtr := make([]int, m.Rows+1)
+	type ent struct {
+		j int
+		v float64
+	}
+	var buf []ent
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.Ptr[i], m.Ptr[i+1]
+		buf = buf[:0]
+		for k := lo; k < hi; k++ {
+			buf = append(buf, ent{m.Idx[k], m.Val[k]})
+		}
+		sort.Slice(buf, func(a, b int) bool { return buf[a].j < buf[b].j })
+		for k := 0; k < len(buf); {
+			j := buf[k].j
+			v := buf[k].v
+			k++
+			for k < len(buf) && buf[k].j == j {
+				v += buf[k].v
+				k++
+			}
+			outIdx = append(outIdx, j)
+			outVal = append(outVal, v)
+		}
+		newPtr[i+1] = len(outIdx)
+	}
+	m.Idx = outIdx
+	m.Val = outVal
+	m.Ptr = newPtr
+}
+
+// csrFromRows assembles a CSR matrix from per-row index/value slices.
+// The rows must already be sorted and duplicate-free.
+func csrFromRows(rows, cols int, idx [][]int, val [][]float64) *CSR {
+	m := NewCSR(rows, cols)
+	nnz := 0
+	for i := 0; i < rows; i++ {
+		nnz += len(idx[i])
+	}
+	m.Idx = make([]int, 0, nnz)
+	m.Val = make([]float64, 0, nnz)
+	for i := 0; i < rows; i++ {
+		m.Idx = append(m.Idx, idx[i]...)
+		m.Val = append(m.Val, val[i]...)
+		m.Ptr[i+1] = len(m.Idx)
+	}
+	return m
+}

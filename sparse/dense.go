@@ -1,0 +1,81 @@
+package sparse
+
+import "fmt"
+
+// Dense is a dense row-major matrix. It exists as a brute-force oracle for
+// testing the sparse kernels and for tiny workloads; it is not optimized.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewDense returns a zeroed Rows×Cols dense matrix.
+func NewDense(rows, cols int) *Dense {
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the value at (i, j).
+func (d *Dense) At(i, j int) float64 { return d.Data[i*d.Cols+j] }
+
+// Set stores v at (i, j).
+func (d *Dense) Set(i, j int, v float64) { d.Data[i*d.Cols+j] = v }
+
+// Mul returns the dense product d × o.
+func (d *Dense) Mul(o *Dense) (*Dense, error) {
+	if d.Cols != o.Rows {
+		return nil, shapeError("Dense.Mul", d.Rows, d.Cols, o.Rows, o.Cols)
+	}
+	out := NewDense(d.Rows, o.Cols)
+	for i := 0; i < d.Rows; i++ {
+		for k := 0; k < d.Cols; k++ {
+			a := d.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < o.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * o.At(k, j)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ToCSR converts the dense matrix to CSR, dropping exact zeros.
+func (d *Dense) ToCSR() *CSR {
+	m := NewCSR(d.Rows, d.Cols)
+	for i := 0; i < d.Rows; i++ {
+		for j := 0; j < d.Cols; j++ {
+			if v := d.At(i, j); v != 0 {
+				m.Idx = append(m.Idx, j)
+				m.Val = append(m.Val, v)
+			}
+		}
+		m.Ptr[i+1] = len(m.Idx)
+	}
+	return m
+}
+
+// Equal reports whether the two dense matrices agree within tol elementwise.
+func (d *Dense) Equal(o *Dense, tol float64) bool {
+	if d.Rows != o.Rows || d.Cols != o.Cols {
+		return false
+	}
+	for k := range d.Data {
+		if diff := d.Data[k] - o.Data[k]; diff > tol || diff < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small matrices for test failure messages.
+func (d *Dense) String() string {
+	s := ""
+	for i := 0; i < d.Rows; i++ {
+		for j := 0; j < d.Cols; j++ {
+			s += fmt.Sprintf("%8.3f ", d.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,53 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrixMarket feeds arbitrary bytes to the Matrix Market parser:
+// it must either return an error or a structurally valid matrix, never
+// panic or accept garbage silently.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.5\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n1 2\n3 3\n")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate real general\n-1 2 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 9999\n1 1 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := ReadMatrixMarket(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("parser accepted a structurally invalid matrix: %v", err)
+		}
+	})
+}
+
+// FuzzReadBinary feeds arbitrary bytes to the binary CSR reader with the
+// same contract.
+func FuzzReadBinary(f *testing.F) {
+	m := NewCSR(2, 2)
+	m.Idx = []int{0, 1}
+	m.Val = []float64{1, 2}
+	m.Ptr = []int{0, 1, 2}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("CSRB"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		m, err := ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("binary reader accepted an invalid matrix: %v", err)
+		}
+	})
+}

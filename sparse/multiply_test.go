@@ -1,0 +1,171 @@
+package sparse
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMultiplyAgainstDense(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := testRNG(seed)
+		n := 1 + rng.IntN(16)
+		k := 1 + rng.IntN(16)
+		m := 1 + rng.IntN(16)
+		a := randomCSR(rng, n, k, 0.3)
+		b := randomCSR(rng, k, m, 0.3)
+		c, err := Multiply(a, b)
+		if err != nil || c.Validate() != nil {
+			return false
+		}
+		want, err := a.ToDense().Mul(b.ToDense())
+		if err != nil {
+			return false
+		}
+		return c.ToDense().Equal(want, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiplyShapeError(t *testing.T) {
+	a := NewCSR(3, 4)
+	b := NewCSR(5, 3)
+	if _, err := Multiply(a, b); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	if _, err := MultiplyFlops(a, b); !errors.Is(err, ErrShape) {
+		t.Fatalf("MultiplyFlops: want ErrShape, got %v", err)
+	}
+	if _, err := SymbolicNNZ(a, b); !errors.Is(err, ErrShape) {
+		t.Fatalf("SymbolicNNZ: want ErrShape, got %v", err)
+	}
+}
+
+func TestMultiplyIdentity(t *testing.T) {
+	rng := testRNG(11)
+	a := randomCSR(rng, 9, 9, 0.3)
+	id := NewCSR(9, 9)
+	for i := 0; i < 9; i++ {
+		id.Idx = append(id.Idx, i)
+		id.Val = append(id.Val, 1)
+		id.Ptr[i+1] = i + 1
+	}
+	left, err := Multiply(id, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := Multiply(a, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !left.Equal(a, 1e-12) || !right.Equal(a, 1e-12) {
+		t.Fatal("identity multiplication changed the matrix")
+	}
+}
+
+func TestMultiplyFlopsCountsProducts(t *testing.T) {
+	// A = [1 1; 0 1], B = [1 0; 1 1]: row 0 of A touches both rows of B
+	// (2+2 products), row 1 touches row 1 (2 products) -> 6... using actual
+	// nnz: B row 0 has 1 entry, B row 1 has 2.
+	a := &CSR{Rows: 2, Cols: 2, Ptr: []int{0, 2, 3}, Idx: []int{0, 1, 1}, Val: []float64{1, 1, 1}}
+	b := &CSR{Rows: 2, Cols: 2, Ptr: []int{0, 1, 3}, Idx: []int{0, 0, 1}, Val: []float64{1, 1, 1}}
+	flops, err := MultiplyFlops(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flops != 1+2+2 {
+		t.Fatalf("flops = %d, want 5", flops)
+	}
+}
+
+// Property: MultiplyFlops equals the total outer-product work and the sum of
+// intermediate row populations — three formulations of nnz(Ĉ) that the
+// planner relies on agreeing.
+func TestWorkEstimatesAgree(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := testRNG(seed)
+		n := 1 + rng.IntN(20)
+		a := randomCSR(rng, n, n, 0.25)
+		b := randomCSR(rng, n, n, 0.25)
+		flops, err := MultiplyFlops(a, b)
+		if err != nil {
+			return false
+		}
+		work, err := OuterProductWork(a.ToCSC(), b)
+		if err != nil {
+			return false
+		}
+		var outer int64
+		for _, w := range work {
+			outer += w
+		}
+		rows, err := IntermediateRowNNZ(a, b)
+		if err != nil {
+			return false
+		}
+		var rowSum int64
+		for _, r := range rows {
+			rowSum += r
+		}
+		return flops == outer && flops == rowSum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the symbolic row counts equal the realized row populations of
+// the actual product, and nnz(Ĉ) upper-bounds nnz(C).
+func TestSymbolicMatchesRealProduct(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := testRNG(seed)
+		n := 1 + rng.IntN(18)
+		a := randomCSR(rng, n, n, 0.3)
+		b := randomCSR(rng, n, n, 0.3)
+		c, err := Multiply(a, b)
+		if err != nil {
+			return false
+		}
+		symRows, err := SymbolicRowNNZ(a, b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if symRows[i] != c.RowNNZ(i) {
+				return false
+			}
+		}
+		sym, _ := SymbolicNNZ(a, b)
+		flops, _ := MultiplyFlops(a, b)
+		return sym == int64(c.NNZ()) && flops >= sym
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiplyEmptyOperands(t *testing.T) {
+	a := NewCSR(4, 5)
+	b := NewCSR(5, 3)
+	c, err := Multiply(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != 0 || c.Rows != 4 || c.Cols != 3 {
+		t.Fatalf("empty product wrong: %dx%d nnz=%d", c.Rows, c.Cols, c.NNZ())
+	}
+}
+
+func BenchmarkReferenceMultiply(b *testing.B) {
+	rng := testRNG(99)
+	a := randomCSR(rng, 500, 500, 0.02)
+	m := randomCSR(rng, 500, 500, 0.02)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Multiply(a, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package sparse
+
+import "math"
+
+// Add returns A + B for same-shaped matrices, merging overlapping entries.
+func Add(a, b *CSR) (*CSR, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return nil, shapeError("Add", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	c := NewCSR(a.Rows, a.Cols)
+	c.Idx = make([]int, 0, a.NNZ()+b.NNZ())
+	c.Val = make([]float64, 0, a.NNZ()+b.NNZ())
+	for i := 0; i < a.Rows; i++ {
+		ai, av := a.Row(i)
+		bi, bv := b.Row(i)
+		p, q := 0, 0
+		for p < len(ai) || q < len(bi) {
+			switch {
+			case q >= len(bi) || (p < len(ai) && ai[p] < bi[q]):
+				c.Idx = append(c.Idx, ai[p])
+				c.Val = append(c.Val, av[p])
+				p++
+			case p >= len(ai) || bi[q] < ai[p]:
+				c.Idx = append(c.Idx, bi[q])
+				c.Val = append(c.Val, bv[q])
+				q++
+			default:
+				c.Idx = append(c.Idx, ai[p])
+				c.Val = append(c.Val, av[p]+bv[q])
+				p++
+				q++
+			}
+		}
+		c.Ptr[i+1] = len(c.Idx)
+	}
+	return c, nil
+}
+
+// Hadamard returns the element-wise product A ∘ B: only positions stored in
+// both matrices survive.
+func Hadamard(a, b *CSR) (*CSR, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return nil, shapeError("Hadamard", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	c := NewCSR(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		ai, av := a.Row(i)
+		bi, bv := b.Row(i)
+		p, q := 0, 0
+		for p < len(ai) && q < len(bi) {
+			switch {
+			case ai[p] < bi[q]:
+				p++
+			case bi[q] < ai[p]:
+				q++
+			default:
+				c.Idx = append(c.Idx, ai[p])
+				c.Val = append(c.Val, av[p]*bv[q])
+				p++
+				q++
+			}
+		}
+		c.Ptr[i+1] = len(c.Idx)
+	}
+	return c, nil
+}
+
+// Prune returns a copy of m without entries whose absolute value is at or
+// below tol. Prune(0) drops exact zeros only.
+func (m *CSR) Prune(tol float64) *CSR {
+	c := NewCSR(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		idx, val := m.Row(i)
+		for k := range idx {
+			if math.Abs(val[k]) > tol {
+				c.Idx = append(c.Idx, idx[k])
+				c.Val = append(c.Val, val[k])
+			}
+		}
+		c.Ptr[i+1] = len(c.Idx)
+	}
+	return c
+}
+
+// Diagonal returns the main diagonal as a dense slice of length
+// min(Rows, Cols).
+func (m *CSR) Diagonal() []float64 {
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d[i] = m.At(i, i)
+	}
+	return d
+}
+
+// SelectRows returns the submatrix consisting of the given rows, in order.
+// Row indices must be in range; duplicates are allowed.
+func (m *CSR) SelectRows(rows []int) *CSR {
+	c := NewCSR(len(rows), m.Cols)
+	for out, i := range rows {
+		idx, val := m.Row(i)
+		c.Idx = append(c.Idx, idx...)
+		c.Val = append(c.Val, val...)
+		c.Ptr[out+1] = len(c.Idx)
+	}
+	return c
+}
+
+// ScaleRows multiplies row i by f[i] in place. The factor slice must have
+// one entry per row.
+func (m *CSR) ScaleRows(f []float64) {
+	for i := 0; i < m.Rows; i++ {
+		for k := m.Ptr[i]; k < m.Ptr[i+1]; k++ {
+			m.Val[k] *= f[i]
+		}
+	}
+}
+
+// RowSums returns the sum of each row's values.
+func (m *CSR) RowSums() []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		_, val := m.Row(i)
+		var s float64
+		for _, v := range val {
+			s += v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MulVec returns y = M·x. The vector length must match the column count.
+func (m *CSR) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.Cols {
+		return nil, shapeError("MulVec", m.Rows, m.Cols, len(x), 1)
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		idx, val := m.Row(i)
+		var s float64
+		for k := range idx {
+			s += val[k] * x[idx[k]]
+		}
+		y[i] = s
+	}
+	return y, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *CSR {
+	m := NewCSR(n, n)
+	m.Idx = make([]int, n)
+	m.Val = make([]float64, n)
+	for i := 0; i < n; i++ {
+		m.Idx[i] = i
+		m.Val[i] = 1
+		m.Ptr[i+1] = i + 1
+	}
+	return m
+}
+
+// Symmetrize returns A ∨ Aᵀ with values summed on overlapping entries —
+// the usual way to turn a directed edge list into an undirected adjacency
+// matrix. The matrix must be square.
+func (m *CSR) Symmetrize() (*CSR, error) {
+	if m.Rows != m.Cols {
+		return nil, shapeError("Symmetrize", m.Rows, m.Cols, m.Cols, m.Rows)
+	}
+	return Add(m, m.Transpose())
+}

@@ -1,0 +1,195 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAgainstDense(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := testRNG(seed)
+		n := 1 + rng.IntN(15)
+		m := 1 + rng.IntN(15)
+		a := randomCSR(rng, n, m, 0.3)
+		b := randomCSR(rng, n, m, 0.3)
+		c, err := Add(a, b)
+		if err != nil || c.Validate() != nil {
+			return false
+		}
+		da, db, dc := a.ToDense(), b.ToDense(), c.ToDense()
+		for k := range da.Data {
+			if math.Abs(da.Data[k]+db.Data[k]-dc.Data[k]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddShapeMismatch(t *testing.T) {
+	if _, err := Add(NewCSR(2, 3), NewCSR(3, 2)); err == nil {
+		t.Fatal("mismatched Add accepted")
+	}
+	if _, err := Hadamard(NewCSR(2, 3), NewCSR(3, 2)); err == nil {
+		t.Fatal("mismatched Hadamard accepted")
+	}
+}
+
+func TestHadamardAgainstDense(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := testRNG(seed)
+		n := 1 + rng.IntN(15)
+		a := randomCSR(rng, n, n, 0.35)
+		b := randomCSR(rng, n, n, 0.35)
+		c, err := Hadamard(a, b)
+		if err != nil || c.Validate() != nil {
+			return false
+		}
+		da, db, dc := a.ToDense(), b.ToDense(), c.ToDense()
+		for k := range da.Data {
+			if math.Abs(da.Data[k]*db.Data[k]-dc.Data[k]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	m := &CSR{Rows: 2, Cols: 3, Ptr: []int{0, 3, 4}, Idx: []int{0, 1, 2, 1}, Val: []float64{0.5, -0.01, 0, 2}}
+	p := m.Prune(0.1)
+	if p.NNZ() != 2 || p.At(0, 0) != 0.5 || p.At(1, 1) != 2 {
+		t.Fatalf("prune wrong: nnz=%d", p.NNZ())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if z := m.Prune(0); z.NNZ() != 3 {
+		t.Fatalf("Prune(0) kept %d entries, want 3", z.NNZ())
+	}
+}
+
+func TestDiagonalAndIdentity(t *testing.T) {
+	id := Identity(5)
+	if err := id.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := id.Diagonal()
+	for _, v := range d {
+		if v != 1 {
+			t.Fatal("identity diagonal wrong")
+		}
+	}
+	rect := NewCSR(3, 7)
+	if len(rect.Diagonal()) != 3 {
+		t.Fatal("rectangular diagonal length wrong")
+	}
+	// Identity must be a multiplication unit.
+	rng := testRNG(3)
+	a := randomCSR(rng, 5, 5, 0.4)
+	p, err := Multiply(id, a)
+	if err != nil || !p.Equal(a, 1e-15) {
+		t.Fatal("I×A != A")
+	}
+}
+
+func TestSelectRows(t *testing.T) {
+	rng := testRNG(4)
+	m := randomCSR(rng, 8, 6, 0.4)
+	sub := m.SelectRows([]int{3, 0, 3})
+	if sub.Rows != 3 {
+		t.Fatalf("sub rows %d", sub.Rows)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < m.Cols; j++ {
+		if sub.At(0, j) != m.At(3, j) || sub.At(1, j) != m.At(0, j) || sub.At(2, j) != m.At(3, j) {
+			t.Fatal("selected rows differ from source")
+		}
+	}
+}
+
+func TestScaleRowsAndRowSums(t *testing.T) {
+	rng := testRNG(5)
+	m := randomCSR(rng, 6, 6, 0.5)
+	sums := m.RowSums()
+	f := make([]float64, m.Rows)
+	for i := range f {
+		f[i] = float64(i + 1)
+	}
+	m.ScaleRows(f)
+	after := m.RowSums()
+	for i := range sums {
+		if math.Abs(after[i]-sums[i]*f[i]) > 1e-12 {
+			t.Fatalf("row %d sum %g, want %g", i, after[i], sums[i]*f[i])
+		}
+	}
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := testRNG(seed)
+		n := 1 + rng.IntN(12)
+		m := 1 + rng.IntN(12)
+		a := randomCSR(rng, n, m, 0.4)
+		x := make([]float64, m)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		y, err := a.MulVec(x)
+		if err != nil {
+			return false
+		}
+		d := a.ToDense()
+		for i := 0; i < n; i++ {
+			var want float64
+			for j := 0; j < m; j++ {
+				want += d.At(i, j) * x[j]
+			}
+			if math.Abs(y[i]-want) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulVecShape(t *testing.T) {
+	m := NewCSR(3, 4)
+	if _, err := m.MulVec(make([]float64, 3)); err == nil {
+		t.Fatal("short vector accepted")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	rng := testRNG(6)
+	m := randomCSR(rng, 7, 7, 0.3)
+	s, err := m.Symmetrize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 7; j++ {
+			if math.Abs(s.At(i, j)-s.At(j, i)) > 1e-12 {
+				t.Fatalf("not symmetric at (%d,%d)", i, j)
+			}
+			if math.Abs(s.At(i, j)-(m.At(i, j)+m.At(j, i))) > 1e-12 {
+				t.Fatalf("wrong value at (%d,%d)", i, j)
+			}
+		}
+	}
+	if _, err := NewCSR(2, 3).Symmetrize(); err == nil {
+		t.Fatal("rectangular symmetrize accepted")
+	}
+}

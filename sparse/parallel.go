@@ -1,0 +1,193 @@
+package sparse
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MultiplyParallel computes C = A×B with Gustavson's algorithm across
+// `workers` goroutines (0 selects GOMAXPROCS). Rows are dealt in contiguous
+// chunks sized to balance power-law inputs: chunk boundaries follow the
+// intermediate-work distribution rather than the row count, so one hub row
+// cannot serialize the computation — the CPU analogue of the load-balancing
+// problem the Block Reorganizer solves on GPUs.
+//
+// The result is identical to Multiply (the per-row computation is
+// deterministic and rows are written to disjoint output ranges).
+func MultiplyParallel(a, b *CSR, workers int) (*CSR, error) {
+	if a.Cols != b.Rows {
+		return nil, shapeError("MultiplyParallel", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || a.Rows < 2*workers {
+		return Multiply(a, b)
+	}
+
+	// Work-weighted chunking: split rows so each chunk holds a similar
+	// number of intermediate products.
+	rowWork, err := IntermediateRowNNZ(a, b)
+	if err != nil {
+		return nil, err
+	}
+	var total int64
+	for _, w := range rowWork {
+		total += w + 1 // +1 keeps empty rows from collapsing into one chunk
+	}
+	chunks := chunkRows(rowWork, total, 4*workers)
+
+	type part struct {
+		lo, hi int
+		idx    []int
+		val    []float64
+		ptr    []int // per-row lengths within the part
+	}
+	parts := make([]part, len(chunks)-1)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for pi := 0; pi+1 < len(chunks); pi++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(pi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			lo, hi := chunks[pi], chunks[pi+1]
+			p := part{lo: lo, hi: hi, ptr: make([]int, hi-lo)}
+			acc := make([]float64, b.Cols)
+			marker := make([]int, b.Cols)
+			touched := make([]int, 0, 256)
+			for i := lo; i < hi; i++ {
+				touched = touched[:0]
+				for ka := a.Ptr[i]; ka < a.Ptr[i+1]; ka++ {
+					k := a.Idx[ka]
+					av := a.Val[ka]
+					for kb := b.Ptr[k]; kb < b.Ptr[k+1]; kb++ {
+						j := b.Idx[kb]
+						if marker[j] != i+1 {
+							marker[j] = i + 1
+							acc[j] = 0
+							touched = append(touched, j)
+						}
+						acc[j] += av * b.Val[kb]
+					}
+				}
+				insertionSortInts(touched)
+				for _, j := range touched {
+					p.idx = append(p.idx, j)
+					p.val = append(p.val, acc[j])
+				}
+				p.ptr[i-lo] = len(touched)
+			}
+			parts[pi] = p
+		}(pi)
+	}
+	wg.Wait()
+
+	// Stitch the parts back together.
+	c := NewCSR(a.Rows, b.Cols)
+	nnz := 0
+	for _, p := range parts {
+		nnz += len(p.idx)
+	}
+	c.Idx = make([]int, 0, nnz)
+	c.Val = make([]float64, 0, nnz)
+	for _, p := range parts {
+		c.Idx = append(c.Idx, p.idx...)
+		c.Val = append(c.Val, p.val...)
+		for r, n := range p.ptr {
+			c.Ptr[p.lo+r+1] = c.Ptr[p.lo+r] + n
+		}
+	}
+	return c, nil
+}
+
+// chunkRows returns n+1 row boundaries splitting rowWork into ~parts chunks
+// of near-equal weight.
+func chunkRows(rowWork []int64, total int64, parts int) []int {
+	if parts < 1 {
+		parts = 1
+	}
+	target := total/int64(parts) + 1
+	bounds := []int{0}
+	var acc int64
+	for i, w := range rowWork {
+		acc += w + 1
+		if acc >= target && i+1 < len(rowWork) {
+			bounds = append(bounds, i+1)
+			acc = 0
+		}
+	}
+	return append(bounds, len(rowWork))
+}
+
+// insertionSortInts sorts small index slices in place; row populations are
+// usually tiny, where insertion sort beats sort.Ints.
+func insertionSortInts(s []int) {
+	if len(s) > 64 {
+		quickSortFallback(s)
+		return
+	}
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
+
+// quickSortFallback handles the long-row case.
+func quickSortFallback(s []int) {
+	// Median-of-three quicksort with insertion sort leaves.
+	for len(s) > 64 {
+		mid := partitionInts(s)
+		if mid < len(s)-mid {
+			quickSortFallback(s[:mid])
+			s = s[mid:]
+		} else {
+			quickSortFallback(s[mid:])
+			s = s[:mid]
+		}
+	}
+	if len(s) > 1 {
+		for i := 1; i < len(s); i++ {
+			v := s[i]
+			j := i - 1
+			for j >= 0 && s[j] > v {
+				s[j+1] = s[j]
+				j--
+			}
+			s[j+1] = v
+		}
+	}
+}
+
+// partitionInts partitions s around a median-of-three pivot and returns the
+// boundary.
+func partitionInts(s []int) int {
+	a, b, c := s[0], s[len(s)/2], s[len(s)-1]
+	pivot := a
+	if (a <= b && b <= c) || (c <= b && b <= a) {
+		pivot = b
+	} else if (a <= c && c <= b) || (b <= c && c <= a) {
+		pivot = c
+	}
+	i, j := 0, len(s)-1
+	for i <= j {
+		for s[i] < pivot {
+			i++
+		}
+		for s[j] > pivot {
+			j--
+		}
+		if i <= j {
+			s[i], s[j] = s[j], s[i]
+			i++
+			j--
+		}
+	}
+	return i
+}

@@ -1,0 +1,114 @@
+package sparse
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMultiplyParallelMatchesSerial(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := testRNG(seed)
+		n := 1 + rng.IntN(40)
+		k := 1 + rng.IntN(40)
+		m := 1 + rng.IntN(40)
+		a := randomCSR(rng, n, k, 0.2)
+		b := randomCSR(rng, k, m, 0.2)
+		want, err := Multiply(a, b)
+		if err != nil {
+			return false
+		}
+		for _, workers := range []int{0, 1, 2, 7} {
+			got, err := MultiplyParallel(a, b, workers)
+			if err != nil || got.Validate() != nil || !got.Equal(want, 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiplyParallelSkewed(t *testing.T) {
+	// A hub-heavy matrix exercises the work-weighted chunking: one row
+	// holds most of the products.
+	n := 400
+	coo := NewCOO(n, n, 0)
+	for j := 0; j < n; j++ {
+		coo.Add(0, j, 1) // hub row
+	}
+	for i := 1; i < n; i++ {
+		coo.Add(i, (i*7)%n, float64(i))
+		coo.Add((i*3)%n, i, 0.5)
+	}
+	m := coo.ToCSR()
+	want, err := Multiply(m, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MultiplyParallel(m, m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 1e-12) {
+		t.Fatal("parallel result differs on skewed input")
+	}
+}
+
+func TestMultiplyParallelShape(t *testing.T) {
+	if _, err := MultiplyParallel(NewCSR(2, 3), NewCSR(4, 2), 2); err == nil {
+		t.Fatal("mismatched shapes accepted")
+	}
+}
+
+func TestChunkRowsCoverAndBalance(t *testing.T) {
+	rowWork := make([]int64, 1000)
+	var total int64
+	for i := range rowWork {
+		rowWork[i] = int64(i % 17)
+		total += rowWork[i] + 1
+	}
+	bounds := chunkRows(rowWork, total, 8)
+	if bounds[0] != 0 || bounds[len(bounds)-1] != len(rowWork) {
+		t.Fatalf("bounds do not cover rows: %v", bounds)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not increasing: %v", bounds)
+		}
+	}
+}
+
+func TestSortHelpers(t *testing.T) {
+	short := []int{5, 2, 9, 1, 1, 7}
+	insertionSortInts(short)
+	for i := 1; i < len(short); i++ {
+		if short[i-1] > short[i] {
+			t.Fatalf("short sort wrong: %v", short)
+		}
+	}
+	long := make([]int, 500)
+	rng := testRNG(8)
+	for i := range long {
+		long[i] = rng.IntN(100)
+	}
+	insertionSortInts(long)
+	for i := 1; i < len(long); i++ {
+		if long[i-1] > long[i] {
+			t.Fatalf("long sort wrong at %d", i)
+		}
+	}
+}
+
+func BenchmarkMultiplyParallel(b *testing.B) {
+	rng := testRNG(99)
+	a := randomCSR(rng, 800, 800, 0.02)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MultiplyParallel(a, a, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package rmat
+
+import (
+	"testing"
+
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+func TestGenerateBasic(t *testing.T) {
+	m, err := Generate(1000, 8000, Default, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 1000 || m.Cols != 1000 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	// Duplicates merge, so nnz is in (0.5·target, target].
+	if m.NNZ() <= 4000 || m.NNZ() > 8000 {
+		t.Fatalf("nnz = %d, want in (4000, 8000]", m.NNZ())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(512, 4096, Default, 7)
+	b, _ := Generate(512, 4096, Default, 7)
+	if !a.Equal(b, 0) {
+		t.Fatal("same seed produced different matrices")
+	}
+	c, _ := Generate(512, 4096, Default, 8)
+	if a.Equal(c, 0) {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+func TestGenerateRejectsBadParams(t *testing.T) {
+	if _, err := Generate(10, 10, Params{0.5, 0.5, 0.5, 0.5}, 1); err == nil {
+		t.Fatal("non-normalized params accepted")
+	}
+	if _, err := Generate(10, 10, Params{1, 0, 0, 0}, 1); err == nil {
+		t.Fatal("zero probability accepted")
+	}
+	if _, err := Generate(0, 10, Default, 1); err == nil {
+		t.Fatal("zero dimension accepted")
+	}
+	if _, err := GenerateScale(0, 16, Default, 1); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+}
+
+func TestGenerateNonPowerOfTwoDim(t *testing.T) {
+	m, err := Generate(777, 3000, Default, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 777 {
+		t.Fatalf("dimension not preserved: %d", m.Rows)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkewedParamsIncreaseGini(t *testing.T) {
+	uniform, _ := Generate(2048, 20480, Uniform, 5)
+	skewed, _ := Generate(2048, 20480, Params{0.57, 0.19, 0.19, 0.05}, 5)
+	gu := sparse.ComputeStats(uniform).Gini
+	gs := sparse.ComputeStats(skewed).Gini
+	if gs <= gu {
+		t.Fatalf("skewed params gini %g not above uniform %g", gs, gu)
+	}
+}
+
+func TestGenerateScaleMatchesTableIII(t *testing.T) {
+	m, err := GenerateScale(10, 16, Default, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 1024 {
+		t.Fatalf("scale 10 dimension = %d, want 1024", m.Rows)
+	}
+	if m.NNZ() < 8192 || m.NNZ() > 16384 {
+		t.Fatalf("nnz = %d, want near 16384", m.NNZ())
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	m, err := PowerLaw(4096, 40960, 2.1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := sparse.ComputeStats(m)
+	if !s.IsSkewed() {
+		t.Fatalf("power-law alpha=2.1 not skewed: gini=%g", s.Gini)
+	}
+	// Heavier tail with smaller alpha.
+	m2, _ := PowerLaw(4096, 40960, 3.2, 11)
+	s2 := sparse.ComputeStats(m2)
+	if s.MaxRowNNZ <= s2.MaxRowNNZ {
+		t.Fatalf("alpha 2.1 hub (%d) not larger than alpha 3.2 hub (%d)", s.MaxRowNNZ, s2.MaxRowNNZ)
+	}
+}
+
+func TestPowerLawRejectsBadAlpha(t *testing.T) {
+	if _, err := PowerLaw(10, 10, 1.0, 1); err == nil {
+		t.Fatal("alpha=1 accepted")
+	}
+	if _, err := PowerLaw(-1, 10, 2, 1); err == nil {
+		t.Fatal("negative dimension accepted")
+	}
+}
+
+func TestMeshRegularity(t *testing.T) {
+	m, err := Mesh(2000, 26, 60, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := sparse.ComputeStats(m)
+	if s.IsSkewed() {
+		t.Fatalf("mesh reported skewed: gini=%g", s.Gini)
+	}
+	if s.MeanRowNNZ < 20 || s.MeanRowNNZ > 32 {
+		t.Fatalf("mesh mean row nnz = %g, want ~26", s.MeanRowNNZ)
+	}
+	// Band structure: no entry further than halfBand from the diagonal.
+	for i := 0; i < m.Rows; i++ {
+		idx, _ := m.Row(i)
+		for _, j := range idx {
+			if j < i-60 || j > i+60 {
+				t.Fatalf("entry (%d,%d) outside band", i, j)
+			}
+		}
+	}
+}
+
+func TestMeshNarrowBandClamps(t *testing.T) {
+	m, err := Mesh(50, 40, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows can hold at most 7 entries (band width), generator must clamp.
+	if got := m.MaxRowNNZ(); got > 7 {
+		t.Fatalf("max row nnz %d exceeds band width 7", got)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformRandomRectangular(t *testing.T) {
+	m, err := UniformRandom(100, 300, 2000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 100 || m.Cols != 300 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() < 1900 {
+		t.Fatalf("nnz = %d, expected near 2000", m.NNZ())
+	}
+}

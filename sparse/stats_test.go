@@ -1,0 +1,81 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStatsUniformMatrix(t *testing.T) {
+	// Every row has exactly 4 entries: zero Gini, no skew.
+	m := NewCSR(50, 50)
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 4; j++ {
+			m.Idx = append(m.Idx, (i+j*11)%50)
+			m.Val = append(m.Val, 1)
+		}
+		m.Ptr[i+1] = len(m.Idx)
+	}
+	m.SortRows()
+	s := ComputeStats(m)
+	if s.Gini > 0.05 {
+		t.Fatalf("uniform matrix Gini = %g, want ~0", s.Gini)
+	}
+	if s.IsSkewed() {
+		t.Fatal("uniform matrix reported as skewed")
+	}
+	if s.MaxRowNNZ != 4 || math.Abs(s.MeanRowNNZ-4) > 1e-9 {
+		t.Fatalf("row stats wrong: max=%d mean=%g", s.MaxRowNNZ, s.MeanRowNNZ)
+	}
+	if s.RowsUnderWarp != 1 {
+		t.Fatalf("RowsUnderWarp = %g, want 1 (all rows < 32)", s.RowsUnderWarp)
+	}
+}
+
+func TestStatsHubMatrix(t *testing.T) {
+	// One hub row owns almost everything: high Gini, high hub ratio.
+	m := NewCSR(100, 1000)
+	for j := 0; j < 900; j++ {
+		m.Idx = append(m.Idx, j)
+		m.Val = append(m.Val, 1)
+	}
+	m.Ptr[1] = len(m.Idx)
+	for i := 1; i < 100; i++ {
+		m.Idx = append(m.Idx, i)
+		m.Val = append(m.Val, 1)
+		m.Ptr[i+1] = len(m.Idx)
+	}
+	s := ComputeStats(m)
+	if !s.IsSkewed() {
+		t.Fatalf("hub matrix not skewed: gini=%g", s.Gini)
+	}
+	if s.HubRatio < 0.8 {
+		t.Fatalf("HubRatio = %g, want > 0.8", s.HubRatio)
+	}
+	if s.MaxRowNNZ != 900 {
+		t.Fatalf("MaxRowNNZ = %d", s.MaxRowNNZ)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	s := ComputeStats(NewCSR(0, 0))
+	if s.NNZ != 0 || s.Gini != 0 {
+		t.Fatal("empty stats not zero")
+	}
+	s = ComputeStats(NewCSR(5, 5))
+	if !math.IsNaN(s.PowerLawAlpha) {
+		t.Fatalf("alpha on all-empty rows = %g, want NaN", s.PowerLawAlpha)
+	}
+}
+
+func TestGiniOfSorted(t *testing.T) {
+	if g := giniOfSorted([]int{5, 5, 5, 5}); math.Abs(g) > 1e-12 {
+		t.Fatalf("equal shares gini = %g", g)
+	}
+	// One holder of everything among n: gini = (n-1)/n.
+	if g := giniOfSorted([]int{0, 0, 0, 12}); math.Abs(g-0.75) > 1e-12 {
+		t.Fatalf("concentrated gini = %g, want 0.75", g)
+	}
+	if g := giniOfSorted(nil); g != 0 {
+		t.Fatalf("empty gini = %g", g)
+	}
+}
