@@ -81,6 +81,13 @@ type Options struct {
 	// SkipValues computes timing and symbolic structure only (Result.C
 	// stays nil). Use it for large sweeps.
 	SkipValues bool
+	// Paranoid enables the deep sanitizer layer: operands are CheckDeep
+	// validated, the Block Reorganizer's plan is verified against its
+	// conservation invariants (core.VerifyPlan), and every simulated grid
+	// is deep-checked before it runs. Setting the BLOCKREORG_PARANOID
+	// environment variable enables the same checks globally — including
+	// for Compare and the EXPERIMENTS pipeline — without code changes.
+	Paranoid bool
 
 	// Block Reorganizer tuning (ignored by other algorithms); zero values
 	// select the paper's defaults.
@@ -155,6 +162,7 @@ func Multiply(a, b *sparse.CSR, opts Options) (*Result, error) {
 	kopts := kernels.Options{
 		Device:     dev,
 		SkipValues: opts.SkipValues,
+		Paranoid:   opts.Paranoid,
 		Core: core.Params{
 			Alpha:               opts.Alpha,
 			AutoAlpha:           opts.AutoTune,

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# ci.sh — the tier-2 correctness gate.
+#
+# Tier 1 (go build ./... && go test ./...) proves the library works; this
+# script layers on the project's own static and dynamic invariant checks:
+#
+#   1. gofmt         — no unformatted files
+#   2. go vet        — the standard analyzers
+#   3. blockreorg-vet — the project-specific analyzers (see internal/analysis)
+#   4. go test -race — the invariant-heavy packages under the race detector,
+#                      with BLOCKREORG_PARANOID=1 so every multiplication in
+#                      those suites runs the deep sanitizer layer
+#
+# Run from the repository root. Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> blockreorg-vet"
+go run ./cmd/blockreorg-vet ./...
+
+echo "==> go test -race (paranoid)"
+BLOCKREORG_PARANOID=1 go test -race ./internal/core/... ./internal/gpusim/... ./sparse/...
+
+echo "ci.sh: all gates passed"

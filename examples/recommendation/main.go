@@ -91,8 +91,6 @@ func foldColumns(m *sparse.CSR, items int) *sparse.CSR {
 		}
 	}
 	folded := coo.ToCSR()
-	for k := range folded.Val {
-		folded.Val[k] = 1
-	}
+	folded.Fill(1)
 	return folded
 }

@@ -80,16 +80,19 @@ func symmetrizeUnweighted(g *sparse.CSR) *sparse.CSR {
 		panic(err) // g is square by construction
 	}
 	out := sparse.NewCSR(s.Rows, s.Cols)
+	var rowIdx []int
+	var rowVal []float64
 	for i := 0; i < s.Rows; i++ {
+		rowIdx, rowVal = rowIdx[:0], rowVal[:0]
 		idx, _ := s.Row(i)
 		for _, j := range idx {
 			if i == j {
 				continue
 			}
-			out.Idx = append(out.Idx, j)
-			out.Val = append(out.Val, 1)
+			rowIdx = append(rowIdx, j)
+			rowVal = append(rowVal, 1)
 		}
-		out.Ptr[i+1] = len(out.Idx)
+		out.AppendRow(i, rowIdx, rowVal)
 	}
 	return out
 }

@@ -1,0 +1,120 @@
+// Package analysis implements blockreorg-vet: a project-specific static
+// analyzer built only on the standard library's go/ast, go/parser and
+// go/types. It encodes the structural rules the type system cannot see —
+// the invariants every PR must preserve for the Block Reorganizer's plans
+// and sparse formats to stay trustworthy:
+//
+//   - rawindex: outside the sparse package, the Ptr/Idx/Val storage of a
+//     CSR/CSC must not be indexed or sliced directly; the Row/Col accessors
+//     and AppendRow/AppendCol builders are the sanctioned surface, so the
+//     format contract is enforced in one place.
+//   - nnztrunc: nnz arithmetic (workloads, flop counts, intermediate
+//     populations — values that scale with nnz(A)·nnz(B)) must stay int or
+//     int64; converting it to a narrower integer type silently truncates on
+//     large networks.
+//   - kernelvalidate: every exported entry point of the kernels package
+//     that accepts sparse operands must run the validation gate
+//     (checkShapes/checkInputs or an explicit Validate/CheckDeep) before
+//     touching them.
+//   - seededrand: deterministic simulator and benchmark code must not use
+//     math/rand (v1) or the auto-seeded top-level generators of
+//     math/rand/v2; randomness flows through explicitly seeded sources.
+//
+// The analyzers run over type-checked packages when types resolve and fall
+// back to syntactic matching where they do not (the loader stubs imports
+// outside the module, so stdlib-heavy expressions may lack type info).
+// Test files are not analyzed: tests deliberately build corrupt structures
+// to exercise the validators.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the finding the way compilers do, so editors can jump.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Pass is one type-checked package presented to the analyzers.
+type Pass struct {
+	Fset    *token.FileSet
+	Files   []*ast.File
+	PkgPath string
+	PkgName string
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// position resolves a node's source position.
+func (p *Pass) position(n ast.Node) token.Position {
+	return p.Fset.Position(n.Pos())
+}
+
+// Analyzer is one project rule.
+type Analyzer struct {
+	// Name is the rule's identifier, usable with the driver's -only flag.
+	Name string
+	// Doc is a one-line description shown by -list.
+	Doc string
+	// Run inspects one package and returns its violations.
+	Run func(*Pass) []Finding
+}
+
+// All returns every analyzer in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		RawIndexAnalyzer(),
+		NNZTruncAnalyzer(),
+		KernelValidateAnalyzer(),
+		SeededRandAnalyzer(),
+	}
+}
+
+// RunAll applies every analyzer (or the named subset) to every pass and
+// returns the findings in source order.
+func RunAll(passes []*Pass, only map[string]bool) []Finding {
+	var out []Finding
+	for _, a := range All() {
+		if len(only) > 0 && !only[a.Name] {
+			continue
+		}
+		for _, p := range passes {
+			out = append(out, a.Run(p)...)
+		}
+	}
+	sortFindings(out)
+	return out
+}
+
+// sortFindings orders findings by file, line, column, analyzer.
+func sortFindings(fs []Finding) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && findingLess(fs[j], fs[j-1]); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+func findingLess(a, b Finding) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	return a.Analyzer < b.Analyzer
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads the vetmod fixture module once per test that needs it.
+func loadFixture(t *testing.T) []*Pass {
+	t.Helper()
+	passes, err := Load(filepath.Join("testdata", "vetmod"), nil)
+	if err != nil {
+		t.Fatalf("Load(testdata/vetmod): %v", err)
+	}
+	if len(passes) == 0 {
+		t.Fatal("Load returned no packages")
+	}
+	return passes
+}
+
+// findingsFor filters findings to one analyzer within one fixture package.
+func findingsFor(fs []Finding, analyzer, pkgDir string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Analyzer != analyzer {
+			continue
+		}
+		if !strings.Contains(filepath.ToSlash(f.Pos.Filename), "/"+pkgDir+"/") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func TestAnalyzers(t *testing.T) {
+	passes := loadFixture(t)
+	all := RunAll(passes, nil)
+
+	// Each positive fixture must trip its analyzer with the expected
+	// message; each negative fixture must stay silent.
+	cases := []struct {
+		analyzer string
+		pkgDir   string
+		min      int    // minimum findings (0 = must be silent)
+		contains string // substring required in at least one message
+	}{
+		{"rawindex", "rawindexbad", 3, "Row/Col accessors"},
+		{"rawindex", "rawindexok", 0, ""},
+		{"nnztrunc", "nnztruncbad", 3, "truncates nnz arithmetic"},
+		{"nnztrunc", "nnztruncok", 0, ""},
+		{"kernelvalidate", "kernels", 1, "MultiplyBad"},
+		{"seededrand", "seededrandbad", 4, "unseeded global generator"},
+		{"seededrand", "seededrandok", 0, ""},
+	}
+	for _, c := range cases {
+		got := findingsFor(all, c.analyzer, c.pkgDir)
+		if c.min == 0 {
+			if len(got) != 0 {
+				t.Errorf("%s on %s: want no findings, got %v", c.analyzer, c.pkgDir, got)
+			}
+			continue
+		}
+		if len(got) < c.min {
+			t.Errorf("%s on %s: want >= %d findings, got %d: %v",
+				c.analyzer, c.pkgDir, c.min, len(got), got)
+			continue
+		}
+		matched := false
+		for _, f := range got {
+			if strings.Contains(f.Message, c.contains) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s on %s: no finding mentions %q in %v",
+				c.analyzer, c.pkgDir, c.contains, got)
+		}
+	}
+}
+
+// TestKernelValidateScope checks the rule fires only on the bad entry
+// point, not on gated, unexported, or sparse-free functions.
+func TestKernelValidateScope(t *testing.T) {
+	passes := loadFixture(t)
+	got := findingsFor(RunAll(passes, map[string]bool{"kernelvalidate": true}), "kernelvalidate", "kernels")
+	if len(got) != 1 {
+		t.Fatalf("want exactly 1 kernelvalidate finding, got %d: %v", len(got), got)
+	}
+	if !strings.Contains(got[0].Message, "MultiplyBad") {
+		t.Fatalf("finding names wrong function: %v", got[0])
+	}
+}
+
+// TestSeededRandV1Import checks the v1 import itself is reported.
+func TestSeededRandV1Import(t *testing.T) {
+	passes := loadFixture(t)
+	got := findingsFor(RunAll(passes, map[string]bool{"seededrand": true}), "seededrand", "seededrandbad")
+	foundImport := false
+	for _, f := range got {
+		if strings.Contains(f.Message, "math/rand (v1)") {
+			foundImport = true
+		}
+	}
+	if !foundImport {
+		t.Fatalf("v1 import not reported; findings: %v", got)
+	}
+}
+
+// TestOnlyFilter checks RunAll's analyzer subsetting.
+func TestOnlyFilter(t *testing.T) {
+	passes := loadFixture(t)
+	got := RunAll(passes, map[string]bool{"rawindex": true})
+	for _, f := range got {
+		if f.Analyzer != "rawindex" {
+			t.Fatalf("only=rawindex leaked %s finding: %v", f.Analyzer, f)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("only=rawindex returned nothing")
+	}
+}
+
+// TestFindingsSorted checks the stable source ordering contract.
+func TestFindingsSorted(t *testing.T) {
+	passes := loadFixture(t)
+	fs := RunAll(passes, nil)
+	for i := 1; i < len(fs); i++ {
+		if findingLess(fs[i], fs[i-1]) {
+			t.Fatalf("findings out of order at %d: %v before %v", i, fs[i-1], fs[i])
+		}
+	}
+}
+
+// TestPatternSelection checks Load's package pattern matching.
+func TestPatternSelection(t *testing.T) {
+	passes, err := Load(filepath.Join("testdata", "vetmod"), []string{"./kernels"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(passes) != 1 || passes[0].PkgName != "kernels" {
+		t.Fatalf("pattern ./kernels selected %d packages", len(passes))
+	}
+	passes, err = Load(filepath.Join("testdata", "vetmod"), []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(passes) < 7 {
+		t.Fatalf("pattern ./... selected only %d packages", len(passes))
+	}
+}

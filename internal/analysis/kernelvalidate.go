@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// KernelValidateAnalyzer enforces the validation-gate rule: every exported
+// entry point of the kernels package that accepts sparse operands must run
+// them through the validation gate — checkShapes/checkInputs, or an
+// explicit Validate/CheckDeep — before use. Operand validation lives at
+// the kernel boundary by design; an entry point that skips it lets a
+// malformed matrix reach the expansion kernels, where the failure mode is
+// a wrong product, not an error.
+func KernelValidateAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "kernelvalidate",
+		Doc:  "exported kernels entry points taking sparse operands must call the validation gate",
+		Run:  runKernelValidate,
+	}
+}
+
+// validationGate lists the calls that satisfy the rule.
+func validationGate(name string) bool {
+	switch name {
+	case "checkShapes", "checkInputs", "Validate", "CheckDeep":
+		return true
+	}
+	return false
+}
+
+func runKernelValidate(p *Pass) []Finding {
+	if p.PkgName != "kernels" {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if !takesSparseOperand(fn) {
+				continue
+			}
+			if callsValidationGate(fn.Body) {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:      p.position(fn.Name),
+				Analyzer: "kernelvalidate",
+				Message: fmt.Sprintf("exported entry point %s takes sparse operands but never calls the validation gate (checkShapes/checkInputs or Validate/CheckDeep)",
+					fn.Name.Name),
+			})
+		}
+	}
+	return out
+}
+
+// takesSparseOperand reports whether any parameter is a *sparse.CSR or
+// *sparse.CSC (matched syntactically, so the rule holds even where the
+// loader could not resolve types).
+func takesSparseOperand(fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		star, ok := field.Type.(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := star.X.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != "sparse" {
+			continue
+		}
+		if sel.Sel.Name == "CSR" || sel.Sel.Name == "CSC" {
+			return true
+		}
+	}
+	return false
+}
+
+// callsValidationGate reports whether the body contains a call to one of
+// the gate functions, by any receiver.
+func callsValidationGate(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if validationGate(fun.Name) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if validationGate(fun.Sel.Name) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

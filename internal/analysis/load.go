@@ -1,0 +1,328 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The loader turns a Go module tree into type-checked Passes without any
+// dependency beyond the standard library. It parses every non-test file in
+// the module, type-checks packages in dependency order, and resolves
+// imports as follows: module-internal paths are satisfied from the
+// already-checked packages; everything else (stdlib included) is stubbed
+// with an empty package. Type errors caused by stubbed members are
+// tolerated — the analyzers only rely on types defined inside the module
+// and degrade to syntactic matching elsewhere.
+
+// Load parses and type-checks the module rooted at root, returning a Pass
+// per package selected by the patterns. Patterns follow the go tool's
+// shape: "./..." (everything), "./dir/..." (a subtree), "./dir" or "dir"
+// (one package). An empty pattern list selects everything.
+func Load(root string, patterns []string) ([]*Pass, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	pkgs := make(map[string]*parsedPkg, len(dirs))
+	for _, dir := range dirs {
+		p, err := parsePackage(fset, root, modPath, dir)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			pkgs[p.importPath] = p
+		}
+	}
+	order, err := sortByDeps(pkgs)
+	if err != nil {
+		return nil, err
+	}
+	checker := newChecker(fset, pkgs)
+	var passes []*Pass
+	for _, p := range order {
+		pass, err := checker.check(p)
+		if err != nil {
+			return nil, err
+		}
+		if selected(p, root, patterns) {
+			passes = append(passes, pass)
+		}
+	}
+	return passes, nil
+}
+
+// parsedPkg is one package directory between parsing and type checking.
+type parsedPkg struct {
+	dir        string
+	importPath string
+	name       string
+	files      []*ast.File
+	imports    []string // module-internal import paths only
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: not a module root: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(strings.Trim(strings.TrimSpace(rest), `"`)), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// packageDirs walks the module tree collecting directories that hold Go
+// files, skipping testdata, vendor, and hidden or underscore directories.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(p, ".go") {
+			dir := filepath.Dir(p)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	sort.Strings(dirs)
+	return dirs, err
+}
+
+// parsePackage parses the non-test Go files of one directory. Returns nil
+// when the directory holds only test files.
+func parsePackage(fset *token.FileSet, root, modPath, dir string) (*parsedPkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := modPath
+	if rel != "." {
+		importPath = modPath + "/" + filepath.ToSlash(rel)
+	}
+	p := &parsedPkg{dir: dir, importPath: importPath}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		p.files = append(p.files, f)
+		if p.name == "" {
+			p.name = f.Name.Name
+		}
+		for _, imp := range f.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if (ip == modPath || strings.HasPrefix(ip, modPath+"/")) && !seen[ip] {
+				seen[ip] = true
+				p.imports = append(p.imports, ip)
+			}
+		}
+	}
+	if len(p.files) == 0 {
+		return nil, nil
+	}
+	return p, nil
+}
+
+// sortByDeps orders packages so every module-internal import precedes its
+// importer.
+func sortByDeps(pkgs map[string]*parsedPkg) ([]*parsedPkg, error) {
+	paths := make([]string, 0, len(pkgs))
+	for ip := range pkgs {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(pkgs))
+	var order []*parsedPkg
+	var visit func(ip string) error
+	visit = func(ip string) error {
+		switch state[ip] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("analysis: import cycle through %s", ip)
+		}
+		state[ip] = visiting
+		p := pkgs[ip]
+		for _, dep := range p.imports {
+			if _, ok := pkgs[dep]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[ip] = done
+		order = append(order, p)
+		return nil
+	}
+	for _, ip := range paths {
+		if err := visit(ip); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// checker type-checks packages one by one, remembering the results so
+// later packages can import earlier ones.
+type checker struct {
+	fset    *token.FileSet
+	pkgs    map[string]*parsedPkg
+	checked map[string]*types.Package
+	stubs   map[string]*types.Package
+}
+
+func newChecker(fset *token.FileSet, pkgs map[string]*parsedPkg) *checker {
+	return &checker{
+		fset:    fset,
+		pkgs:    pkgs,
+		checked: map[string]*types.Package{},
+		stubs:   map[string]*types.Package{},
+	}
+}
+
+// Import implements types.Importer: module-internal packages resolve to
+// their checked form, everything else to a reusable empty stub.
+func (c *checker) Import(ip string) (*types.Package, error) {
+	if p, ok := c.checked[ip]; ok {
+		return p, nil
+	}
+	if s, ok := c.stubs[ip]; ok {
+		return s, nil
+	}
+	s := types.NewPackage(ip, stubName(ip))
+	// Marking the stub complete keeps go/types from reporting every
+	// member access into it; the members are still unknown, which the
+	// tolerant error handler absorbs.
+	s.MarkComplete()
+	c.stubs[ip] = s
+	return s, nil
+}
+
+// versionSuffix matches major-version import path elements like "v2".
+var versionSuffix = regexp.MustCompile(`^v[0-9]+$`)
+
+// stubName guesses a package name from its import path ("math/rand/v2" →
+// "rand").
+func stubName(ip string) string {
+	base := path.Base(ip)
+	for versionSuffix.MatchString(base) && path.Dir(ip) != "." {
+		ip = path.Dir(ip)
+		base = path.Base(ip)
+	}
+	if i := strings.IndexAny(base, ".-"); i > 0 {
+		base = base[:i]
+	}
+	if base == "" || base == "." || base == "/" {
+		return "pkg"
+	}
+	return base
+}
+
+// check type-checks one parsed package into a Pass. Type errors are
+// expected (stubbed imports) and collected but not fatal.
+func (c *checker) check(p *parsedPkg) (*Pass, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: c,
+		Error:    func(error) {}, // tolerate: stubs make stdlib members unknown
+	}
+	pkg, _ := conf.Check(p.importPath, c.fset, p.files, info)
+	if pkg == nil {
+		return nil, fmt.Errorf("analysis: type-checking %s produced no package", p.importPath)
+	}
+	c.checked[p.importPath] = pkg
+	return &Pass{
+		Fset:    c.fset,
+		Files:   p.files,
+		PkgPath: p.importPath,
+		PkgName: p.name,
+		Pkg:     pkg,
+		Info:    info,
+	}, nil
+}
+
+// selected reports whether the package matches any pattern.
+func selected(p *parsedPkg, root string, patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	rel, err := filepath.Rel(root, p.dir)
+	if err != nil {
+		return false
+	}
+	rel = filepath.ToSlash(rel)
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+		switch {
+		case pat == "...":
+			return true
+		case strings.HasSuffix(pat, "/..."):
+			prefix := strings.TrimSuffix(pat, "/...")
+			if prefix == "." || rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+				return true
+			}
+		case pat == "." && rel == ".":
+			return true
+		case rel == pat:
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// NNZTruncAnalyzer enforces the nnz-width rule: workload arithmetic —
+// anything derived from nnz counts, block-wise workloads, flop totals or
+// intermediate populations, which scale with nnz(A)·nnz(B) — must stay int
+// or int64. A single int32 conversion silently truncates above 2^31 on the
+// large sparse networks this library targets; the paper's Friendster-class
+// inputs exceed that by orders of magnitude.
+func NNZTruncAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "nnztrunc",
+		Doc:  "no narrowing integer conversions in nnz/workload arithmetic",
+		Run:  runNNZTrunc,
+	}
+}
+
+// nnzName matches identifiers that carry nnz-scaled quantities by this
+// project's naming conventions.
+var nnzName = regexp.MustCompile(`(?i)nnz|work|flops?|population|intermediate`)
+
+func runNNZTrunc(p *Pass) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			target, ok := conversionTarget(p, call)
+			if !ok || !isNarrowInt(target) {
+				return true
+			}
+			if !mentionsNNZ(call.Args[0]) || isNarrowSource(p, call.Args[0]) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:      p.position(call),
+				Analyzer: "nnztrunc",
+				Message: fmt.Sprintf("conversion to %s truncates nnz arithmetic; keep workload counts int or int64",
+					target),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// conversionTarget resolves the type a call expression converts to, or
+// ok=false when the call is a plain function call. Falls back to the
+// builtin narrow integer names when type information is missing.
+func conversionTarget(p *Pass, call *ast.CallExpr) (types.Type, bool) {
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		return tv.Type, true
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "int8", "int16", "int32", "uint8", "uint16", "uint32":
+			return types.Universe.Lookup(id.Name).Type(), true
+		}
+	}
+	return nil, false
+}
+
+// isNarrowInt reports whether t's underlying type is an integer narrower
+// than 64 bits (rune and byte aliases included).
+func isNarrowInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int8, types.Int16, types.Int32, types.Uint8, types.Uint16, types.Uint32:
+		return true
+	}
+	return false
+}
+
+// isNarrowSource reports whether the operand is itself statically known to
+// be a narrow integer — widening or same-width conversions of already
+// narrow values are not truncations.
+func isNarrowSource(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isNarrowInt(tv.Type)
+}
+
+// mentionsNNZ reports whether the expression's subtree references an
+// nnz-scaled identifier (variable, field, or method such as NNZ()).
+func mentionsNNZ(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && nnzName.MatchString(id.Name) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// RawIndexAnalyzer enforces the sparse-format encapsulation rule: outside
+// the sparse package, the Ptr/Idx/Val storage of a CSR or CSC must not be
+// indexed or sliced directly. Raw indexing is how pointer-array corruption
+// (off-by-one chunk boundaries, stale nnz totals) escapes into kernels;
+// the Row/Col accessors and the AppendRow/AppendCol builders keep the
+// format contract enforced in one audited place.
+func RawIndexAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "rawindex",
+		Doc:  "no direct indexing or slicing of CSR/CSC Ptr/Idx/Val outside the sparse package",
+		Run:  runRawIndex,
+	}
+}
+
+// storageField reports whether name is one of the guarded storage slices.
+func storageField(name string) bool {
+	return name == "Ptr" || name == "Idx" || name == "Val"
+}
+
+func runRawIndex(p *Pass) []Finding {
+	if p.PkgName == "sparse" {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var sel *ast.SelectorExpr
+			var verb string
+			switch e := n.(type) {
+			case *ast.IndexExpr:
+				sel, _ = e.X.(*ast.SelectorExpr)
+				verb = "indexes"
+			case *ast.SliceExpr:
+				sel, _ = e.X.(*ast.SelectorExpr)
+				verb = "slices"
+			default:
+				return true
+			}
+			if sel == nil || !storageField(sel.Sel.Name) {
+				return true
+			}
+			if !isSparseMatrix(p, sel.X) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:      p.position(sel),
+				Analyzer: "rawindex",
+				Message: fmt.Sprintf("directly %s sparse matrix storage %s; use the Row/Col accessors or AppendRow/AppendCol builders",
+					verb, sel.Sel.Name),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// isSparseMatrix reports whether e's static type is sparse.CSR or
+// sparse.CSC (possibly behind a pointer). When the type did not resolve,
+// the distinctive Ptr/Idx/Val selector is assumed to be sparse storage —
+// erring loud, since no other type in the project carries that trio.
+func isSparseMatrix(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil || isInvalid(tv.Type) {
+		return true
+	}
+	t := tv.Type
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "CSR" && obj.Name() != "CSC" {
+		return false
+	}
+	return obj.Pkg() != nil && obj.Pkg().Name() == "sparse"
+}
+
+// isInvalid reports whether t is the invalid type.
+func isInvalid(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.Invalid
+}

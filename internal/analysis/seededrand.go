@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// SeededRandAnalyzer enforces the determinism rule: the simulator,
+// generators and benchmark pipeline are specified to be reproducible, so
+// randomness must flow through explicitly seeded sources
+// (rand.New(rand.NewPCG(seed, ...))). Two constructs break that:
+// importing math/rand (v1), whose global generator is auto-seeded since
+// Go 1.20, and calling the top-level functions of math/rand/v2, which
+// draw from an unseedable global. Constructor calls (New, NewPCG,
+// NewChaCha8, NewZipf) are the sanctioned surface.
+func SeededRandAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "seededrand",
+		Doc:  "no math/rand v1 and no unseeded top-level math/rand/v2 generators",
+		Run:  runSeededRand,
+	}
+}
+
+// randConstructor reports whether name is an allowed seeded-source
+// constructor of math/rand/v2.
+func randConstructor(name string) bool {
+	switch name {
+	case "New", "NewPCG", "NewChaCha8", "NewZipf", "NewSource":
+		return true
+	}
+	return false
+}
+
+func runSeededRand(p *Pass) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		// randNames collects the local names this file binds to the rand
+		// packages, for the syntactic fallback when type info is missing.
+		randNames := map[string]bool{}
+		for _, imp := range f.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch ip {
+			case "math/rand":
+				out = append(out, Finding{
+					Pos:      p.position(imp),
+					Analyzer: "seededrand",
+					Message:  "import of math/rand (v1): its global generator is auto-seeded; use math/rand/v2 with rand.New(rand.NewPCG(seed, ...))",
+				})
+			case "math/rand/v2":
+				name := "rand"
+				if imp.Name != nil {
+					name = imp.Name.Name
+				}
+				randNames[name] = true
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !isRandPackage(p, id, randNames) {
+				return true
+			}
+			if randConstructor(sel.Sel.Name) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:      p.position(sel),
+				Analyzer: "seededrand",
+				Message: fmt.Sprintf("rand.%s draws from the unseeded global generator; use a seeded *rand.Rand (rand.New(rand.NewPCG(seed, ...)))",
+					sel.Sel.Name),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// isRandPackage reports whether id names the math/rand/v2 package — by
+// type information when it resolved, or by the file's import set when the
+// identifier is otherwise unbound (a local variable named rand shadows
+// the package and is not flagged).
+func isRandPackage(p *Pass, id *ast.Ident, randNames map[string]bool) bool {
+	if obj, ok := p.Info.Uses[id]; ok {
+		pn, ok := obj.(*types.PkgName)
+		if !ok {
+			return false
+		}
+		ip := pn.Imported().Path()
+		return ip == "math/rand/v2" || ip == "math/rand"
+	}
+	return randNames[id.Name]
+}

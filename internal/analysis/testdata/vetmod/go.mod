@@ -1,0 +1,3 @@
+module example.com/vetmod
+
+go 1.22

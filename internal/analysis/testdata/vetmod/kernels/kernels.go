@@ -1,0 +1,40 @@
+// Package kernels is a fixture mirroring the real kernels package: the
+// kernelvalidate analyzer must flag GoodAndBad's bad half only.
+package kernels
+
+import "example.com/vetmod/sparse"
+
+// checkShapes stands in for the real validation gate.
+func checkShapes(a, b *sparse.CSR) error { return nil }
+
+// MultiplyGood gates its operands — not a violation.
+func MultiplyGood(a, b *sparse.CSR) error {
+	if err := checkShapes(a, b); err != nil {
+		return err
+	}
+	return nil
+}
+
+// MultiplyDeep validates explicitly — not a violation.
+func MultiplyDeep(a *sparse.CSR) error {
+	if err := a.CheckDeep(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// MultiplyBad touches its operands with no gate — violation.
+func MultiplyBad(a, b *sparse.CSR) int { // want kernelvalidate
+	idx, _ := a.Row(0)
+	return len(idx) + b.Rows
+}
+
+// scratch is unexported, so the entry-point rule does not apply.
+func scratch(a *sparse.CSR) int {
+	return a.Rows
+}
+
+// Tune takes no sparse operands — out of scope.
+func Tune(factor int) int {
+	return factor * 2
+}

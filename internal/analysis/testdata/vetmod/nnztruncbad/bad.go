@@ -1,0 +1,18 @@
+// Package nnztruncbad seeds nnztrunc violations: narrowing conversions
+// applied to nnz-scaled quantities.
+package nnztruncbad
+
+// TruncateWork narrows a block workload to int32 — violation.
+func TruncateWork(totalWork int64) int32 {
+	return int32(totalWork) // want nnztrunc
+}
+
+// PackNNZ narrows an nnz count to uint32 — violation.
+func PackNNZ(nnz int) uint32 {
+	return uint32(nnz) // want nnztrunc
+}
+
+// FlopBytes narrows a flop count to uint16 — violation.
+func FlopBytes(flops int64) uint16 {
+	return uint16(flops / 1024) // want nnztrunc
+}

@@ -1,0 +1,26 @@
+// Package nnztruncok performs conversions the nnztrunc analyzer must
+// accept: widening nnz arithmetic, narrowing values that are not
+// nnz-scaled, and re-narrowing already-narrow values.
+package nnztruncok
+
+// WidenWork widens a workload — fine.
+func WidenWork(work int) int64 {
+	return int64(work)
+}
+
+// ColorByte narrows a value with no nnz-scaled name — fine.
+func ColorByte(color int) uint8 {
+	return uint8(color)
+}
+
+// RepackLane re-narrows an already-narrow lane id mentioning work — fine,
+// the source is already int32 so nothing truncates.
+func RepackLane(workLane int32) int32 {
+	return int32(workLane)
+}
+
+// FloatWork converts workload to float64 for a ratio — fine, not a
+// narrow integer target.
+func FloatWork(work int64, total int64) float64 {
+	return float64(work) / float64(total)
+}

@@ -1,0 +1,20 @@
+// Package rawindexbad seeds rawindex violations: direct indexing and
+// slicing of CSR/CSC storage outside the sparse package.
+package rawindexbad
+
+import "example.com/vetmod/sparse"
+
+// FirstColIdx indexes Idx directly — violation.
+func FirstColIdx(m *sparse.CSR) int {
+	return m.Idx[0] // want rawindex
+}
+
+// RowSlice slices Val directly — violation.
+func RowSlice(m *sparse.CSC, j int) []float64 {
+	return m.Val[m.Ptr[j]:m.Ptr[j+1]] // want rawindex (three findings: Val slice, two Ptr indexes)
+}
+
+// WritePtr writes through Ptr — violation.
+func WritePtr(m *sparse.CSR, i, v int) {
+	m.Ptr[i+1] = v // want rawindex
+}

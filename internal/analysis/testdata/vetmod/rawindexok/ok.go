@@ -1,0 +1,33 @@
+// Package rawindexok uses only the sanctioned accessors plus its own
+// unrelated Ptr/Idx/Val-free structures; the rawindex analyzer must stay
+// silent here.
+package rawindexok
+
+import "example.com/vetmod/sparse"
+
+// SumRow reads a row through the accessor.
+func SumRow(m *sparse.CSR, i int) float64 {
+	_, val := m.Row(i)
+	var s float64
+	for _, v := range val {
+		s += v
+	}
+	return s
+}
+
+// ColDegree reads a column through the accessor.
+func ColDegree(m *sparse.CSC, j int) int {
+	idx, _ := m.Col(j)
+	return len(idx)
+}
+
+// localBuf has fields named like storage but is not a sparse matrix;
+// indexing it is fine because its type resolves to a local struct.
+type localBuf struct {
+	Idx []int
+}
+
+// Peek indexes a non-sparse Idx field — not a violation.
+func Peek(b *localBuf) int {
+	return b.Idx[0]
+}

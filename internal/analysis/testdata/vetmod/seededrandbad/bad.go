@@ -1,0 +1,15 @@
+// Package seededrandbad seeds seededrand violations: top-level v2
+// generator calls drawing from the unseedable global.
+package seededrandbad
+
+import "math/rand/v2"
+
+// Jitter uses the global generator — violation.
+func Jitter() float64 {
+	return rand.Float64() // want seededrand
+}
+
+// Pick uses the global generator — violation.
+func Pick(n int) int {
+	return rand.IntN(n) // want seededrand
+}

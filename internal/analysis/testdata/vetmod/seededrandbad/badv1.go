@@ -1,0 +1,8 @@
+package seededrandbad
+
+import "math/rand" // want seededrand
+
+// LegacyShuffle uses math/rand v1 — the import itself is the violation.
+func LegacyShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,38 @@
+// Package sparse is a fixture stub mirroring the real sparse package's
+// surface, so the analyzers under test see the same shapes.
+package sparse
+
+// CSR mirrors the real compressed sparse row type.
+type CSR struct {
+	Rows, Cols int
+	Ptr        []int
+	Idx        []int
+	Val        []float64
+}
+
+// CSC mirrors the real compressed sparse column type.
+type CSC struct {
+	Rows, Cols int
+	Ptr        []int
+	Idx        []int
+	Val        []float64
+}
+
+// Row returns row i's indices and values. Inside the sparse package raw
+// indexing is allowed; this is the sanctioned accessor.
+func (m *CSR) Row(i int) ([]int, []float64) {
+	lo, hi := m.Ptr[i], m.Ptr[i+1]
+	return m.Idx[lo:hi], m.Val[lo:hi]
+}
+
+// Col returns column j's indices and values.
+func (m *CSC) Col(j int) ([]int, []float64) {
+	lo, hi := m.Ptr[j], m.Ptr[j+1]
+	return m.Idx[lo:hi], m.Val[lo:hi]
+}
+
+// Validate is the shallow structural check.
+func (m *CSR) Validate() error { return nil }
+
+// CheckDeep is the deep sanitizer.
+func (m *CSR) CheckDeep() error { return nil }

@@ -131,18 +131,10 @@ func prevPow2(n int) int {
 // fills the mapper array.
 func (p *SplitPlan) buildAPrime(a *sparse.CSC) {
 	ap := sparse.NewCSC(a.Rows, len(p.Blocks))
-	nnz := 0
-	for _, blk := range p.Blocks {
-		nnz += blk.ColHi - blk.ColLo
-	}
-	ap.Idx = make([]int, 0, nnz)
-	ap.Val = make([]float64, 0, nnz)
 	p.Mapper = make([]int, len(p.Blocks))
 	for c, blk := range p.Blocks {
 		idx, val := a.Col(blk.Pair)
-		ap.Idx = append(ap.Idx, idx[blk.ColLo:blk.ColHi]...)
-		ap.Val = append(ap.Val, val[blk.ColLo:blk.ColHi]...)
-		ap.Ptr[c+1] = len(ap.Idx)
+		ap.AppendCol(c, idx[blk.ColLo:blk.ColHi], val[blk.ColLo:blk.ColHi])
 		p.Mapper[c] = blk.Pair
 	}
 	p.APrime = ap

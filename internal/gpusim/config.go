@@ -86,6 +86,11 @@ type Config struct {
 	// TraceEvents, when positive, records up to that many per-dispatch
 	// trace events in the kernel result for timeline rendering.
 	TraceEvents int
+	// Paranoid makes Run deep-check every grid (Kernel.CheckDeep) before
+	// executing it, so a corrupted launch plan fails loudly instead of
+	// producing a silently wrong timeline. The BLOCKREORG_PARANOID
+	// environment variable enables it globally (see ParanoidEnv).
+	Paranoid bool
 }
 
 // Validate reports the first implausible field, if any.

@@ -1,0 +1,50 @@
+package gpusim
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// ParanoidEnv reports whether the BLOCKREORG_PARANOID environment variable
+// enables the deep sanitizer layer globally: any value except "", "0" and
+// "false" counts as on. It is read once; the whole EXPERIMENTS pipeline can
+// be self-checked by exporting it, with no code changes.
+var ParanoidEnv = sync.OnceValue(func() bool {
+	switch os.Getenv("BLOCKREORG_PARANOID") {
+	case "", "0", "false":
+		return false
+	}
+	return true
+})
+
+// CheckDeep validates the grid beyond the per-block field checks of
+// Validate: the lock-step accounting of every class must be internally
+// consistent. A block's warps cannot issue fewer aggregate iterations than
+// its critical path implies, and its real work cannot exceed the lane-slots
+// its lock-step iterations provide — the invariants a miscounted expansion
+// or merge grid breaks first.
+func (k *Kernel) CheckDeep(warpSize int) error {
+	if warpSize <= 0 {
+		warpSize = 32
+	}
+	if err := k.Validate(); err != nil {
+		return err
+	}
+	for i := range k.Blocks {
+		b := &k.Blocks[i]
+		warps := int64(b.warps(warpSize))
+		if b.SumWarpIters > b.MaxWarpIters*warps {
+			return fmt.Errorf("gpusim: kernel %q block %d: %d warp iterations exceed critical path %d × %d warps",
+				k.Name, i, b.SumWarpIters, b.MaxWarpIters, warps)
+		}
+		if b.SumThreadIters > b.SumWarpIters*int64(warpSize) {
+			return fmt.Errorf("gpusim: kernel %q block %d: %d thread iterations exceed %d warp iterations × %d lanes",
+				k.Name, i, b.SumThreadIters, b.SumWarpIters, warpSize)
+		}
+		if b.SumThreadIters > 0 && b.EffThreads == 0 {
+			return fmt.Errorf("gpusim: kernel %q block %d: work without effective threads", k.Name, i)
+		}
+	}
+	return nil
+}

@@ -130,6 +130,11 @@ func (s *Simulator) Run(k *Kernel) (*KernelResult, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
+	if s.cfg.Paranoid || ParanoidEnv() {
+		if err := k.CheckDeep(s.cfg.WarpSize); err != nil {
+			return nil, err
+		}
+	}
 	cfg := &s.cfg
 	for i := range k.Blocks {
 		if occ := cfg.OccupancyOf(&k.Blocks[i]); occ.BlocksPerSM == 0 {

@@ -26,10 +26,10 @@ const bhSpill = 8192
 
 // Multiply implements Algorithm.
 func (BhSPARSE) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
-	if err := checkShapes(a, b); err != nil {
+	if err := checkInputs(a, b, opts); err != nil {
 		return nil, err
 	}
-	sim, err := gpusim.New(opts.Device)
+	sim, err := simFor(opts)
 	if err != nil {
 		return nil, err
 	}

@@ -22,10 +22,10 @@ func (CuSPARSE) Name() string { return "cuSPARSE" }
 
 // Multiply implements Algorithm.
 func (CuSPARSE) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
-	if err := checkShapes(a, b); err != nil {
+	if err := checkInputs(a, b, opts); err != nil {
 		return nil, err
 	}
-	sim, err := gpusim.New(opts.Device)
+	sim, err := simFor(opts)
 	if err != nil {
 		return nil, err
 	}

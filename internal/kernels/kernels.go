@@ -39,6 +39,11 @@ type Options struct {
 	// structure is computed and Product.C stays nil. Used by large
 	// benchmark sweeps where only timing matters.
 	SkipValues bool
+	// Paranoid enables the deep sanitizer layer: operands pass CheckDeep,
+	// the Reorganizer's plan passes core.VerifyPlanOnDevice, and the
+	// simulator deep-checks every grid. The BLOCKREORG_PARANOID environment
+	// variable turns it on globally (see gpusim.ParanoidEnv).
+	Paranoid bool
 	// CPU overrides the CPU model used by MKL; zero value selects the
 	// paper's system 1 host.
 	CPU CPUConfig
@@ -115,6 +120,41 @@ func checkShapes(a, b *sparse.CSR) error {
 		return fmt.Errorf("kernels: cannot multiply %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	return nil
+}
+
+// checkInputs is the validation gate every Algorithm.Multiply runs first
+// (enforced by the blockreorg-vet kernelvalidate rule): shape compatibility
+// always, plus the O(nnz) CheckDeep sanitizers when Paranoid mode is on.
+func checkInputs(a, b *sparse.CSR, opts Options) error {
+	if err := checkShapes(a, b); err != nil {
+		return err
+	}
+	if !paranoid(opts) {
+		return nil
+	}
+	if err := a.CheckDeep(); err != nil {
+		return fmt.Errorf("kernels: operand A: %w", err)
+	}
+	if err := b.CheckDeep(); err != nil {
+		return fmt.Errorf("kernels: operand B: %w", err)
+	}
+	return nil
+}
+
+// paranoid reports whether the deep sanitizer layer is enabled for this
+// run, by option or by the BLOCKREORG_PARANOID environment variable.
+func paranoid(opts Options) bool {
+	return opts.Paranoid || gpusim.ParanoidEnv()
+}
+
+// simFor builds the simulator for a run, forwarding Paranoid mode so the
+// device deep-checks every grid it executes.
+func simFor(opts Options) (*gpusim.Simulator, error) {
+	cfg := opts.Device
+	if paranoid(opts) {
+		cfg.Paranoid = true
+	}
+	return gpusim.New(cfg)
 }
 
 // finishProduct fills the shared Product fields: the numeric result (unless

@@ -48,7 +48,7 @@ func (MKL) Name() string { return "MKL" }
 
 // Multiply implements Algorithm.
 func (MKL) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
-	if err := checkShapes(a, b); err != nil {
+	if err := checkInputs(a, b, opts); err != nil {
 		return nil, err
 	}
 	cpu := opts.CPU

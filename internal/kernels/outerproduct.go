@@ -18,10 +18,10 @@ func (OuterProduct) Name() string { return "outer-product" }
 
 // Multiply implements Algorithm.
 func (OuterProduct) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
-	if err := checkShapes(a, b); err != nil {
+	if err := checkInputs(a, b, opts); err != nil {
 		return nil, err
 	}
-	sim, err := gpusim.New(opts.Device)
+	sim, err := simFor(opts)
 	if err != nil {
 		return nil, err
 	}

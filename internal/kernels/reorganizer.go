@@ -24,10 +24,10 @@ func (Reorganizer) Name() string { return "Block-Reorganizer" }
 
 // Multiply implements Algorithm.
 func (Reorganizer) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
-	if err := checkShapes(a, b); err != nil {
+	if err := checkInputs(a, b, opts); err != nil {
 		return nil, err
 	}
-	sim, err := gpusim.New(opts.Device)
+	sim, err := simFor(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -42,6 +42,13 @@ func (Reorganizer) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
 	plan, err := core.BuildPlanCached(a, pc.ACSC, b, pc.RowWork, params)
 	if err != nil {
 		return nil, err
+	}
+	if paranoid(opts) {
+		// Deep self-check: the transformed launch must conserve every
+		// workload and mapper invariant of the classification.
+		if err := core.VerifyPlanOnDevice(plan, opts.Device.SharedMemPerBlock); err != nil {
+			return nil, err
+		}
 	}
 	rowNNZ := pc.RowNNZ
 

@@ -17,10 +17,10 @@ func (RowProduct) Name() string { return "row-product" }
 
 // Multiply implements Algorithm.
 func (RowProduct) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
-	if err := checkShapes(a, b); err != nil {
+	if err := checkInputs(a, b, opts); err != nil {
 		return nil, err
 	}
-	sim, err := gpusim.New(opts.Device)
+	sim, err := simFor(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -54,9 +54,14 @@ func rowExpansionKernel(a, b *sparse.CSR) *gpusim.Kernel {
 	bb := newBlockBuilder()
 	threads := expansionBlockThreads
 	nnz := a.NNZ()
-	bRowNNZ := make([]int64, b.Rows)
-	for k := 0; k < b.Rows; k++ {
-		bRowNNZ[k] = int64(b.RowNNZ(k))
+	// elemWork[e] is the expansion workload of A's e-th stored element in
+	// row-major order: the population of the B row its column selects.
+	elemWork := make([]int64, 0, nnz)
+	for i := 0; i < a.Rows; i++ {
+		idx, _ := a.Row(i)
+		for _, k := range idx {
+			elemWork = append(elemWork, int64(b.RowNNZ(k)))
+		}
 	}
 	for e0 := 0; e0 < nnz; e0 += threads {
 		var maxWarp, sumWarp, sumThread int64
@@ -68,7 +73,7 @@ func rowExpansionKernel(a, b *sparse.CSR) *gpusim.Kernel {
 				if e >= nnz {
 					break
 				}
-				work := bRowNNZ[a.Idx[e]]
+				work := elemWork[e]
 				sumThread += work
 				if work > warpMax {
 					warpMax = work

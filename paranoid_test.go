@@ -1,0 +1,55 @@
+package blockreorg
+
+import (
+	"math"
+	"testing"
+
+	"github.com/blockreorg/blockreorg/sparse"
+	"github.com/blockreorg/blockreorg/sparse/rmat"
+)
+
+// TestParanoidAllAlgorithms is the sanitizer acceptance run: every
+// algorithm multiplies an R-MAT input with the full deep-check layer on —
+// operand CheckDeep, plan verification, and per-grid kernel checks — and
+// must produce the reference product with no sanitizer complaint.
+func TestParanoidAllAlgorithms(t *testing.T) {
+	a, err := rmat.PowerLaw(1500, 18000, 2.05, 57)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sparse.Multiply(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := Algorithms()
+	if len(algs) != 7 {
+		t.Fatalf("expected 7 algorithms, got %d", len(algs))
+	}
+	for _, alg := range algs {
+		res, err := Multiply(a, a, Options{Algorithm: alg, Paranoid: true})
+		if err != nil {
+			t.Errorf("%s with Paranoid: %v", alg, err)
+			continue
+		}
+		if !res.C.Equal(want, 1e-9) {
+			t.Errorf("%s with Paranoid: product differs from reference", alg)
+		}
+	}
+}
+
+// TestParanoidRejectsCorruptOperand proves the flag has teeth: an operand
+// whose values are corrupted in a way shallow validation cannot see is
+// accepted without Paranoid and rejected with it.
+func TestParanoidRejectsCorruptOperand(t *testing.T) {
+	a, err := rmat.PowerLaw(300, 2500, 2.2, 58)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Val[0] = math.NaN()
+	if _, err := Multiply(a, a, Options{}); err != nil {
+		t.Fatalf("non-paranoid run should not inspect values: %v", err)
+	}
+	if _, err := Multiply(a, a, Options{Paranoid: true}); err == nil {
+		t.Fatal("Paranoid run accepted a NaN operand")
+	}
+}

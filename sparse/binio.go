@@ -147,6 +147,9 @@ func ReadBinary(r io.Reader) (*CSR, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBinaryFormat, err)
 	}
+	if k := firstNonFinite(m.Val); k >= 0 {
+		return nil, fmt.Errorf("%w: non-finite value at position %d", ErrBinaryFormat, k)
+	}
 	return m, nil
 }
 

@@ -1,0 +1,58 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// Deep sanitizer layer. Validate covers the structural CSR/CSC contract
+// (pointer monotonicity, sorted in-range indices, no duplicates, consistent
+// lengths); CheckDeep re-runs it and additionally rejects non-finite values
+// and pointer arrays that alias past the storage — the silent corruptions
+// that survive structural checks but poison every downstream product. It is
+// the runtime half of the blockreorg-vet tooling and is wired behind the
+// library's Paranoid mode.
+
+// CheckDeep validates the full format contract plus value-level sanity: no
+// NaN or infinite stored values, and no pointer entry outside [0, nnz]. It
+// costs O(nnz) and is intended for Paranoid mode and tests, not hot paths.
+func (m *CSR) CheckDeep() error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	for i, p := range m.Ptr {
+		if p < 0 || p > len(m.Idx) {
+			return fmt.Errorf("sparse: ptr[%d] = %d outside [0, %d]", i, p, len(m.Idx))
+		}
+	}
+	if k := firstNonFinite(m.Val); k >= 0 {
+		return fmt.Errorf("sparse: non-finite value %v at position %d", m.Val[k], k)
+	}
+	return nil
+}
+
+// CheckDeep is the CSC counterpart of (*CSR).CheckDeep.
+func (m *CSC) CheckDeep() error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	for j, p := range m.Ptr {
+		if p < 0 || p > len(m.Idx) {
+			return fmt.Errorf("sparse: ptr[%d] = %d outside [0, %d]", j, p, len(m.Idx))
+		}
+	}
+	if k := firstNonFinite(m.Val); k >= 0 {
+		return fmt.Errorf("sparse: non-finite value %v at position %d", m.Val[k], k)
+	}
+	return nil
+}
+
+// firstNonFinite returns the index of the first NaN or ±Inf entry, or -1.
+func firstNonFinite(vals []float64) int {
+	for k, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return k
+		}
+	}
+	return -1
+}

@@ -1,0 +1,63 @@
+package sparse
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCheckDeepValid(t *testing.T) {
+	cases := map[string]*CSR{
+		"empty":      NewCSR(0, 0),
+		"no entries": NewCSR(4, 3),
+		"single row": {Rows: 1, Cols: 3, Ptr: []int{0, 2}, Idx: []int{0, 2}, Val: []float64{1, -2}},
+		"dense-ish": {Rows: 2, Cols: 2, Ptr: []int{0, 2, 4},
+			Idx: []int{0, 1, 0, 1}, Val: []float64{1, 2, 3, 4}},
+	}
+	for name, m := range cases {
+		if err := m.CheckDeep(); err != nil {
+			t.Errorf("%s: CheckDeep = %v, want nil", name, err)
+		}
+	}
+}
+
+func TestCheckDeepRejectsNonFinite(t *testing.T) {
+	for name, bad := range map[string]float64{
+		"NaN":  math.NaN(),
+		"+Inf": math.Inf(1),
+		"-Inf": math.Inf(-1),
+	} {
+		m := &CSR{Rows: 1, Cols: 2, Ptr: []int{0, 2}, Idx: []int{0, 1}, Val: []float64{1, bad}}
+		err := m.CheckDeep()
+		if err == nil || !strings.Contains(err.Error(), "non-finite") {
+			t.Errorf("%s: CheckDeep = %v, want non-finite error", name, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: Validate = %v; non-finite values are CheckDeep's job", name, err)
+		}
+	}
+}
+
+func TestCheckDeepRejectsPtrPastStorage(t *testing.T) {
+	// Monotone and consistent with a stale nnz total, but pointing past
+	// the backing arrays — the aliasing corruption Validate alone can
+	// miss when storage was truncated after construction.
+	m := &CSR{Rows: 2, Cols: 4, Ptr: []int{0, 3, 5}, Idx: []int{0, 1}, Val: []float64{1, 2}}
+	if err := m.CheckDeep(); err == nil {
+		t.Fatal("CheckDeep accepted ptr entries past storage")
+	}
+}
+
+func TestCheckDeepCSC(t *testing.T) {
+	good := &CSC{Rows: 3, Cols: 1, Ptr: []int{0, 2}, Idx: []int{0, 2}, Val: []float64{1, 2}}
+	if err := good.CheckDeep(); err != nil {
+		t.Fatalf("valid single-column CSC rejected: %v", err)
+	}
+	bad := &CSC{Rows: 3, Cols: 1, Ptr: []int{0, 2}, Idx: []int{0, 2}, Val: []float64{1, math.NaN()}}
+	if err := bad.CheckDeep(); err == nil {
+		t.Fatal("CheckDeep accepted NaN in CSC")
+	}
+	if err := NewCSC(0, 0).CheckDeep(); err != nil {
+		t.Fatalf("empty CSC rejected: %v", err)
+	}
+}

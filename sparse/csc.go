@@ -38,6 +38,19 @@ func (m *CSC) Col(j int) (idx []int, val []float64) {
 	return m.Idx[lo:hi], m.Val[lo:hi]
 }
 
+// AppendCol appends the entries of column j during left-to-right
+// construction of a matrix created with NewCSC: idx/val (sorted,
+// duplicate-free, equal length) become the column's storage and the pointer
+// array is advanced. Columns must be appended in ascending order with no
+// gaps; misuse is caught by Validate. It is the sanctioned way to build a
+// CSC incrementally without touching Ptr/Idx/Val directly (the
+// blockreorg-vet rawindex rule).
+func (m *CSC) AppendCol(j int, idx []int, val []float64) {
+	m.Idx = append(m.Idx, idx...)
+	m.Val = append(m.Val, val...)
+	m.Ptr[j+1] = len(m.Idx)
+}
+
 // At returns the value at (i, j), or zero if the entry is not stored.
 func (m *CSC) At(i, j int) float64 {
 	idx, val := m.Col(j)

@@ -36,6 +36,25 @@ func (m *CSR) Row(i int) (idx []int, val []float64) {
 	return m.Idx[lo:hi], m.Val[lo:hi]
 }
 
+// AppendRow appends the entries of row i during top-to-bottom construction
+// of a matrix created with NewCSR: idx/val (sorted, duplicate-free, equal
+// length) become the row's storage and the pointer array is advanced. Rows
+// must be appended in ascending order with no gaps; misuse is caught by
+// Validate. It is the sanctioned way to build a CSR incrementally without
+// touching Ptr/Idx/Val directly (the blockreorg-vet rawindex rule).
+func (m *CSR) AppendRow(i int, idx []int, val []float64) {
+	m.Idx = append(m.Idx, idx...)
+	m.Val = append(m.Val, val...)
+	m.Ptr[i+1] = len(m.Idx)
+}
+
+// Fill sets every stored value to v in place, keeping the structure.
+func (m *CSR) Fill(v float64) {
+	for k := range m.Val {
+		m.Val[k] = v
+	}
+}
+
 // At returns the value at (i, j), or zero if the entry is not stored.
 // Entries within the row must be sorted (binary search is used).
 func (m *CSR) At(i, j int) float64 {

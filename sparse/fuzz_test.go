@@ -7,8 +7,8 @@ import (
 )
 
 // FuzzReadMatrixMarket feeds arbitrary bytes to the Matrix Market parser:
-// it must either return an error or a structurally valid matrix, never
-// panic or accept garbage silently.
+// it must either return an error or a deeply valid matrix, never panic or
+// accept garbage silently.
 func FuzzReadMatrixMarket(f *testing.F) {
 	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.5\n")
 	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n1 2\n3 3\n")
@@ -16,6 +16,15 @@ func FuzzReadMatrixMarket(f *testing.F) {
 	f.Add("")
 	f.Add("%%MatrixMarket matrix coordinate real general\n-1 2 1\n")
 	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 9999\n1 1 1\n")
+	// Seeds mirroring the binary reader's corruption taxonomy: bad magic
+	// line, wrong declared size, truncated body, out-of-range index, and
+	// non-finite values (CheckDeep must reject the latter if the parser
+	// ever lets them through).
+	f.Add("%%NotMatrixMarket matrix coordinate real general\n2 2 1\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 NaN\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 +Inf\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		m, err := ReadMatrixMarket(strings.NewReader(in))
 		if err != nil {
@@ -24,11 +33,16 @@ func FuzzReadMatrixMarket(f *testing.F) {
 		if err := m.Validate(); err != nil {
 			t.Fatalf("parser accepted a structurally invalid matrix: %v", err)
 		}
+		if err := m.CheckDeep(); err != nil {
+			t.Fatalf("parser accepted a deeply invalid matrix: %v", err)
+		}
 	})
 }
 
 // FuzzReadBinary feeds arbitrary bytes to the binary CSR reader with the
-// same contract.
+// same contract. The seed corpus replays every corruption case from
+// TestBinaryRejectsCorruption so the fuzzer starts at the known-hostile
+// corners of the format instead of rediscovering them.
 func FuzzReadBinary(f *testing.F) {
 	m := NewCSR(2, 2)
 	m.Idx = []int{0, 1}
@@ -38,9 +52,31 @@ func FuzzReadBinary(f *testing.F) {
 	if err := WriteBinary(&buf, m); err != nil {
 		f.Fatal(err)
 	}
-	f.Add(buf.Bytes())
+	good := buf.Bytes()
+	f.Add(good)
 	f.Add([]byte("CSRB"))
 	f.Add([]byte{})
+
+	// binio_test.go corruption cases as seeds.
+	mutate := func(fn func([]byte)) []byte {
+		c := append([]byte(nil), good...)
+		fn(c)
+		return c
+	}
+	f.Add(mutate(func(c []byte) { c[0] = 'X' })) // bad magic
+	f.Add(mutate(func(c []byte) { c[4] = 99 }))  // bad version
+	f.Add(good[:len(good)-5])                    // truncated
+	f.Add(mutate(func(c []byte) {                // corrupt ptr: second entry
+		c[4+4+24+8] = 0xFF
+		c[4+4+24+9] = 0xFF
+	}))
+	// Absurd header: rows = 2^60, from TestBinaryRejectsAbsurdHeader.
+	absurd := append([]byte(nil), binMagic[:]...)
+	absurd = append(absurd, 1, 0, 0, 0)
+	absurd = append(absurd, 0, 0, 0, 0, 0, 0, 0, 16)
+	absurd = append(absurd, make([]byte, 16)...)
+	f.Add(absurd)
+
 	f.Fuzz(func(t *testing.T, in []byte) {
 		m, err := ReadBinary(bytes.NewReader(in))
 		if err != nil {
@@ -48,6 +84,9 @@ func FuzzReadBinary(f *testing.F) {
 		}
 		if err := m.Validate(); err != nil {
 			t.Fatalf("binary reader accepted an invalid matrix: %v", err)
+		}
+		if err := m.CheckDeep(); err != nil {
+			t.Fatalf("binary reader accepted a deeply invalid matrix: %v", err)
 		}
 	})
 }

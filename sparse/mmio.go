@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -97,6 +98,9 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 			v, err = strconv.ParseFloat(parts[2], 64)
 			if err != nil {
 				return nil, fmt.Errorf("%w: bad value %q", ErrMatrixMarket, line)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: non-finite value %q", ErrMatrixMarket, line)
 			}
 		}
 		if i < 1 || i > rows || j < 1 || j > cols {
