@@ -100,17 +100,27 @@ type Options struct {
 	DisableSplit  bool
 	DisableGather bool
 	DisableLimit  bool
+
+	// Plan optionally supplies a reusable preprocessing plan built by
+	// NewPlan (directly or via Result.ReusablePlan) and bound to the
+	// operands with Plan.Rebind. The multiplication then skips the
+	// precalculation and classification work — the serving layer's
+	// plan-cache fast path. Requires Algorithm == BlockReorganizer (or
+	// empty) and a plan bound to exactly (a, b); anything else is
+	// ErrInvalidOptions. The plan's embedded tuning governs the run, so
+	// the tuning fields above are ignored.
+	Plan *Plan
 }
 
 // PlanSummary reports the Block Reorganizer classification of a run.
 type PlanSummary struct {
-	Pairs          int
-	Dominators     int
-	Normals        int
-	LowPerformers  int
-	SplitBlocks    int
-	CombinedBlocks int
-	LimitedRows    int
+	Pairs          int `json:"pairs"`
+	Dominators     int `json:"dominators"`
+	Normals        int `json:"normals"`
+	LowPerformers  int `json:"low_performers"`
+	SplitBlocks    int `json:"split_blocks"`
+	CombinedBlocks int `json:"combined_blocks"`
+	LimitedRows    int `json:"limited_rows"`
 }
 
 // Result is the outcome of a multiplication.
@@ -140,11 +150,52 @@ type Result struct {
 	// Plan summarizes the Block Reorganizer classification (nil for other
 	// algorithms).
 	Plan *PlanSummary
+	// PlanReused reports that the run was driven by a caller-supplied
+	// reusable plan (Options.Plan), skipping the precalculation phase.
+	PlanReused bool
+
+	// plan is the reusable preprocessing handle the run built or used;
+	// see ReusablePlan.
+	plan *Plan
 }
+
+// ReusablePlan returns the preprocessing plan this run built (or reused),
+// ready to be cached and rebound to later operands with the same sparsity
+// structure. It is nil for algorithms other than the Block Reorganizer;
+// see NewPlan to build one without multiplying.
+func (r *Result) ReusablePlan() *Plan { return r.plan }
 
 // Multiply computes C = A×B with the configured algorithm on the simulated
 // device.
+//
+// Faults in the request itself — nil or incompatible operands, unknown
+// algorithm or device names, out-of-range tuning — are reported as
+// ErrDimensionMismatch, ErrUnknownAlgorithm or ErrInvalidOptions (matched
+// with errors.Is); any other error is an internal fault of the library.
 func Multiply(a, b *sparse.CSR, opts Options) (*Result, error) {
+	alg, kopts, err := resolveOptions(a, b, &opts)
+	if err != nil {
+		return nil, err
+	}
+	p, err := alg.Multiply(a, b, kopts)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(p, opts.Algorithm), nil
+}
+
+// resolveOptions validates the operands and options, fills defaults in
+// place, and builds the internal kernel options. All client faults are
+// mapped onto the package's typed errors here, in one place.
+func resolveOptions(a, b *sparse.CSR, opts *Options) (kernels.Algorithm, kernels.Options, error) {
+	var kopts kernels.Options
+	if a == nil || b == nil {
+		return nil, kopts, fmt.Errorf("%w: nil operand", ErrInvalidOptions)
+	}
+	if a.Cols != b.Rows {
+		return nil, kopts, fmt.Errorf("%w: cannot multiply %dx%d by %dx%d",
+			ErrDimensionMismatch, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
 	if opts.Algorithm == "" {
 		opts.Algorithm = BlockReorganizer
 	}
@@ -153,13 +204,13 @@ func Multiply(a, b *sparse.CSR, opts Options) (*Result, error) {
 	}
 	alg, err := kernels.ByName(string(opts.Algorithm))
 	if err != nil {
-		return nil, fmt.Errorf("blockreorg: unknown algorithm %q", opts.Algorithm)
+		return nil, kopts, fmt.Errorf("%w: %q", ErrUnknownAlgorithm, opts.Algorithm)
 	}
 	dev, err := gpusim.ByName(string(opts.GPU))
 	if err != nil {
-		return nil, fmt.Errorf("blockreorg: unknown GPU %q", opts.GPU)
+		return nil, kopts, fmt.Errorf("%w: unknown GPU %q", ErrInvalidOptions, opts.GPU)
 	}
-	kopts := kernels.Options{
+	kopts = kernels.Options{
 		Device:     dev,
 		SkipValues: opts.SkipValues,
 		Paranoid:   opts.Paranoid,
@@ -174,11 +225,22 @@ func Multiply(a, b *sparse.CSR, opts Options) (*Result, error) {
 			DisableLimit:        opts.DisableLimit,
 		},
 	}
-	p, err := alg.Multiply(a, b, kopts)
-	if err != nil {
-		return nil, err
+	if _, err := kopts.Core.Normalize(); err != nil {
+		return nil, kopts, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
 	}
-	return wrapResult(p, opts.Algorithm), nil
+	if opts.Plan != nil {
+		if opts.Algorithm != BlockReorganizer {
+			return nil, kopts, fmt.Errorf("%w: plan reuse requires the %s algorithm, got %q",
+				ErrInvalidOptions, BlockReorganizer, opts.Algorithm)
+		}
+		if !opts.Plan.BoundTo(a, b) {
+			return nil, kopts, fmt.Errorf("%w: supplied plan is not bound to the operands (use Plan.Rebind)",
+				ErrInvalidOptions)
+		}
+		kopts.Plan = opts.Plan.plan
+		kopts.Pre = opts.Plan.pre
+	}
+	return alg, kopts, nil
 }
 
 // wrapResult converts an internal product into the public Result.
@@ -194,6 +256,10 @@ func wrapResult(p *kernels.Product, alg Algorithm) *Result {
 		GFLOPS:           p.GFLOPS(),
 		Algorithm:        alg,
 		Device:           p.Report.Device,
+		PlanReused:       p.PlanReused,
+	}
+	if p.Plan != nil {
+		res.plan = &Plan{plan: p.Plan, pre: p.Pre}
 	}
 	for _, k := range p.Report.Kernels {
 		res.BlocksLaunched += k.BlocksExecuted
@@ -231,7 +297,7 @@ func Compare(a, b *sparse.CSR, gpu GPU) ([]*Result, error) {
 	}
 	dev, err := gpusim.ByName(string(gpu))
 	if err != nil {
-		return nil, fmt.Errorf("blockreorg: unknown GPU %q", gpu)
+		return nil, fmt.Errorf("%w: unknown GPU %q", ErrInvalidOptions, gpu)
 	}
 	pc, err := kernels.Precompute(a, b)
 	if err != nil {

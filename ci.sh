@@ -31,6 +31,6 @@ echo "==> blockreorg-vet"
 go run ./cmd/blockreorg-vet ./...
 
 echo "==> go test -race (paranoid)"
-BLOCKREORG_PARANOID=1 go test -race ./internal/core/... ./internal/gpusim/... ./sparse/...
+BLOCKREORG_PARANOID=1 go test -race . ./internal/core/... ./internal/gpusim/... ./sparse/... ./server/...
 
 echo "ci.sh: all gates passed"

@@ -1,0 +1,294 @@
+// Command spgemmctl is the client for spgemmd:
+//
+//	spgemmctl -server http://localhost:8447 matrices
+//	spgemmctl upload -name wiki -file wiki.mtx
+//	spgemmctl multiply -a wiki -gpu "Tesla V100" -values -o product.mtx
+//	spgemmctl job -id j-3
+//	spgemmctl metrics
+//
+// multiply submits the job and polls it to completion, printing the
+// profile (and whether the run hit the server's plan cache).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/blockreorg/blockreorg/server"
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+func main() {
+	serverURL := flag.String("server", "http://localhost:8447", "spgemmd base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "spgemmctl: missing subcommand (matrices | upload | multiply | job | metrics)")
+		os.Exit(2)
+	}
+	c := &client{base: strings.TrimRight(*serverURL, "/"), out: os.Stdout}
+	var err error
+	switch args[0] {
+	case "matrices":
+		err = c.matrices()
+	case "upload":
+		err = c.upload(args[1:])
+	case "multiply":
+		err = c.multiply(args[1:])
+	case "job":
+		err = c.job(args[1:])
+	case "metrics":
+		err = c.metrics()
+	default:
+		err = fmt.Errorf("unknown subcommand %q", args[0])
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spgemmctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// client wraps the HTTP conversation with one spgemmd instance.
+type client struct {
+	base string
+	out  io.Writer
+}
+
+// getJSON decodes a GET response into v, surfacing the server's error
+// envelope on non-2xx statuses.
+func (c *client) getJSON(path string, v any) error {
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, v)
+}
+
+// postJSON posts body and decodes the response into v.
+func (c *client) postJSON(path string, body, v any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, v)
+}
+
+// decodeResponse maps non-2xx statuses to errors via the envelope.
+func decodeResponse(resp *http.Response, v any) error {
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&envelope) == nil && envelope.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, envelope.Error)
+		}
+		return fmt.Errorf("server returned %s", resp.Status)
+	}
+	if v == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func (c *client) matrices() error {
+	var listing struct {
+		Matrices []struct {
+			Name        string `json:"name"`
+			Rows        int    `json:"rows"`
+			Cols        int    `json:"cols"`
+			NNZ         int    `json:"nnz"`
+			Fingerprint string `json:"fingerprint"`
+		} `json:"matrices"`
+	}
+	if err := c.getJSON("/v1/matrices", &listing); err != nil {
+		return err
+	}
+	if len(listing.Matrices) == 0 {
+		fmt.Fprintln(c.out, "no matrices registered")
+		return nil
+	}
+	for _, m := range listing.Matrices {
+		fmt.Fprintf(c.out, "%-20s %9dx%-9d nnz=%-10d fp=%s\n", m.Name, m.Rows, m.Cols, m.NNZ, m.Fingerprint)
+	}
+	return nil
+}
+
+func (c *client) upload(args []string) error {
+	fs := flag.NewFlagSet("upload", flag.ContinueOnError)
+	name := fs.String("name", "", "name to register the matrix under")
+	file := fs.String("file", "", "matrix file (*.mtx or *.csrb)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" || *file == "" {
+		return fmt.Errorf("upload needs -name and -file")
+	}
+	m, err := readMatrixFile(*file)
+	if err != nil {
+		return err
+	}
+	var info struct {
+		Name        string `json:"name"`
+		Fingerprint string `json:"fingerprint"`
+	}
+	req := map[string]any{"name": *name, "coo": cooPayload(m)}
+	if err := c.postJSON("/v1/matrices", req, &info); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "registered %s (%dx%d, nnz=%d, fp=%s)\n", info.Name, m.Rows, m.Cols, m.NNZ(), info.Fingerprint)
+	return nil
+}
+
+// readMatrixFile loads an operand by extension.
+func readMatrixFile(path string) (*sparse.CSR, error) {
+	switch {
+	case strings.HasSuffix(path, ".mtx"):
+		return sparse.ReadMatrixMarketFile(path)
+	case strings.HasSuffix(path, ".csrb"):
+		return sparse.ReadBinaryFile(path)
+	default:
+		return nil, fmt.Errorf("%s: unknown matrix format (want .mtx or .csrb)", path)
+	}
+}
+
+// cooPayload converts a CSR for the wire.
+func cooPayload(m *sparse.CSR) *server.COOPayload {
+	coo := m.ToCOO()
+	return &server.COOPayload{Rows: coo.Rows, Cols: coo.Cols, I: coo.I, J: coo.J, V: coo.V}
+}
+
+func (c *client) multiply(args []string) error {
+	fs := flag.NewFlagSet("multiply", flag.ContinueOnError)
+	a := fs.String("a", "", "registered name of operand A")
+	b := fs.String("b", "", "registered name of operand B (default: A, computing A²)")
+	alg := fs.String("alg", "", "algorithm (default Block-Reorganizer)")
+	gpu := fs.String("gpu", "", "simulated device (default: the worker's)")
+	values := fs.Bool("values", false, "fetch the product values")
+	outFile := fs.String("o", "", "write the product to this Matrix Market file (implies -values)")
+	timeout := fs.Duration("timeout", 0, "job deadline (0: server default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *a == "" {
+		return fmt.Errorf("multiply needs -a")
+	}
+	req := server.MultiplyRequest{
+		A:             server.Operand{Name: *a},
+		Algorithm:     *alg,
+		GPU:           *gpu,
+		ReturnValues:  *values || *outFile != "",
+		TimeoutMillis: timeout.Milliseconds(),
+	}
+	if *b != "" {
+		req.B = &server.Operand{Name: *b}
+	}
+	var accepted struct {
+		Job string `json:"job"`
+	}
+	if err := c.postJSON("/v1/multiply", req, &accepted); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "job %s accepted\n", accepted.Job)
+
+	st, err := c.poll(accepted.Job)
+	if err != nil {
+		return err
+	}
+	if st.State == server.StateFailed {
+		return fmt.Errorf("job %s failed (%s): %s", st.ID, st.ErrorKind, st.Error)
+	}
+	c.printResult(st.Result)
+	if *outFile != "" && st.Result.Values != nil {
+		coo := sparse.NewCOO(st.Result.Values.Rows, st.Result.Values.Cols, len(st.Result.Values.I))
+		for k := range st.Result.Values.I {
+			coo.Add(st.Result.Values.I[k], st.Result.Values.J[k], st.Result.Values.V[k])
+		}
+		if err := sparse.WriteMatrixMarketFile(*outFile, coo.ToCSR()); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "product written to %s\n", *outFile)
+	}
+	return nil
+}
+
+// poll waits for a job to reach a terminal state.
+func (c *client) poll(id string) (*server.JobStatus, error) {
+	for {
+		var st server.JobStatus
+		if err := c.getJSON("/v1/jobs/"+id, &st); err != nil {
+			return nil, err
+		}
+		if st.State == server.StateDone || st.State == server.StateFailed {
+			return &st, nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// printResult renders a completed job's profile.
+func (c *client) printResult(r *server.JobResult) {
+	if r == nil {
+		return
+	}
+	fmt.Fprintf(c.out, "%s on %s: %dx%d, nnz(C)=%d, flops=%d\n",
+		r.Algorithm, r.Device, r.Rows, r.Cols, r.NNZC, r.Flops)
+	fmt.Fprintf(c.out, "  simulated %.6fs (expansion %.6fs, merge %.6fs, host %.6fs) — %.2f GFLOPS\n",
+		r.TotalSeconds, r.ExpansionSeconds, r.MergeSeconds, r.HostSeconds, r.GFLOPS)
+	if r.PlanCacheHit {
+		fmt.Fprintf(c.out, "  plan cache: HIT (precalculation skipped)\n")
+	} else {
+		fmt.Fprintf(c.out, "  plan cache: miss\n")
+	}
+	if r.Plan != nil {
+		fmt.Fprintf(c.out, "  plan: %d pairs, %d dominators, %d low performers, %d split, %d combined, %d limited rows\n",
+			r.Plan.Pairs, r.Plan.Dominators, r.Plan.LowPerformers, r.Plan.SplitBlocks, r.Plan.CombinedBlocks, r.Plan.LimitedRows)
+	}
+	fmt.Fprintf(c.out, "  wall %.3fs\n", r.WallSeconds)
+}
+
+func (c *client) job(args []string) error {
+	fs := flag.NewFlagSet("job", flag.ContinueOnError)
+	id := fs.String("id", "", "job id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("job needs -id")
+	}
+	var st server.JobStatus
+	if err := c.getJSON("/v1/jobs/"+*id, &st); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "job %s: %s\n", st.ID, st.State)
+	if st.State == server.StateFailed {
+		fmt.Fprintf(c.out, "  %s: %s\n", st.ErrorKind, st.Error)
+	}
+	c.printResult(st.Result)
+	return nil
+}
+
+func (c *client) metrics() error {
+	resp, err := http.Get(c.base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server returned %s", resp.Status)
+	}
+	_, err = io.Copy(c.out, resp.Body)
+	return err
+}

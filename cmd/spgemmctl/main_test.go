@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/blockreorg/blockreorg/server"
+	"github.com/blockreorg/blockreorg/sparse"
+	"github.com/blockreorg/blockreorg/sparse/rmat"
+)
+
+// newBackend stands up a real spgemmd server for the client to talk to.
+func newBackend(t *testing.T) (*server.Server, *client, *bytes.Buffer) {
+	t.Helper()
+	s, err := server.New(server.Config{Workers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	var out bytes.Buffer
+	return s, &client{base: ts.URL, out: &out}, &out
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	_, c, out := newBackend(t)
+
+	// Empty listing.
+	if err := c.matrices(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no matrices registered") {
+		t.Fatalf("empty listing output: %q", out.String())
+	}
+	out.Reset()
+
+	// Upload a Matrix Market file.
+	dir := t.TempDir()
+	m, err := rmat.PowerLaw(200, 2500, 2.1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "net.mtx")
+	if err := sparse.WriteMatrixMarketFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.upload([]string{"-name", "net", "-file", path}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "registered net") {
+		t.Fatalf("upload output: %q", out.String())
+	}
+	out.Reset()
+
+	// The listing now shows it.
+	if err := c.matrices(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "net") {
+		t.Fatalf("listing output: %q", out.String())
+	}
+	out.Reset()
+
+	// Multiply to completion, writing the product out.
+	product := filepath.Join(dir, "c.mtx")
+	if err := c.multiply([]string{"-a", "net", "-o", product}); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"accepted", "plan cache: miss", "product written"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("multiply output missing %q:\n%s", want, text)
+		}
+	}
+	out.Reset()
+
+	// The written product matches a direct read-back multiply.
+	got, err := sparse.ReadMatrixMarketFile(product)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != m.Rows || got.Cols != m.Cols || got.NNZ() == 0 {
+		t.Fatalf("product file is %dx%d nnz %d", got.Rows, got.Cols, got.NNZ())
+	}
+
+	// A second multiply hits the plan cache.
+	if err := c.multiply([]string{"-a", "net"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "plan cache: HIT") {
+		t.Fatalf("repeat multiply output: %q", out.String())
+	}
+	out.Reset()
+
+	// Metrics pass through raw.
+	if err := c.metrics(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "spgemmd_plancache_hits_total 1") {
+		t.Fatalf("metrics output: %q", out.String())
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	_, c, _ := newBackend(t)
+	if err := c.multiply([]string{"-a", "nope"}); err == nil || !strings.Contains(err.Error(), "unknown matrix") {
+		t.Fatalf("unknown operand error = %v", err)
+	}
+	if err := c.multiply(nil); err == nil {
+		t.Fatal("multiply without -a accepted")
+	}
+	if err := c.upload([]string{"-name", "x"}); err == nil {
+		t.Fatal("upload without -file accepted")
+	}
+	if err := c.job([]string{"-id", "j-42"}); err == nil || !strings.Contains(err.Error(), "unknown job") {
+		t.Fatalf("unknown job error = %v", err)
+	}
+	if err := c.upload([]string{"-name", "x", "-file", "matrix.xls"}); err == nil || !strings.Contains(err.Error(), "unknown matrix format") {
+		t.Fatalf("bad extension error = %v", err)
+	}
+}

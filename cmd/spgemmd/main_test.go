@@ -1,0 +1,61 @@
+package main
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/blockreorg/blockreorg/sparse"
+	"github.com/blockreorg/blockreorg/sparse/rmat"
+)
+
+func TestSplitGPUs(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"TITAN Xp", []string{"TITAN Xp"}},
+		{"TITAN Xp, Tesla V100", []string{"TITAN Xp", "Tesla V100"}},
+		{" , ,Tesla V100,", []string{"Tesla V100"}},
+	}
+	for _, tc := range cases {
+		if got := splitGPUs(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("splitGPUs(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestBuildRegistryDemo(t *testing.T) {
+	reg, err := buildRegistry("", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"demo-small", "demo-medium", "demo-large"} {
+		if _, ok := reg.Get(name); !ok {
+			t.Errorf("demo registry missing %s", name)
+		}
+	}
+}
+
+func TestBuildRegistryDataDir(t *testing.T) {
+	dir := t.TempDir()
+	m, err := rmat.PowerLaw(30, 120, 2.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sparse.WriteMatrixMarketFile(filepath.Join(dir, "net.mtx"), m); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := buildRegistry(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := reg.Get("net")
+	if !ok || got.M.NNZ() != m.NNZ() {
+		t.Fatal("data-dir matrix missing or mangled")
+	}
+	if _, err := buildRegistry(filepath.Join(dir, "missing"), false); err == nil {
+		t.Fatal("missing data directory accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+// Plan reuse: the whole Block Reorganizer preprocessing pipeline —
+// precalculation, classification, B-Splitting, B-Gathering and B-Limiting —
+// depends only on the sparsity structure of the operands, never on their
+// numeric values. A long-running service multiplying against the same large
+// sparse network can therefore build the plan once and reuse it across
+// requests, paying only for value rebinding. Rebind is that entry point: it
+// produces a plan bound to fresh operand objects (possibly carrying new
+// values over the same pattern), rebuilding exactly the two value-carrying
+// artifacts — A in column orientation and the temporary split matrix A′ —
+// in O(nnz(A)) instead of re-running the O(flops) symbolic sweeps and the
+// classification.
+
+// BoundTo reports whether the plan was built for (or rebound to) exactly
+// these operand objects. Kernels use it to decide whether a caller-supplied
+// plan may drive this multiplication.
+func (p *Plan) BoundTo(a, b *sparse.CSR) bool {
+	return p != nil && p.A == a && p.B == b
+}
+
+// Rebind returns a copy of the plan bound to new operands that carry the
+// same sparsity structure as the ones it was built for. The classification,
+// split layout, gather packing and limit set are shared with the original
+// (they are immutable after construction and structure-only); the column
+// orientation of A and the split matrix A′ are rebuilt from the new values.
+//
+// Rebind verifies the cheap structural invariants — dimensions, nnz totals,
+// per-row populations of B and per-column populations of A — and rejects
+// operands that fail them. Full pattern equality is the caller's contract,
+// normally discharged by matching sparse.StructureFingerprint digests;
+// Paranoid mode additionally re-verifies the rebound plan on the device.
+//
+// The original plan is not modified; both plans may execute concurrently.
+func (p *Plan) Rebind(a, b *sparse.CSR) (*Plan, error) {
+	if p == nil {
+		return nil, errors.New("core: rebind of nil plan")
+	}
+	if a == nil || b == nil {
+		return nil, errors.New("core: nil operand")
+	}
+	if p.BoundTo(a, b) {
+		return p, nil
+	}
+	if a.Rows != p.A.Rows || a.Cols != p.A.Cols || b.Rows != p.B.Rows || b.Cols != p.B.Cols {
+		return nil, fmt.Errorf("core: cannot rebind plan built for %dx%d × %dx%d to %dx%d × %dx%d",
+			p.A.Rows, p.A.Cols, p.B.Rows, p.B.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if a.NNZ() != p.A.NNZ() || b.NNZ() != p.B.NNZ() {
+		return nil, fmt.Errorf("core: cannot rebind plan built for nnz (%d, %d) to nnz (%d, %d)",
+			p.A.NNZ(), p.B.NNZ(), a.NNZ(), b.NNZ())
+	}
+	for i := 0; i < b.Rows; i++ {
+		if b.RowNNZ(i) != p.B.RowNNZ(i) {
+			return nil, fmt.Errorf("core: rebind operand B row %d holds %d entries, plan expects %d",
+				i, b.RowNNZ(i), p.B.RowNNZ(i))
+		}
+	}
+	acsc := a.ToCSC()
+	for j := 0; j < acsc.Cols; j++ {
+		if acsc.ColNNZ(j) != p.ACSC.ColNNZ(j) {
+			return nil, fmt.Errorf("core: rebind operand A column %d holds %d entries, plan expects %d",
+				j, acsc.ColNNZ(j), p.ACSC.ColNNZ(j))
+		}
+	}
+	q := *p
+	q.A, q.ACSC, q.B = a, acsc, b
+	// A′ holds copies of the dominator column values; rebuild it so the
+	// rebound plan multiplies with the new operand's numbers. The chunk
+	// boundaries are safe: every column population was just checked.
+	split := *p.Split
+	split.buildAPrime(acsc)
+	q.Split = &split
+	return &q, nil
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/blockreorg/blockreorg/sparse"
+	"github.com/blockreorg/blockreorg/sparse/rmat"
+)
+
+// reuseOperands builds a skewed test pair large enough to have dominators,
+// normals and low performers.
+func reuseOperands(t *testing.T) (*sparse.CSR, *sparse.CSR) {
+	t.Helper()
+	a, err := rmat.PowerLaw(400, 6000, 2.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, a
+}
+
+func TestPlanRebindSameStructureNewValues(t *testing.T) {
+	a, b := reuseOperands(t)
+	plan, err := BuildPlan(a, b, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sparse.Multiply(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// New operand objects: identical structure, different values.
+	a2 := a.Clone()
+	a2.Scale(3)
+	b2 := b.Clone()
+	b2.Fill(0.5)
+
+	re, err := plan.Rebind(a2, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.BoundTo(a2, b2) {
+		t.Fatal("rebound plan not bound to new operands")
+	}
+	if plan.BoundTo(a2, b2) {
+		t.Fatal("original plan claims the new operands")
+	}
+	if err := re.Validate(); err != nil {
+		t.Fatalf("rebound plan invalid: %v", err)
+	}
+	if err := VerifyPlan(re); err != nil {
+		t.Fatalf("rebound plan fails verification: %v", err)
+	}
+
+	// The rebound plan must multiply with the NEW values.
+	got, err := re.Execute(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := sparse.Multiply(a2, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want2, 1e-9) {
+		t.Fatal("rebound plan computed the wrong product")
+	}
+
+	// The original plan still multiplies with the OLD values.
+	got0, err := plan.Execute(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got0.Equal(want, 1e-9) {
+		t.Fatal("original plan corrupted by rebind")
+	}
+
+	// Structure-only phases are shared, value-bound ones are not.
+	if re.Cls != plan.Cls || re.Gather != plan.Gather || re.Limit != plan.Limit {
+		t.Fatal("rebind did not share the structure-only phases")
+	}
+	if re.Split == plan.Split || re.Split.APrime == plan.Split.APrime {
+		t.Fatal("rebind shared the value-carrying split matrix")
+	}
+}
+
+func TestPlanRebindSameOperandsIsIdentity(t *testing.T) {
+	a, b := reuseOperands(t)
+	plan, err := BuildPlan(a, b, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := plan.Rebind(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re != plan {
+		t.Fatal("rebinding to the bound operands should return the plan unchanged")
+	}
+}
+
+func TestPlanRebindRejectsStructureMismatch(t *testing.T) {
+	a, b := reuseOperands(t)
+	plan, err := BuildPlan(a, b, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Different dimensions.
+	small := sparse.NewCSR(3, 3)
+	if _, err := plan.Rebind(small, small); err == nil {
+		t.Fatal("rebind accepted operands of different dimensions")
+	}
+
+	// Same dimensions and nnz, one entry moved between columns (changes
+	// the column populations the split layout depends on).
+	moved := a.ToCOO()
+	moved.J[0] = (moved.J[0] + 1) % moved.Cols
+	a3 := moved.ToCSR()
+	if a3.NNZ() == a.NNZ() {
+		if _, err := plan.Rebind(a3, b); err == nil {
+			t.Fatal("rebind accepted an operand with a moved entry")
+		}
+	}
+
+	// Nil operands.
+	if _, err := plan.Rebind(nil, b); err == nil {
+		t.Fatal("rebind accepted a nil operand")
+	}
+}

@@ -52,6 +52,14 @@ type Options struct {
 	// (the benchmark harness) pay for it once. Ignored when it does not
 	// match the operands.
 	Pre *Precomputed
+	// Plan optionally supplies a previously built Block Reorganizer plan
+	// bound to exactly these operands (core.Plan.Rebind) — the serving
+	// layer's plan-cache fast path. When it is bound, the Reorganizer
+	// skips plan construction and the precalculation kernel; the plan's
+	// embedded Params govern the run and Core is ignored. Other
+	// algorithms ignore it, as does the Reorganizer when the plan is not
+	// bound to the operands.
+	Plan *core.Plan
 }
 
 // Product is the outcome of one multiplication.
@@ -65,6 +73,16 @@ type Product struct {
 	NNZC  int64
 	// PlanStats is populated by the Reorganizer (classification counts).
 	PlanStats *core.PlanStats
+	// Plan is the full Block Reorganizer plan the run used or built
+	// (Reorganizer only). Callers may cache it and Rebind it to later
+	// operands with the same sparsity structure.
+	Plan *core.Plan
+	// Pre is the symbolic analysis of the operands when the run had one
+	// (supplied or computed); cache it alongside Plan for reuse.
+	Pre *Precomputed
+	// PlanReused reports that Plan was supplied by the caller, so the
+	// precalculation and classification work was skipped.
+	PlanReused bool
 }
 
 // GFLOPS returns the paper's throughput metric for this run.

@@ -1,6 +1,9 @@
 package kernels
 
 import (
+	"errors"
+	"fmt"
+
 	"github.com/blockreorg/blockreorg/sparse"
 )
 
@@ -50,6 +53,37 @@ func Precompute(a, b *sparse.CSR) (*Precomputed, error) {
 		Flops:   flops,
 		NNZC:    nnzc,
 		ACSC:    a.ToCSC(),
+	}, nil
+}
+
+// Rebind returns a Precomputed for new operands that share the sparsity
+// structure of the ones this analysis was built from, reusing the symbolic
+// arrays (which are structure-only) and re-deriving only the value-bound
+// column orientation of A. acsc may supply an already-converted A (e.g.
+// the one a rebound core.Plan carries); nil converts here. The structural
+// match itself is the caller's contract — normally discharged by matching
+// sparse.StructureFingerprint digests — and only the shapes are re-checked.
+func (p *Precomputed) Rebind(a, b *sparse.CSR, acsc *sparse.CSC) (*Precomputed, error) {
+	if p == nil {
+		return nil, errors.New("kernels: rebind of nil analysis")
+	}
+	if err := checkShapes(a, b); err != nil {
+		return nil, err
+	}
+	if p.rows != a.Rows || p.mid != a.Cols || p.cols != b.Cols {
+		return nil, fmt.Errorf("kernels: cannot rebind analysis of %dx%dx%d operands to %dx%dx%d",
+			p.rows, p.mid, p.cols, a.Rows, a.Cols, b.Cols)
+	}
+	if acsc == nil {
+		acsc = a.ToCSC()
+	}
+	return &Precomputed{
+		rows: p.rows, mid: p.mid, cols: p.cols,
+		RowWork: p.RowWork,
+		RowNNZ:  p.RowNNZ,
+		Flops:   p.Flops,
+		NNZC:    p.NNZC,
+		ACSC:    acsc,
 	}, nil
 }
 

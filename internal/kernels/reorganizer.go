@@ -31,21 +31,53 @@ func (Reorganizer) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
 	if err != nil {
 		return nil, err
 	}
-	params := opts.Core
-	if params.NumSMs == 0 {
-		params.NumSMs = opts.Device.NumSMs
-	}
-	pc, err := pre(opts, a, b)
-	if err != nil {
-		return nil, err
-	}
-	plan, err := core.BuildPlanCached(a, pc.ACSC, b, pc.RowWork, params)
-	if err != nil {
-		return nil, err
+	// Plan-cache fast path: a caller-supplied plan bound to these exact
+	// operands skips construction — and, below, the precalculation kernel
+	// the plan's front-loaded analysis replaces.
+	plan := opts.Plan
+	reused := plan.BoundTo(a, b)
+	var pc *Precomputed
+	if reused {
+		if opts.Pre.matches(a, b) {
+			pc = opts.Pre
+		} else {
+			// The merge kernel still needs the structure-only row
+			// populations; recompute just those.
+			rowNNZ, err := sparse.SymbolicRowNNZ(a, b)
+			if err != nil {
+				return nil, err
+			}
+			var nnzc int64
+			for _, n := range rowNNZ {
+				nnzc += int64(n)
+			}
+			pc = &Precomputed{
+				rows: a.Rows, mid: a.Cols, cols: b.Cols,
+				RowWork: plan.Limit.RowWork,
+				RowNNZ:  rowNNZ,
+				Flops:   plan.Cls.TotalWork,
+				NNZC:    nnzc,
+				ACSC:    plan.ACSC,
+			}
+		}
+	} else {
+		params := opts.Core
+		if params.NumSMs == 0 {
+			params.NumSMs = opts.Device.NumSMs
+		}
+		pc, err = pre(opts, a, b)
+		if err != nil {
+			return nil, err
+		}
+		plan, err = core.BuildPlanCached(a, pc.ACSC, b, pc.RowWork, params)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if paranoid(opts) {
 		// Deep self-check: the transformed launch must conserve every
-		// workload and mapper invariant of the classification.
+		// workload and mapper invariant of the classification — on the
+		// reuse path this also validates the rebind.
 		if err := core.VerifyPlanOnDevice(plan, opts.Device.SharedMemPerBlock); err != nil {
 			return nil, err
 		}
@@ -67,10 +99,13 @@ func (Reorganizer) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
 	// as their own kernel, exactly as the paper's implementation copies
 	// them out; everything else shares the main expansion launch.
 	domKernel, restKernel := reorganizedExpansionKernels(plan)
-	kernels := []*gpusim.Kernel{
+	var kernels []*gpusim.Kernel
+	if !reused {
 		// One preprocessing sweep computes both the block-wise and the
-		// row-wise nnz estimates.
-		precalcKernel("precalc(block+row nnz)", plan.ACSC.Cols+a.NNZ()),
+		// row-wise nnz estimates. A reused plan already carries them, so
+		// the sweep is not launched — the serving layer's cache win.
+		kernels = append(kernels,
+			precalcKernel("precalc(block+row nnz)", plan.ACSC.Cols+a.NNZ()))
 	}
 	if len(domKernel.Blocks) > 0 {
 		kernels = append(kernels, domKernel)
@@ -89,7 +124,8 @@ func (Reorganizer) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
 	}
 
 	st := plan.Stats()
-	prod := &Product{Report: rep, Flops: plan.Cls.TotalWork, PlanStats: &st}
+	prod := &Product{Report: rep, Flops: plan.Cls.TotalWork, PlanStats: &st,
+		Plan: plan, Pre: pc, PlanReused: reused}
 	if opts.SkipValues {
 		prod.NNZC = pc.NNZC
 		return prod, nil

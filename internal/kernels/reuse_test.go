@@ -1,0 +1,93 @@
+package kernels
+
+import (
+	"testing"
+
+	"github.com/blockreorg/blockreorg/internal/gpusim"
+	"github.com/blockreorg/blockreorg/sparse/rmat"
+)
+
+// TestReorganizerPlanReuse proves the plan-cache fast path: a run with a
+// caller-supplied plan skips the precalculation kernel, reports PlanReused,
+// and still produces the exact product — including when the operand values
+// (not the structure) changed between plan build and reuse.
+func TestReorganizerPlanReuse(t *testing.T) {
+	a, err := rmat.PowerLaw(400, 6000, 2.1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := gpusim.ByName("TITAN Xp")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := Reorganizer{}.Multiply(a, a, Options{Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Plan == nil || first.Pre == nil {
+		t.Fatal("cold run did not expose its plan and analysis for caching")
+	}
+	if first.PlanReused {
+		t.Fatal("cold run claims plan reuse")
+	}
+
+	// Fresh operand objects with new values over the same structure —
+	// what a serving-layer cache hit looks like.
+	a2 := a.Clone()
+	a2.Scale(2)
+	plan, err := first.Plan.Rebind(a2, a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := first.Pre.Rebind(a2, a2, plan.ACSC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Reorganizer{}.Multiply(a2, a2, Options{Device: dev, Plan: plan, Pre: pre, Paranoid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.PlanReused {
+		t.Fatal("warm run did not reuse the supplied plan")
+	}
+
+	// The precalculation kernel must be absent from the warm report and
+	// present in the cold one.
+	countPrecalc := func(p *Product) int {
+		n := 0
+		for _, k := range p.Report.Kernels {
+			if k.Phase == gpusim.PhasePre {
+				n++
+			}
+		}
+		return n
+	}
+	if countPrecalc(first) == 0 {
+		t.Fatal("cold run billed no precalculation kernel")
+	}
+	if countPrecalc(second) != 0 {
+		t.Fatal("warm run still billed the precalculation kernel")
+	}
+	if second.Report.TotalSeconds() >= first.Report.TotalSeconds() {
+		t.Fatalf("warm run not faster: %g vs %g", second.Report.TotalSeconds(), first.Report.TotalSeconds())
+	}
+
+	// Numeric correctness against the reference for the NEW values.
+	want, err := RowProduct{}.Multiply(a2, a2, Options{Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.C.Equal(want.C, 1e-9) {
+		t.Fatal("warm run produced the wrong product for the rebound values")
+	}
+
+	// A plan not bound to the operands must be ignored, not misused.
+	third, err := Reorganizer{}.Multiply(a, a, Options{Device: dev, Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.PlanReused {
+		t.Fatal("run reused a plan bound to different operands")
+	}
+}

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServerDrain floods the server, then shuts it down mid-flight: every
+// admitted job must reach a terminal success state (zero drops), late
+// submissions must get 503, and Shutdown must return only after the pool
+// finishes. Run under -race by ci.sh.
+func TestServerDrain(t *testing.T) {
+	a := testNetwork(t, 250, 3500, 13)
+	reg := NewRegistry()
+	if _, err := reg.Register("a", a); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Workers: 4, QueueDepth: 64}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Submit from several goroutines while the pool is already running, so
+	// the drain races live workers, queued jobs, and in-flight admissions.
+	const submitters, perSubmitter = 4, 6
+	var mu sync.Mutex
+	var ids []string
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				id := submit(t, ts.URL, MultiplyRequest{A: Operand{Name: "a"}})
+				mu.Lock()
+				ids = append(ids, id)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain did not complete: %v", err)
+	}
+
+	// Post-drain submissions are refused, not queued.
+	resp := postJSON(t, ts.URL+"/v1/multiply", MultiplyRequest{A: Operand{Name: "a"}}, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit: got status %d, want 503", resp.StatusCode)
+	}
+
+	// Every admitted job finished; none were dropped or abandoned.
+	if len(ids) != submitters*perSubmitter {
+		t.Fatalf("submitted %d jobs, want %d", len(ids), submitters*perSubmitter)
+	}
+	for _, id := range ids {
+		st, ok := s.jobs.status(id)
+		if !ok {
+			t.Fatalf("job %s dropped during drain", id)
+		}
+		if st.State != StateDone {
+			t.Fatalf("job %s ended %s (%s %s), want done", id, st.State, st.ErrorKind, st.Error)
+		}
+	}
+
+	// A second Shutdown is a harmless no-op.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("repeated shutdown: %v", err)
+	}
+}

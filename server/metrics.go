@@ -1,0 +1,108 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the wall-clock service
+// time histogram, chosen to straddle the sub-millisecond plan-cache hits
+// and multi-second cold large-network jobs.
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+
+// latencyHist is a fixed-bucket cumulative histogram.
+type latencyHist struct {
+	counts []uint64 // counts[i] = observations <= latencyBuckets[i]
+	count  uint64
+	sum    float64
+}
+
+func (h *latencyHist) observe(v float64) {
+	for i, ub := range latencyBuckets {
+		if v <= ub {
+			h.counts[i]++
+		}
+	}
+	h.count++
+	h.sum += v
+}
+
+// metrics aggregates the serving counters. The plan cache and queue report
+// through their own structures; everything here is job accounting.
+type metrics struct {
+	mu        sync.Mutex
+	submitted uint64
+	completed uint64
+	failed    uint64
+	rejected  uint64
+	byAlg     map[string]*latencyHist
+}
+
+func newMetrics() *metrics {
+	return &metrics{byAlg: make(map[string]*latencyHist)}
+}
+
+func (m *metrics) addSubmitted() { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
+func (m *metrics) addRejected()  { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+func (m *metrics) addFailed()    { m.mu.Lock(); m.failed++; m.mu.Unlock() }
+
+// addCompleted records a successful job and its service latency under the
+// algorithm that ran it.
+func (m *metrics) addCompleted(alg string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.completed++
+	h, ok := m.byAlg[alg]
+	if !ok {
+		h = &latencyHist{counts: make([]uint64, len(latencyBuckets))}
+		m.byAlg[alg] = h
+	}
+	h.observe(seconds)
+}
+
+// write renders the metrics in Prometheus text exposition format. The
+// queue and cache figures are passed in by the server, which owns them.
+func (m *metrics) write(w io.Writer, cache CacheStats, queueDepth, queueCap int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fmt.Fprintf(w, "# TYPE spgemmd_jobs_submitted_total counter\n")
+	fmt.Fprintf(w, "spgemmd_jobs_submitted_total %d\n", m.submitted)
+	fmt.Fprintf(w, "# TYPE spgemmd_jobs_completed_total counter\n")
+	fmt.Fprintf(w, "spgemmd_jobs_completed_total %d\n", m.completed)
+	fmt.Fprintf(w, "# TYPE spgemmd_jobs_failed_total counter\n")
+	fmt.Fprintf(w, "spgemmd_jobs_failed_total %d\n", m.failed)
+	fmt.Fprintf(w, "# TYPE spgemmd_jobs_rejected_total counter\n")
+	fmt.Fprintf(w, "spgemmd_jobs_rejected_total %d\n", m.rejected)
+
+	fmt.Fprintf(w, "# TYPE spgemmd_queue_depth gauge\n")
+	fmt.Fprintf(w, "spgemmd_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "# TYPE spgemmd_queue_capacity gauge\n")
+	fmt.Fprintf(w, "spgemmd_queue_capacity %d\n", queueCap)
+
+	fmt.Fprintf(w, "# TYPE spgemmd_plancache_hits_total counter\n")
+	fmt.Fprintf(w, "spgemmd_plancache_hits_total %d\n", cache.Hits)
+	fmt.Fprintf(w, "# TYPE spgemmd_plancache_misses_total counter\n")
+	fmt.Fprintf(w, "spgemmd_plancache_misses_total %d\n", cache.Misses)
+	fmt.Fprintf(w, "# TYPE spgemmd_plancache_evictions_total counter\n")
+	fmt.Fprintf(w, "spgemmd_plancache_evictions_total %d\n", cache.Evictions)
+	fmt.Fprintf(w, "# TYPE spgemmd_plancache_size gauge\n")
+	fmt.Fprintf(w, "spgemmd_plancache_size %d\n", cache.Size)
+
+	algs := make([]string, 0, len(m.byAlg))
+	for alg := range m.byAlg {
+		algs = append(algs, alg)
+	}
+	sort.Strings(algs)
+	fmt.Fprintf(w, "# TYPE spgemmd_job_seconds histogram\n")
+	for _, alg := range algs {
+		h := m.byAlg[alg]
+		for i, ub := range latencyBuckets {
+			fmt.Fprintf(w, "spgemmd_job_seconds_bucket{algorithm=%q,le=\"%g\"} %d\n", alg, ub, h.counts[i])
+		}
+		fmt.Fprintf(w, "spgemmd_job_seconds_bucket{algorithm=%q,le=\"+Inf\"} %d\n", alg, h.count)
+		fmt.Fprintf(w, "spgemmd_job_seconds_sum{algorithm=%q} %g\n", alg, h.sum)
+		fmt.Fprintf(w, "spgemmd_job_seconds_count{algorithm=%q} %d\n", alg, h.count)
+	}
+}

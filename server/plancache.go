@@ -1,0 +1,119 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/blockreorg/blockreorg"
+)
+
+// PlanKey identifies a reusable preprocessing plan: the sparsity
+// fingerprints of both operands (values excluded — refreshing a network's
+// weights keeps its plans hot) plus the device and tuning that shaped the
+// classification thresholds and split/gather/limit decisions.
+type PlanKey struct {
+	FpA, FpB    uint64
+	GPU         string
+	Alpha, Beta float64
+	SplitFactor int
+	LimitFactor int
+}
+
+// CacheStats is a point-in-time snapshot of the cache's counters.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	Size, Capacity          int
+}
+
+// PlanCache is a structure-keyed LRU of reusable Block Reorganizer plans.
+// It is safe for concurrent use; cached plans are immutable, so a hit may
+// be handed to any number of workers simultaneously (each Rebinds it to
+// its own operands).
+type PlanCache struct {
+	mu        sync.Mutex
+	capacity  int
+	order     *list.List // front = most recently used
+	items     map[PlanKey]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// cacheSlot is the list payload: the key is carried for eviction.
+type cacheSlot struct {
+	key  PlanKey
+	plan *blockreorg.Plan
+}
+
+// NewPlanCache returns an empty cache holding at most capacity plans
+// (minimum 1).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PlanCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[PlanKey]*list.Element),
+	}
+}
+
+// Get returns the plan cached under k, marking it most recently used.
+func (c *PlanCache) Get(k PlanKey) (*blockreorg.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheSlot).plan, true
+}
+
+// Put stores p under k, evicting the least recently used entry when the
+// cache is full. Re-putting an existing key refreshes its plan and
+// recency.
+func (c *PlanCache) Put(k PlanKey, p *blockreorg.Plan) {
+	if p == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*cacheSlot).plan = p
+		c.order.MoveToFront(el)
+		return
+	}
+	for len(c.items) >= c.capacity {
+		last := c.order.Back()
+		if last == nil {
+			break
+		}
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*cacheSlot).key)
+		c.evictions++
+	}
+	c.items[k] = c.order.PushFront(&cacheSlot{key: k, plan: p})
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      len(c.items),
+		Capacity:  c.capacity,
+	}
+}

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/blockreorg/blockreorg"
+)
+
+// cacheKey builds a distinct key per index.
+func cacheKey(i int) PlanKey {
+	return PlanKey{FpA: uint64(i), FpB: uint64(i) ^ 0xabcd, GPU: "TITAN Xp"}
+}
+
+// dummyPlan builds a real (small) plan so the cache holds live values.
+func dummyPlan(t *testing.T) *blockreorg.Plan {
+	t.Helper()
+	a := testNetwork(t, 40, 200, 21)
+	p, err := blockreorg.NewPlan(a, a, blockreorg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlanCacheLRU(t *testing.T) {
+	p := dummyPlan(t)
+	c := NewPlanCache(2)
+
+	if _, ok := c.Get(cacheKey(1)); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put(cacheKey(1), p)
+	c.Put(cacheKey(2), p)
+	if _, ok := c.Get(cacheKey(1)); !ok {
+		t.Fatal("key 1 missing before eviction")
+	}
+	// Key 1 is now most recent; inserting key 3 must evict key 2.
+	c.Put(cacheKey(3), p)
+	if _, ok := c.Get(cacheKey(2)); ok {
+		t.Fatal("LRU evicted the wrong entry (key 2 survived)")
+	}
+	if _, ok := c.Get(cacheKey(1)); !ok {
+		t.Fatal("recently used key 1 was evicted")
+	}
+	if _, ok := c.Get(cacheKey(3)); !ok {
+		t.Fatal("fresh key 3 missing")
+	}
+
+	st := c.Stats()
+	if st.Evictions != 1 || st.Size != 2 || st.Capacity != 2 {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+	// hits: 1(pre) + 1 + 3 misses: initial + key-2 probe
+	if st.Hits != 3 || st.Misses != 2 {
+		t.Fatalf("hit accounting: %+v", st)
+	}
+
+	// Re-putting refreshes rather than duplicating.
+	c.Put(cacheKey(3), p)
+	if c.Len() != 2 {
+		t.Fatalf("re-put grew the cache to %d", c.Len())
+	}
+
+	// Keys differing only in tuning are distinct.
+	k := cacheKey(1)
+	k.Alpha = 0.5
+	if _, ok := c.Get(k); ok {
+		t.Fatal("tuning-variant key matched the base entry")
+	}
+
+	// Nil plans are never admitted.
+	c.Put(cacheKey(9), nil)
+	if _, ok := c.Get(cacheKey(9)); ok {
+		t.Fatal("nil plan was cached")
+	}
+}
+
+func TestPlanCacheMinimumCapacity(t *testing.T) {
+	c := NewPlanCache(0)
+	if got := c.Stats().Capacity; got != 1 {
+		t.Fatalf("capacity %d, want clamp to 1", got)
+	}
+}
+
+// TestPlanCacheConcurrent hammers get/put/evict from many goroutines; run
+// under -race by ci.sh.
+func TestPlanCacheConcurrent(t *testing.T) {
+	p := dummyPlan(t)
+	c := NewPlanCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := cacheKey((g + i) % 16) // 16 keys over capacity 8: constant eviction
+				if got, ok := c.Get(k); ok && got == nil {
+					t.Error("hit returned a nil plan")
+					return
+				}
+				c.Put(k, p)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Fatalf("cache grew past capacity: %d", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != 8*200 {
+		t.Fatalf("lost lookups: hits %d + misses %d != %d", st.Hits, st.Misses, 8*200)
+	}
+}

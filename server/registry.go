@@ -1,0 +1,137 @@
+// Package server implements spgemmd, a concurrent spGEMM serving layer on
+// top of the blockreorg library: an HTTP service that accepts multiply
+// jobs against named matrices (or uploaded COO payloads), runs them on a
+// pool of workers each owning a simulated device, and reuses the Block
+// Reorganizer's front-loaded preprocessing across requests through a
+// structure-keyed plan cache.
+//
+// The pieces:
+//
+//   - Registry — named operand matrices, loaded from Matrix Market or
+//     binary CSR files or registered over the API, each carrying its
+//     structure fingerprint;
+//   - PlanCache — an LRU of reusable preprocessing plans keyed by the
+//     operands' sparsity fingerprints plus the device and tuning that
+//     shaped the plan;
+//   - Server — request admission (bounded queue, per-request deadlines,
+//     429 on saturation), the worker pool, job tracking, graceful drain,
+//     and the /healthz and /metrics endpoints.
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+// Matrix is a registered operand: the CSR payload plus the structural
+// identity the plan cache keys on. Registered matrices are immutable.
+type Matrix struct {
+	Name        string
+	M           *sparse.CSR
+	Fingerprint uint64
+}
+
+// Registry holds the service's named operand matrices. All methods are
+// safe for concurrent use; matrices are validated once at registration and
+// treated as immutable afterwards.
+type Registry struct {
+	mu   sync.RWMutex
+	mats map[string]*Matrix
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{mats: make(map[string]*Matrix)}
+}
+
+// Register validates m and stores it under name, computing its structure
+// fingerprint. Registering an existing name fails: clients poll results by
+// operand identity, so names must stay bound to one structure.
+func (r *Registry) Register(name string, m *sparse.CSR) (*Matrix, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: empty matrix name")
+	}
+	if m == nil {
+		return nil, fmt.Errorf("server: nil matrix %q", name)
+	}
+	if err := m.CheckDeep(); err != nil {
+		return nil, fmt.Errorf("server: matrix %q: %w", name, err)
+	}
+	entry := &Matrix{Name: name, M: m, Fingerprint: m.StructureFingerprint()}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.mats[name]; exists {
+		return nil, fmt.Errorf("server: matrix %q already registered", name)
+	}
+	r.mats[name] = entry
+	return entry, nil
+}
+
+// Get returns the matrix registered under name.
+func (r *Registry) Get(name string) (*Matrix, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.mats[name]
+	return m, ok
+}
+
+// Names returns the registered names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.mats))
+	for name := range r.mats {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered matrices.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.mats)
+}
+
+// LoadDir registers every matrix file in dir: *.mtx via the Matrix Market
+// reader and *.csrb via the binary CSR reader, each under its base name
+// without the extension. It returns the number of matrices loaded; the
+// first unreadable or invalid file aborts the load.
+func (r *Registry) LoadDir(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	loaded := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		var m *sparse.CSR
+		path := filepath.Join(dir, e.Name())
+		switch {
+		case strings.HasSuffix(e.Name(), ".mtx"):
+			m, err = sparse.ReadMatrixMarketFile(path)
+		case strings.HasSuffix(e.Name(), ".csrb"):
+			m, err = sparse.ReadBinaryFile(path)
+		default:
+			continue
+		}
+		if err != nil {
+			return loaded, fmt.Errorf("server: %s: %w", path, err)
+		}
+		name := strings.TrimSuffix(strings.TrimSuffix(e.Name(), ".mtx"), ".csrb")
+		if _, err := r.Register(name, m); err != nil {
+			return loaded, err
+		}
+		loaded++
+	}
+	return loaded, nil
+}

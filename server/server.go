@@ -1,0 +1,484 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/blockreorg/blockreorg"
+)
+
+// Config tunes the serving layer. Zero values select the defaults noted on
+// each field.
+type Config struct {
+	// Workers is the size of the execution pool; each worker owns one
+	// simulated device. Default 2.
+	Workers int
+	// GPUs assigns devices to workers round-robin; requests that name no
+	// GPU run on their worker's device. Default: every worker simulates
+	// the TITAN Xp.
+	GPUs []string
+	// QueueDepth bounds the admission queue; submissions beyond it are
+	// rejected with 429. Default 64.
+	QueueDepth int
+	// PlanCacheSize bounds the plan cache (entries). Default 128.
+	PlanCacheSize int
+	// DefaultTimeout applies to jobs that set no timeout_ms; MaxTimeout
+	// caps what a request may ask for. Defaults 30s and 2m.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxBodyBytes bounds request bodies (uploaded matrices). Default 64 MiB.
+	MaxBodyBytes int64
+	// Paranoid runs every multiplication with the deep sanitizer layer.
+	Paranoid bool
+}
+
+// withDefaults fills the zero fields and validates the device names.
+func (c Config) withDefaults() (Config, error) {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if len(c.GPUs) == 0 {
+		c.GPUs = []string{string(blockreorg.TitanXp)}
+	}
+	for _, g := range c.GPUs {
+		if !knownGPU(g) {
+			return c, fmt.Errorf("server: unknown GPU %q", g)
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = 128
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c, nil
+}
+
+func knownGPU(name string) bool {
+	for _, g := range blockreorg.Devices() {
+		if string(g) == name {
+			return true
+		}
+	}
+	return false
+}
+
+func knownAlgorithm(name string) bool {
+	for _, a := range blockreorg.Algorithms() {
+		if string(a) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Server is the spgemmd serving layer: admission control in front of a
+// bounded queue, a pool of workers each owning a simulated device, a job
+// store polled over HTTP, and the structure-keyed plan cache.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	cache   *PlanCache
+	jobs    *jobStore
+	metrics *metrics
+	queue   chan *job
+	mux     *http.ServeMux
+
+	wg        sync.WaitGroup
+	startOnce sync.Once
+	mu        sync.Mutex // guards draining and the queue close
+	draining  bool
+}
+
+// New builds a server around reg (nil for an empty registry). Call Start
+// to launch the worker pool, Handler for the HTTP surface, and Shutdown to
+// drain.
+func New(cfg Config, reg *Registry) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		cache:   NewPlanCache(cfg.PlanCacheSize),
+		jobs:    newJobStore(),
+		metrics: newMetrics(),
+		queue:   make(chan *job, cfg.QueueDepth),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/matrices", s.handleListMatrices)
+	s.mux.HandleFunc("POST /v1/matrices", s.handleRegisterMatrix)
+	s.mux.HandleFunc("POST /v1/multiply", s.handleMultiply)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	return s, nil
+}
+
+// Start launches the worker pool. It is idempotent.
+func (s *Server) Start() {
+	s.startOnce.Do(func() {
+		for i := 0; i < s.cfg.Workers; i++ {
+			gpu := s.cfg.GPUs[i%len(s.cfg.GPUs)]
+			s.wg.Add(1)
+			go func(gpu string) {
+				defer s.wg.Done()
+				for j := range s.queue {
+					s.runJob(j, gpu)
+				}
+			}(gpu)
+		}
+	})
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the server's matrix registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Cache returns the server's plan cache.
+func (s *Server) Cache() *PlanCache { return s.cache }
+
+// Shutdown drains the server gracefully: new submissions are refused with
+// 503, the queue is closed, and every admitted job — in flight or still
+// queued — runs to completion before Shutdown returns. The context bounds
+// the wait; on expiry the workers keep draining in the background but
+// Shutdown reports ctx.Err(). Call after Start.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// errSaturated is the admission queue's rejection.
+var errSaturated = errors.New("server: queue is full")
+
+// errDraining refuses work during shutdown.
+var errDraining = errors.New("server: draining")
+
+// enqueue admits a job to the bounded queue without blocking. It holds the
+// drain mutex across the send so a concurrent Shutdown can never close the
+// queue between the check and the send.
+func (s *Server) enqueue(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return errDraining
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		return errSaturated
+	}
+}
+
+// runJob executes one admitted job on the worker's device.
+func (s *Server) runJob(j *job, workerGPU string) {
+	start := time.Now()
+	if !time.Now().Before(j.deadline) {
+		s.jobs.fail(j, FailTimeout, "deadline expired while queued")
+		s.metrics.addFailed()
+		return
+	}
+	s.jobs.setRunning(j)
+
+	opts := blockreorg.Options{
+		Algorithm:   blockreorg.Algorithm(j.req.Algorithm),
+		GPU:         blockreorg.GPU(j.req.GPU),
+		Alpha:       j.req.Alpha,
+		Beta:        j.req.Beta,
+		SplitFactor: j.req.SplitFactor,
+		LimitFactor: j.req.LimitFactor,
+		Paranoid:    s.cfg.Paranoid,
+	}
+	if opts.Algorithm == "" {
+		opts.Algorithm = blockreorg.BlockReorganizer
+	}
+	if opts.GPU == "" {
+		opts.GPU = blockreorg.GPU(workerGPU)
+	}
+
+	// Plan-cache lookup: the Block Reorganizer's preprocessing depends
+	// only on the operands' sparsity structure, the device and the
+	// tuning, all of which the key captures. A hit is rebound to this
+	// job's operands (O(nnz)) and drives the run, skipping the
+	// precalculation; a rebind failure (fingerprint collision) falls
+	// back to the cold path.
+	var key PlanKey
+	hit := false
+	cacheable := opts.Algorithm == blockreorg.BlockReorganizer
+	if cacheable {
+		key = PlanKey{
+			FpA: j.fpA, FpB: j.fpB,
+			GPU:         string(opts.GPU),
+			Alpha:       opts.Alpha,
+			Beta:        opts.Beta,
+			SplitFactor: opts.SplitFactor,
+			LimitFactor: opts.LimitFactor,
+		}
+		if cached, ok := s.cache.Get(key); ok {
+			if bound, err := cached.Rebind(j.a, j.b); err == nil {
+				opts.Plan = bound
+				hit = true
+			}
+		}
+	}
+
+	ctx, cancel := context.WithDeadline(context.Background(), j.deadline)
+	defer cancel()
+	res, err := blockreorg.MultiplyContext(ctx, j.a, j.b, opts)
+	if err != nil {
+		s.metrics.addFailed()
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.jobs.fail(j, FailTimeout, fmt.Sprintf("deadline exceeded after %s", time.Since(start).Round(time.Millisecond)))
+		case errors.Is(err, blockreorg.ErrDimensionMismatch),
+			errors.Is(err, blockreorg.ErrUnknownAlgorithm),
+			errors.Is(err, blockreorg.ErrInvalidOptions):
+			s.jobs.fail(j, FailClient, err.Error())
+		default:
+			s.jobs.fail(j, FailInternal, err.Error())
+		}
+		return
+	}
+	if cacheable && !hit && res.ReusablePlan() != nil {
+		s.cache.Put(key, res.ReusablePlan())
+	}
+
+	wall := time.Since(start)
+	out := &JobResult{
+		Algorithm:        string(res.Algorithm),
+		Device:           res.Device,
+		Rows:             j.a.Rows,
+		Cols:             j.b.Cols,
+		Flops:            res.Flops,
+		NNZC:             res.NNZC,
+		TotalSeconds:     res.TotalSeconds,
+		ExpansionSeconds: res.ExpansionSeconds,
+		MergeSeconds:     res.MergeSeconds,
+		HostSeconds:      res.HostSeconds,
+		GFLOPS:           res.GFLOPS,
+		PlanCacheHit:     res.PlanReused,
+		Plan:             res.Plan,
+		WallSeconds:      wall.Seconds(),
+	}
+	if j.req.ReturnValues && res.C != nil {
+		out.Values = payloadFromCSR(res.C)
+	}
+	s.jobs.finish(j, out)
+	s.metrics.addCompleted(string(res.Algorithm), wall.Seconds())
+}
+
+// --- HTTP handlers ---
+
+// writeJSON emits v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError emits the error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, s.cache.Stats(), len(s.queue), s.cfg.QueueDepth)
+}
+
+// matrixInfo is the listing entry for a registered matrix.
+type matrixInfo struct {
+	Name        string `json:"name"`
+	Rows        int    `json:"rows"`
+	Cols        int    `json:"cols"`
+	NNZ         int    `json:"nnz"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+func infoFor(m *Matrix) matrixInfo {
+	return matrixInfo{
+		Name: m.Name,
+		Rows: m.M.Rows, Cols: m.M.Cols, NNZ: m.M.NNZ(),
+		Fingerprint: fmt.Sprintf("%016x", m.Fingerprint),
+	}
+}
+
+func (s *Server) handleListMatrices(w http.ResponseWriter, _ *http.Request) {
+	names := s.reg.Names()
+	out := make([]matrixInfo, 0, len(names))
+	for _, name := range names {
+		if m, ok := s.reg.Get(name); ok {
+			out = append(out, infoFor(m))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"matrices": out})
+}
+
+// registerRequest is the body of POST /v1/matrices.
+type registerRequest struct {
+	Name string      `json:"name"`
+	COO  *COOPayload `json:"coo"`
+}
+
+func (s *Server) handleRegisterMatrix(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req registerRequest
+	if err := decodeBody(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.COO == nil {
+		writeError(w, http.StatusBadRequest, "missing \"coo\" payload")
+		return
+	}
+	m, err := req.COO.toCSR()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid matrix: %v", err)
+		return
+	}
+	entry, err := s.reg.Register(req.Name, m)
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, infoFor(entry))
+}
+
+func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req MultiplyRequest
+	if err := decodeBody(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+
+	// Client faults are rejected at admission, before a queue slot is
+	// spent: unresolvable operands, impossible shapes, unknown names.
+	a, fpA, err := req.A.resolve(s.reg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "operand a: %v", err)
+		return
+	}
+	b, fpB := a, fpA
+	if req.B != nil {
+		b, fpB, err = req.B.resolve(s.reg)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "operand b: %v", err)
+			return
+		}
+	}
+	if a.Cols != b.Rows {
+		writeError(w, http.StatusBadRequest, "dimension mismatch: cannot multiply %dx%d by %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols)
+		return
+	}
+	if req.Algorithm != "" && !knownAlgorithm(req.Algorithm) {
+		writeError(w, http.StatusBadRequest, "unknown algorithm %q", req.Algorithm)
+		return
+	}
+	if req.GPU != "" && !knownGPU(req.GPU) {
+		writeError(w, http.StatusBadRequest, "unknown GPU %q", req.GPU)
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+
+	j := s.jobs.add(a, b, fpA, fpB, req, time.Now().Add(timeout))
+	if err := s.enqueue(j); err != nil {
+		s.jobs.remove(j.id)
+		if errors.Is(err, errDraining) {
+			writeError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		s.metrics.addRejected()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "queue is full (%d jobs)", s.cfg.QueueDepth)
+		return
+	}
+	s.metrics.addSubmitted()
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"job": j.id,
+		"url": "/v1/jobs/" + j.id,
+	})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.jobs.status(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// decodeBody parses a size-capped JSON request body into v, rejecting
+// unknown fields so client typos fail loudly.
+func decodeBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBytes))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

@@ -1,0 +1,68 @@
+package sparse
+
+// Structure fingerprinting: a 64-bit FNV-1a digest of a matrix's sparsity
+// pattern — dimensions, pointer array and index array, with the numeric
+// values deliberately excluded. Two matrices share a fingerprint exactly
+// when they store entries at the same positions, which is the property the
+// serving layer's plan cache keys on: the Block Reorganizer's
+// precalculation, classification, splitting, gathering and limiting
+// decisions depend only on the sparsity structure of the operands, so a
+// plan built for one (A, B) pair is reusable for any pair with matching
+// fingerprints (see core.Plan.Rebind).
+//
+// The digest is not cryptographic: FNV-1a collisions are vanishingly rare
+// by accident but constructible on purpose, so consumers that cannot trust
+// their inputs must pair the fingerprint with the cheap structural
+// re-checks Rebind performs.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvInt folds one non-negative integer into the running FNV-1a state as
+// eight little-endian bytes, keeping the digest independent of the host's
+// int width.
+func fnvInt(h uint64, v int) uint64 {
+	u := uint64(v)
+	for s := uint(0); s < 64; s += 8 {
+		h ^= (u >> s) & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// structureFingerprint digests one compressed-storage matrix. The tag byte
+// domain-separates row- from column-compressed layouts so a matrix and its
+// transpose-layout twin never alias.
+func structureFingerprint(tag byte, rows, cols int, ptr, idx []int) uint64 {
+	h := uint64(fnvOffset64)
+	h ^= uint64(tag)
+	h *= fnvPrime64
+	h = fnvInt(h, rows)
+	h = fnvInt(h, cols)
+	for _, p := range ptr {
+		h = fnvInt(h, p)
+	}
+	for _, j := range idx {
+		h = fnvInt(h, j)
+	}
+	return h
+}
+
+// StructureFingerprint returns the FNV-1a digest of the matrix's sparsity
+// structure: dimensions, row pointers and column indices. Values are
+// excluded, so refreshing the numeric payload of a matrix (same pattern,
+// new weights) preserves the fingerprint.
+func (m *CSR) StructureFingerprint() uint64 {
+	return structureFingerprint('R', m.Rows, m.Cols, m.Ptr, m.Idx)
+}
+
+// StructureFingerprint returns the FNV-1a digest of the matrix's sparsity
+// structure: dimensions, column pointers and row indices. Values are
+// excluded. The digest is domain-separated from CSR fingerprints, so a
+// matrix and its CSC conversion hash differently even when the patterns
+// coincide.
+func (m *CSC) StructureFingerprint() uint64 {
+	return structureFingerprint('C', m.Rows, m.Cols, m.Ptr, m.Idx)
+}

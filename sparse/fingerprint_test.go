@@ -1,0 +1,118 @@
+package sparse
+
+import "testing"
+
+// fpMatrix builds a small fixed CSR for fingerprint tests.
+func fpMatrix() *CSR {
+	m := NewCSR(3, 4)
+	m.AppendRow(0, []int{0, 2}, []float64{1, 2})
+	m.AppendRow(1, []int{1}, []float64{3})
+	m.AppendRow(2, []int{0, 3}, []float64{4, 5})
+	return m
+}
+
+func TestStructureFingerprintDeterministic(t *testing.T) {
+	a := fpMatrix()
+	b := fpMatrix()
+	if a.StructureFingerprint() != b.StructureFingerprint() {
+		t.Fatal("identical matrices produced different fingerprints")
+	}
+	if got, again := a.StructureFingerprint(), a.StructureFingerprint(); got != again {
+		t.Fatalf("fingerprint not stable across calls: %#x vs %#x", got, again)
+	}
+	ac, bc := a.ToCSC(), b.ToCSC()
+	if ac.StructureFingerprint() != bc.StructureFingerprint() {
+		t.Fatal("identical CSC matrices produced different fingerprints")
+	}
+}
+
+func TestStructureFingerprintIgnoresValues(t *testing.T) {
+	a := fpMatrix()
+	b := fpMatrix()
+	b.Fill(42.5)
+	if a.StructureFingerprint() != b.StructureFingerprint() {
+		t.Fatal("fingerprint changed when only values changed")
+	}
+	bc := b.ToCSC()
+	if a.ToCSC().StructureFingerprint() != bc.StructureFingerprint() {
+		t.Fatal("CSC fingerprint changed when only values changed")
+	}
+}
+
+func TestStructureFingerprintSensitivity(t *testing.T) {
+	base := fpMatrix()
+	fp := base.StructureFingerprint()
+
+	// Moving one entry to a different column changes the structure.
+	moved := NewCSR(3, 4)
+	moved.AppendRow(0, []int{0, 3}, []float64{1, 2})
+	moved.AppendRow(1, []int{1}, []float64{3})
+	moved.AppendRow(2, []int{0, 3}, []float64{4, 5})
+	if moved.StructureFingerprint() == fp {
+		t.Fatal("moving an entry did not change the fingerprint")
+	}
+
+	// Moving an entry to a different row (same total layout length).
+	shifted := NewCSR(3, 4)
+	shifted.AppendRow(0, []int{0}, []float64{1})
+	shifted.AppendRow(1, []int{1, 2}, []float64{2, 3})
+	shifted.AppendRow(2, []int{0, 3}, []float64{4, 5})
+	if shifted.StructureFingerprint() == fp {
+		t.Fatal("moving an entry across rows did not change the fingerprint")
+	}
+
+	// Same pattern embedded in different dimensions.
+	wider := NewCSR(3, 5)
+	wider.AppendRow(0, []int{0, 2}, []float64{1, 2})
+	wider.AppendRow(1, []int{1}, []float64{3})
+	wider.AppendRow(2, []int{0, 3}, []float64{4, 5})
+	if wider.StructureFingerprint() == fp {
+		t.Fatal("changing the column count did not change the fingerprint")
+	}
+
+	// Empty matrices of different shapes must not collide.
+	if NewCSR(2, 3).StructureFingerprint() == NewCSR(3, 2).StructureFingerprint() {
+		t.Fatal("empty 2x3 and 3x2 collide")
+	}
+	if NewCSR(0, 0).StructureFingerprint() == NewCSR(1, 0).StructureFingerprint() {
+		t.Fatal("empty 0x0 and 1x0 collide")
+	}
+}
+
+func TestStructureFingerprintFormatDomainSeparation(t *testing.T) {
+	// A symmetric pattern has identical Ptr/Idx in CSR and CSC form; the
+	// format tag must still keep the digests apart.
+	m := NewCSR(2, 2)
+	m.AppendRow(0, []int{0, 1}, []float64{1, 2})
+	m.AppendRow(1, []int{0, 1}, []float64{3, 4})
+	c := m.ToCSC()
+	if m.StructureFingerprint() == c.StructureFingerprint() {
+		t.Fatal("CSR and CSC fingerprints of a symmetric pattern collide")
+	}
+}
+
+func TestStructureFingerprintPairwiseDistinct(t *testing.T) {
+	// A small family of distinct structures must produce pairwise distinct
+	// digests — the plan cache treats fingerprint equality as structural
+	// equality.
+	var mats []*CSR
+	for rows := 1; rows <= 4; rows++ {
+		for cols := 1; cols <= 4; cols++ {
+			m := NewCSR(rows, cols)
+			for i := 0; i < rows; i++ {
+				m.AppendRow(i, []int{(i * 7) % cols}, []float64{1})
+			}
+			mats = append(mats, m)
+			d := NewCSR(rows, cols) // same shape, empty: distinct structure
+			mats = append(mats, d)
+		}
+	}
+	seen := make(map[uint64]int)
+	for k, m := range mats {
+		fp := m.StructureFingerprint()
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("matrices %d and %d collide on %#x", prev, k, fp)
+		}
+		seen[fp] = k
+	}
+}
