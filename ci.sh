@@ -10,6 +10,10 @@
 #   4. go test -race — the invariant-heavy packages under the race detector,
 #                      with BLOCKREORG_PARANOID=1 so every multiplication in
 #                      those suites runs the deep sanitizer layer
+#   5. bench smoke    — every benchmark once with -benchmem, so a change
+#                      that breaks a measured path (or its setup) fails
+#                      here instead of silently disappearing from the
+#                      perf record
 #
 # Run from the repository root. Exits non-zero on the first failure.
 set -eu
@@ -32,5 +36,8 @@ go run ./cmd/blockreorg-vet ./...
 
 echo "==> go test -race (paranoid)"
 BLOCKREORG_PARANOID=1 go test -race . ./internal/core/... ./internal/gpusim/... ./sparse/... ./server/...
+
+echo "==> bench smoke (every benchmark once)"
+go test -run '^$' -bench . -benchtime 1x -benchmem ./...
 
 echo "ci.sh: all gates passed"

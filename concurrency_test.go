@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/blockreorg/blockreorg"
+	"github.com/blockreorg/blockreorg/internal/parallel"
 	"github.com/blockreorg/blockreorg/sparse"
 	"github.com/blockreorg/blockreorg/sparse/rmat"
 )
@@ -76,6 +77,62 @@ func TestConcurrentMultiply(t *testing.T) {
 				errs <- errors.New("plan-driven multiply diverged")
 			}
 		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentPoisonedArenaReuse hammers the shared arenas from many
+// goroutines with poisoning forced on: buffers recycle across concurrent
+// multiplies, each return-to-pool overwrites the contents with sentinels,
+// and every multiply must still be bit-identical to the sequential
+// oracle. Run under -race by ci.sh, this is the strongest statement the
+// host can make about the pooled scratch: no data race on the buffers,
+// and no kernel reads a recycled value it did not write.
+func TestConcurrentPoisonedArenaReuse(t *testing.T) {
+	parallel.SetPoison(true)
+	defer parallel.SetPoison(false)
+
+	a := testMatrix(t, 9)
+	want, err := sparse.Multiply(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All goroutines share one multi-worker executor, so its slot pool
+	// and the process-wide arenas see genuinely concurrent traffic.
+	ex := parallel.NewExecutor(4)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 3; iter++ {
+				got, err := sparse.MultiplyOn(a, a, ex)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !got.Equal(want, 0) {
+					errs <- errors.New("concurrent poisoned MultiplyOn diverged")
+					return
+				}
+				res, err := blockreorg.Multiply(a, a, blockreorg.Options{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !res.C.Equal(want, 1e-9) {
+					errs <- errors.New("concurrent poisoned Reorganizer diverged")
+					return
+				}
+			}
+		}()
 	}
 	wg.Wait()
 	close(errs)

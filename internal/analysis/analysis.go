@@ -19,6 +19,10 @@
 //   - seededrand: deterministic simulator and benchmark code must not use
 //     math/rand (v1) or the auto-seeded top-level generators of
 //     math/rand/v2; randomness flows through explicitly seeded sources.
+//   - scratchmake: kernel-package loops (sparse, kernels, core) must not
+//     allocate nnz-scaled scratch with make([]...); such buffers come from
+//     the internal/parallel arenas, which recycle them across calls and
+//     poison them under Paranoid mode.
 //
 // The analyzers run over type-checked packages when types resolve and fall
 // back to syntactic matching where they do not (the loader stubs imports
@@ -78,6 +82,7 @@ func All() []*Analyzer {
 		NNZTruncAnalyzer(),
 		KernelValidateAnalyzer(),
 		SeededRandAnalyzer(),
+		ScratchMakeAnalyzer(),
 	}
 }
 

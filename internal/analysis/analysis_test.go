@@ -53,6 +53,8 @@ func TestAnalyzers(t *testing.T) {
 		{"kernelvalidate", "kernels", 1, "MultiplyBad"},
 		{"seededrand", "seededrandbad", 4, "unseeded global generator"},
 		{"seededrand", "seededrandok", 0, ""},
+		{"scratchmake", "scratchmakebad", 3, "internal/parallel arenas"},
+		{"scratchmake", "scratchmakeok", 0, ""},
 	}
 	for _, c := range cases {
 		got := findingsFor(all, c.analyzer, c.pkgDir)

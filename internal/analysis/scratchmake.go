@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// ScratchMakeAnalyzer enforces the arena rule: inside the kernel packages
+// (sparse, kernels, core), a loop body must not allocate nnz-scaled
+// scratch with make([]...) — dense accumulators, marker arrays, workload
+// vectors and triplet buffers cycle through the internal/parallel arenas
+// instead. A make inside a row or block loop re-allocates per iteration
+// (or per request, for the serving loops one level up), which is exactly
+// the GC-pressure pattern the arenas exist to remove; the pool also
+// poisons recycled buffers under Paranoid mode, a check a private make
+// silently escapes.
+func ScratchMakeAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "scratchmake",
+		Doc:  "no make([]...) of nnz-scaled scratch inside kernel-package loops; draw it from the internal/parallel arenas",
+		Run:  runScratchMake,
+	}
+}
+
+// kernelPackage reports whether the package holds numeric kernels bound by
+// the arena rule. internal/parallel itself is exempt: it is where the
+// sanctioned allocations live.
+func kernelPackage(name string) bool {
+	return name == "sparse" || name == "kernels" || name == "core"
+}
+
+func runScratchMake(p *Pass) []Finding {
+	if !kernelPackage(p.PkgName) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSliceMake(call) || !insideLoop(stack) {
+				return true
+			}
+			for _, size := range call.Args[1:] {
+				if mentionsNNZ(size) {
+					out = append(out, Finding{
+						Pos:      p.position(call),
+						Analyzer: "scratchmake",
+						Message:  "make of nnz-scaled scratch inside a kernel loop; draw the buffer from the internal/parallel arenas",
+					})
+					break
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isSliceMake reports whether the call is the builtin make of a slice
+// type.
+func isSliceMake(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" || len(call.Args) < 2 {
+		return false
+	}
+	_, isSlice := call.Args[0].(*ast.ArrayType)
+	return isSlice
+}
+
+// insideLoop reports whether any enclosing node of the last stack entry is
+// a for or range statement.
+func insideLoop(stack []ast.Node) bool {
+	for _, n := range stack[:len(stack)-1] {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,42 @@
+// Package core is a fixture for the scratchmake analyzer: nnz-scaled
+// scratch allocated with make inside loops, which the rule forbids in
+// kernel packages.
+package core
+
+// ExpandBlocks allocates a fresh accumulator per block — one violation
+// per loop body.
+func ExpandBlocks(blocks int, nnz int) float64 {
+	var sum float64
+	for b := 0; b < blocks; b++ {
+		acc := make([]float64, nnz) // want: arena
+		for i := range acc {
+			acc[i] = float64(b + i)
+		}
+		sum += acc[0]
+	}
+	return sum
+}
+
+// MergeRows allocates a workload buffer inside a range loop.
+func MergeRows(rows []int, rowWork int64) int {
+	total := 0
+	for _, r := range rows {
+		scratch := make([]int64, rowWork) // want: arena
+		scratch[0] = int64(r)
+		total += int(scratch[0])
+	}
+	return total
+}
+
+// NestedScratch hides the make one block deeper; lexical nesting inside
+// the loop still counts.
+func NestedScratch(n int, intermediate int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			marker := make([]int, intermediate) // want: arena
+			total += len(marker)
+		}
+	}
+	return total
+}

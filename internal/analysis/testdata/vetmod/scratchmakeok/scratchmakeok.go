@@ -1,0 +1,41 @@
+// Package core is the clean fixture for the scratchmake analyzer: scratch
+// hoisted out of loops, and in-loop makes whose sizes are not nnz-scaled.
+package core
+
+// HoistedScratch allocates once before the loop — the sanctioned shape
+// when an arena is not available.
+func HoistedScratch(blocks int, nnz int) float64 {
+	acc := make([]float64, nnz)
+	var sum float64
+	for b := 0; b < blocks; b++ {
+		for i := range acc {
+			acc[i] = float64(b + i)
+		}
+		sum += acc[0]
+	}
+	return sum
+}
+
+// SmallFixedScratch makes a buffer inside the loop, but its size is a
+// fixed constant unrelated to nnz — out of the rule's scope.
+func SmallFixedScratch(rows int) int {
+	const lanes = 8
+	total := 0
+	for r := 0; r < rows; r++ {
+		lane := make([]int, lanes)
+		lane[0] = r
+		total += lane[0]
+	}
+	return total
+}
+
+// MapScratch makes a map, not a slice; the rule only covers slice makes.
+func MapScratch(rows int, nnz int) int {
+	total := 0
+	for r := 0; r < rows; r++ {
+		seen := make(map[int]bool, nnz)
+		seen[r] = true
+		total += len(seen)
+	}
+	return total
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/blockreorg/blockreorg/internal/datasets"
 	"github.com/blockreorg/blockreorg/internal/gpusim"
 	"github.com/blockreorg/blockreorg/internal/kernels"
+	"github.com/blockreorg/blockreorg/internal/parallel"
 	"github.com/blockreorg/blockreorg/internal/tableio"
 	"github.com/blockreorg/blockreorg/sparse"
 )
@@ -30,6 +31,13 @@ type Config struct {
 	CacheDir string
 	// Verbose reserves space for future per-kernel dumps.
 	Verbose bool
+	// Workers bounds the host-side executor the experiments run on:
+	// 0 selects the process-wide default (GOMAXPROCS), 1 forces
+	// sequential execution, anything else gets a dedicated executor.
+	// Results are identical for every setting.
+	Workers int
+
+	ex *parallel.Executor
 }
 
 // normalize fills defaults.
@@ -39,6 +47,13 @@ func (c Config) normalize() Config {
 	}
 	if c.Device.NumSMs == 0 {
 		c.Device = gpusim.TitanXp()
+	}
+	if c.ex == nil {
+		if c.Workers == 0 {
+			c.ex = parallel.Default()
+		} else {
+			c.ex = parallel.NewExecutor(c.Workers)
+		}
 	}
 	return c
 }
@@ -122,14 +137,34 @@ func (c Config) generate(spec datasets.Spec) (*sparse.CSR, error) {
 // runAlg multiplies a by b with the given algorithm, timing only. pc may
 // carry the shared symbolic analysis (nil recomputes it).
 func runAlg(alg kernels.Algorithm, a, b *sparse.CSR, cfg Config, pc *kernels.Precomputed) (*kernels.Product, error) {
-	return alg.Multiply(a, b, kernels.Options{Device: cfg.Device, SkipValues: true, Pre: pc})
+	return alg.Multiply(a, b, kernels.Options{Device: cfg.Device, SkipValues: true, Pre: pc, Exec: cfg.ex})
 }
 
 // runReorganizer runs the Block Reorganizer with explicit pass parameters.
 func runReorganizer(a, b *sparse.CSR, cfg Config, opts kernels.Options) (*kernels.Product, error) {
 	opts.Device = cfg.Device
 	opts.SkipValues = true
+	opts.Exec = cfg.ex
 	return kernels.Reorganizer{}.Multiply(a, b, opts)
+}
+
+// forEachSpec runs fn once per spec on the config's executor (fn(i) handles
+// specs[i]) and returns the first error in spec order. Dataset-grid
+// experiments use it to process specs concurrently while emitting rows in
+// catalog order: fn writes its results into slot i of caller-owned slices.
+func forEachSpec(cfg Config, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	cfg.ex.ForEachN(n, func(r parallel.Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			errs[i] = fn(i)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // motivationDatasets returns the ten matrices of Figure 3: five regular

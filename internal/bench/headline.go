@@ -52,22 +52,26 @@ func runSpeedupGrid(absolute bool) func(cfg Config) ([]*tableio.Table, error) {
 		sums := make([]float64, len(algs))
 		wins := make([]int, len(algs))
 		count := 0
-		for _, spec := range specs {
+		// The spec × algorithm grid runs per spec on the executor; the
+		// aggregation below walks the collected values in catalog order,
+		// so the table is identical at any worker count.
+		grid := make([][]float64, len(specs))
+		err = forEachSpec(cfg, len(specs), func(si int) error {
+			spec := specs[si]
 			m, err := cfg.generate(spec)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			pc, err := kernels.Precompute(m, m)
+			pc, err := kernels.PrecomputeOn(m, m, cfg.ex)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			row := []string{spec.Name}
 			var base float64
 			vals := make([]float64, len(algs))
 			for i, alg := range algs {
 				p, err := runAlg(alg, m, m, cfg, pc)
 				if err != nil {
-					return nil, fmt.Errorf("%s on %s: %w", alg.Name(), spec.Name, err)
+					return fmt.Errorf("%s on %s: %w", alg.Name(), spec.Name, err)
 				}
 				secs := p.Report.TotalSeconds()
 				if alg.Name() == "row-product" {
@@ -79,6 +83,14 @@ func runSpeedupGrid(absolute bool) func(cfg Config) ([]*tableio.Table, error) {
 					vals[i] = base / secs
 				}
 			}
+			grid[si] = vals
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for si, vals := range grid {
+			row := []string{specs[si].Name}
 			best := 0
 			for i, v := range vals {
 				row = append(row, tableio.F2(v))

@@ -57,20 +57,31 @@ func tab2() Experiment {
 			t := tableio.New(
 				fmt.Sprintf("Table II — real-world datasets at scale 1/%d", cfg.Scale),
 				"name", "family", "dim (paper)", "nnz(A) (paper)", "nnz(C) (paper)", "dim (gen)", "nnz (gen)", "gini", "max row", "flops (gen)")
-			for _, s := range specs {
+			// Generation and the O(flops) sweeps run per spec on the
+			// executor; rows are emitted in catalog order afterwards.
+			rows := make([][]string, len(specs))
+			err = forEachSpec(cfg, len(specs), func(i int) error {
+				s := specs[i]
 				m, err := s.Generate(cfg.Scale)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				st := sparse.ComputeStats(m)
 				flops, err := sparse.MultiplyFlops(m, m)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				t.AddRow(s.Name, s.Family.String(),
+				rows[i] = []string{s.Name, s.Family.String(),
 					tableio.Count(int64(s.Rows)), tableio.Count(int64(s.NNZ)), tableio.Count(s.NNZC),
 					tableio.Count(int64(m.Rows)), tableio.Count(int64(m.NNZ())),
-					tableio.F2(st.Gini), tableio.Count(int64(st.MaxRowNNZ)), tableio.Count(flops))
+					tableio.F2(st.Gini), tableio.Count(int64(st.MaxRowNNZ)), tableio.Count(flops)}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, row := range rows {
+				t.AddRow(row...)
 			}
 			return []*tableio.Table{t}, nil
 		},

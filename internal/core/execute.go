@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/blockreorg/blockreorg/internal/parallel"
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+// ExecuteOn is Execute on an explicit executor (nil selects the
+// process-wide default), with all scratch drawn from the shared arenas.
+//
+// The result is bit-identical to Execute. Execute materializes the
+// intermediate products as one stream in block launch order, scatters them
+// into rows preserving stream order, and sort-merges each row; ExecuteOn
+// reproduces that stream exactly — every block's triplets land at
+// precomputed disjoint offsets, so expansion parallelism cannot reorder
+// them — and runs the identical per-row merge (sparse.CombineRow) over
+// work-weighted row chunks. The plan's stashed row populations give every
+// merged row its final position up front, so chunks write straight into
+// the result arrays with no stitching pass.
+func (p *Plan) ExecuteOn(ex *parallel.Executor, maxIntermediate int64) (*sparse.CSR, error) {
+	if maxIntermediate > 0 && p.Cls.TotalWork > maxIntermediate {
+		return nil, fmt.Errorf("core: intermediate matrix has %d products, over limit %d", p.Cls.TotalWork, maxIntermediate)
+	}
+	if ex == nil {
+		ex = parallel.Default()
+	}
+	if p.RowNNZ == nil {
+		// A plan built before the symbolic populations were stashed cannot
+		// pre-place its merged rows; run the sequential reference.
+		return p.Execute(maxIntermediate)
+	}
+
+	// Snapshot the launch order as flat arena-backed arrays: a counting
+	// visit sizes them, a second visit fills partition triples plus the
+	// per-block partition extents and stream offsets. A per-block
+	// []Partition copy would cost one allocation per block, which for real
+	// plans is thousands.
+	nBlocks, nParts := 0, 0
+	p.VisitBlocks(func(_ BlockKind, parts []Partition) {
+		nBlocks++
+		nParts += len(parts)
+	})
+	partPair := parallel.GetInts(nParts)
+	partLo := parallel.GetInts(nParts)
+	partHi := parallel.GetInts(nParts)
+	blockPart := parallel.GetInts(nBlocks + 1)
+	blockOff := parallel.GetInts(nBlocks + 1)
+	weights := parallel.GetInt64s(nBlocks)
+	bi, pi, total := 0, 0, 0
+	p.VisitBlocks(func(_ BlockKind, parts []Partition) {
+		blockPart[bi] = pi
+		blockOff[bi] = total
+		n := 0
+		for _, part := range parts {
+			partPair[pi] = part.Pair
+			partLo[pi] = part.ColLo
+			partHi[pi] = part.ColHi
+			pi++
+			n += (part.ColHi - part.ColLo) * p.B.RowNNZ(part.Pair)
+		}
+		weights[bi] = int64(n)
+		bi++
+		total += n
+	})
+	blockPart[nBlocks] = pi
+	blockOff[nBlocks] = total
+	if int64(total) != p.Cls.TotalWork {
+		return nil, fmt.Errorf("core: plan launches %d products, classified %d", total, p.Cls.TotalWork)
+	}
+
+	// Expansion: every block writes its triplets at its stream offset.
+	// Blocks are chunked by product count so the split dominators at the
+	// head of the launch order do not serialize the phase.
+	strmI := parallel.GetInts(total)
+	strmJ := parallel.GetInts(total)
+	strmV := parallel.GetFloats(total)
+	chunks := parallel.WeightedRanges(weights, 4*ex.Workers())
+	parallel.PutInt64s(weights)
+	ex.ForEach(chunks, func(r parallel.Range) {
+		for b := r.Lo; b < r.Hi; b++ {
+			pos := blockOff[b]
+			for k := blockPart[b]; k < blockPart[b+1]; k++ {
+				colIdx, colVal := p.ACSC.Col(partPair[k])
+				rowIdx, rowVal := p.B.Row(partPair[k])
+				for e := partLo[k]; e < partHi[k]; e++ {
+					i := colIdx[e]
+					av := colVal[e]
+					for rr := range rowIdx {
+						strmI[pos] = i
+						strmJ[pos] = rowIdx[rr]
+						strmV[pos] = av * rowVal[rr]
+						pos++
+					}
+				}
+			}
+		}
+	})
+	parallel.PutInts(partPair)
+	parallel.PutInts(partLo)
+	parallel.PutInts(partHi)
+	parallel.PutInts(blockPart)
+	parallel.PutInts(blockOff)
+
+	// Scatter the stream into rows. The plan's intermediate row populations
+	// are the exact per-row triplet counts, so the row extents need no
+	// counting pass; the walk itself is sequential to preserve stream order
+	// within each row (the merge order contract).
+	rows := p.A.Rows
+	ptr := parallel.GetInts(rows + 1)
+	ptr[0] = 0
+	for i := 0; i < rows; i++ {
+		ptr[i+1] = ptr[i] + int(p.Limit.RowWork[i])
+	}
+	if ptr[rows] != total {
+		defer parallel.PutInts(ptr)
+		return nil, fmt.Errorf("core: row work sums to %d products, stream has %d", ptr[rows], total)
+	}
+	scatIdx := parallel.GetInts(total)
+	scatVal := parallel.GetFloats(total)
+	next := parallel.GetInts(rows)
+	copy(next, ptr[:rows])
+	for k := 0; k < total; k++ {
+		i := strmI[k]
+		pos := next[i]
+		scatIdx[pos] = strmJ[k]
+		scatVal[pos] = strmV[k]
+		next[i] = pos + 1
+	}
+	parallel.PutInts(next)
+	parallel.PutInts(strmI)
+	parallel.PutInts(strmJ)
+	parallel.PutFloats(strmV)
+
+	// Merge: sort-combine each row in place and append it into its final
+	// slot, known up front from the stashed symbolic row populations. Row
+	// chunks are weighted by pre-merge population — the merge's true cost.
+	c := sparse.NewCSRWithRowSizes(rows, p.B.Cols, p.RowNNZ)
+	var badRow atomic.Int64
+	badRow.Store(-1)
+	ex.ForEach(parallel.WeightedRanges(p.Limit.RowWork, 4*ex.Workers()), func(r parallel.Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			// Three-index slices cap the append at the row's slot: a row
+			// that merges to an unexpected length spills into a private
+			// reallocation instead of a neighbouring chunk's rows.
+			dstIdx, dstVal := c.Row(i)
+			outIdx, _ := sparse.CombineRow(
+				scatIdx[ptr[i]:ptr[i+1]], scatVal[ptr[i]:ptr[i+1]],
+				dstIdx[0:0:len(dstIdx)], dstVal[0:0:len(dstVal)])
+			if len(outIdx) != p.RowNNZ[i] {
+				badRow.Store(int64(i))
+				return
+			}
+		}
+	})
+	parallel.PutInts(ptr)
+	parallel.PutInts(scatIdx)
+	parallel.PutFloats(scatVal)
+	if i := badRow.Load(); i >= 0 {
+		return nil, fmt.Errorf("core: row %d merged to an unexpected population, plan recorded %d", i, p.RowNNZ[i])
+	}
+	return c, nil
+}

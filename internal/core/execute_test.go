@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/blockreorg/blockreorg/internal/parallel"
+	"github.com/blockreorg/blockreorg/sparse"
+	"github.com/blockreorg/blockreorg/sparse/rmat"
+)
+
+// The central property of the parallel executor path: ExecuteOn must be
+// bit-identical to Execute — same structure, same values to the last bit —
+// for any worker count, on random matrices.
+func TestExecuteOnBitIdentical(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := testRNG(seed)
+		n := 2 + rng.IntN(40)
+		m := 2 + rng.IntN(40)
+		a := randomCSR(rng, n, m, 0.2)
+		b := randomCSR(rng, m, n, 0.2)
+		plan, err := BuildPlan(a, b, Params{})
+		if err != nil {
+			return false
+		}
+		want, err := plan.Execute(0)
+		if err != nil {
+			return false
+		}
+		for _, workers := range []int{1, 2, 7} {
+			got, err := plan.ExecuteOn(parallel.NewExecutor(workers), 0)
+			if err != nil || got.Validate() != nil || !got.Equal(want, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Same property on a skewed matrix that populates all three bins, where the
+// launch order actually interleaves split, normal, gathered and ungathered
+// blocks.
+func TestExecuteOnSkewedBitIdentical(t *testing.T) {
+	m, err := rmat.PowerLaw(1200, 18000, 2.05, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildPlan(m, m, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plan.Execute(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := plan.ExecuteOn(parallel.NewExecutor(8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 0) {
+		t.Fatal("ExecuteOn differs from Execute on skewed input")
+	}
+}
+
+func TestExecuteOnRespectsLimit(t *testing.T) {
+	rng := testRNG(5)
+	a := randomCSR(rng, 20, 20, 0.3)
+	plan, err := BuildPlan(a, a, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.ExecuteOn(nil, 1); err == nil {
+		t.Fatal("intermediate limit not enforced")
+	}
+}
+
+// The plan must stash the symbolic row populations at build time (the
+// plan-cache reuse paths depend on them), and a rebind must carry them
+// over unchanged — they are structure-only.
+func TestPlanStashesRowNNZ(t *testing.T) {
+	rng := testRNG(11)
+	a := randomCSR(rng, 60, 50, 0.15)
+	b := randomCSR(rng, 50, 70, 0.15)
+	plan, err := BuildPlan(a, b, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sparse.SymbolicRowNNZ(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.RowNNZ) != len(want) {
+		t.Fatalf("RowNNZ length %d, want %d", len(plan.RowNNZ), len(want))
+	}
+	var nnzc int64
+	for i := range want {
+		if plan.RowNNZ[i] != want[i] {
+			t.Fatalf("RowNNZ[%d] = %d, want %d", i, plan.RowNNZ[i], want[i])
+		}
+		nnzc += int64(want[i])
+	}
+	if plan.NNZC != nnzc {
+		t.Fatalf("NNZC = %d, want %d", plan.NNZC, nnzc)
+	}
+
+	a2 := a.Clone()
+	a2.Scale(3)
+	b2 := b.Clone()
+	re, err := plan.Rebind(a2, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NNZC != nnzc || len(re.RowNNZ) != len(want) {
+		t.Fatal("rebind dropped the stashed symbolic populations")
+	}
+	got, err := re.ExecuteOn(parallel.NewExecutor(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantC, err := re.Execute(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(wantC, 0) {
+		t.Fatal("rebound ExecuteOn differs from Execute")
+	}
+}

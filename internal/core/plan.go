@@ -58,6 +58,13 @@ type Plan struct {
 	Split  *SplitPlan
 	Gather *GatherPlan
 	Limit  *LimitPlan
+
+	// RowNNZ holds the exact merged row populations of C (the symbolic
+	// product) and NNZC their sum. Both depend only on the operand
+	// structure, so a rebound plan (Rebind) keeps them; stashing them here
+	// is what lets plan-cache hits skip the symbolic sweep entirely.
+	RowNNZ []int
+	NNZC   int64
 }
 
 // BuildPlan runs the full Block Reorganizer preprocessing for C = A×B.
@@ -65,14 +72,16 @@ func BuildPlan(a, b *sparse.CSR, p Params) (*Plan, error) {
 	if a == nil || b == nil {
 		return nil, errors.New("core: nil operand")
 	}
-	return BuildPlanCached(a, nil, b, nil, p)
+	return BuildPlanCached(a, nil, b, nil, nil, p)
 }
 
 // BuildPlanCached is BuildPlan with optionally precomputed inputs: acsc is
-// A in column orientation and rowWork the per-row intermediate populations
-// of C; either may be nil to compute it here. Callers that analyze the same
-// operands repeatedly (the benchmark harness) share these across runs.
-func BuildPlanCached(a *sparse.CSR, acsc *sparse.CSC, b *sparse.CSR, rowWork []int64, p Params) (*Plan, error) {
+// A in column orientation, rowWork the per-row intermediate populations of
+// C, and rowNNZ its exact merged row populations (the symbolic product);
+// any may be nil to compute it here. Callers that analyze the same operands
+// repeatedly (the precompute layer, the benchmark harness) share these
+// across runs.
+func BuildPlanCached(a *sparse.CSR, acsc *sparse.CSC, b *sparse.CSR, rowWork []int64, rowNNZ []int, p Params) (*Plan, error) {
 	p, err := p.Normalize()
 	if err != nil {
 		return nil, err
@@ -112,7 +121,21 @@ func BuildPlanCached(a *sparse.CSR, acsc *sparse.CSC, b *sparse.CSR, rowWork []i
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{Params: p, A: a, ACSC: acsc, B: b, Cls: cls, Split: split, Gather: gather, Limit: limit}, nil
+	if rowNNZ == nil {
+		rowNNZ, err = sparse.SymbolicRowNNZOn(a, b, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var nnzc int64
+	for _, n := range rowNNZ {
+		nnzc += int64(n)
+	}
+	return &Plan{
+		Params: p, A: a, ACSC: acsc, B: b,
+		Cls: cls, Split: split, Gather: gather, Limit: limit,
+		RowNNZ: rowNNZ, NNZC: nnzc,
+	}, nil
 }
 
 // VisitBlocks calls fn once per expansion thread block the plan launches,

@@ -25,6 +25,7 @@ import (
 
 	"github.com/blockreorg/blockreorg/internal/core"
 	"github.com/blockreorg/blockreorg/internal/gpusim"
+	"github.com/blockreorg/blockreorg/internal/parallel"
 	"github.com/blockreorg/blockreorg/sparse"
 )
 
@@ -60,6 +61,21 @@ type Options struct {
 	// algorithms ignore it, as does the Reorganizer when the plan is not
 	// bound to the operands.
 	Plan *core.Plan
+	// Exec selects the host-side executor the numeric paths run on. Nil
+	// selects the process-wide default (parallel.Default), which bounds
+	// loop goroutines at GOMAXPROCS across all concurrent runs; a
+	// one-worker executor forces sequential execution. Results do not
+	// depend on the choice — every parallel path is bit-identical to its
+	// sequential reference.
+	Exec *parallel.Executor
+}
+
+// executor resolves the run's host-side executor.
+func executor(opts Options) *parallel.Executor {
+	if opts.Exec != nil {
+		return opts.Exec
+	}
+	return parallel.Default()
 }
 
 // Product is the outcome of one multiplication.
@@ -182,7 +198,7 @@ func finishProduct(a, b *sparse.CSR, opts Options, rep *gpusim.Report, pc *Preco
 	if opts.SkipValues {
 		return p, nil
 	}
-	c, err := sparse.Multiply(a, b)
+	c, err := sparse.MultiplyOn(a, b, executor(opts))
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/blockreorg/blockreorg/internal/parallel"
 	"github.com/blockreorg/blockreorg/sparse"
 )
 
@@ -26,16 +27,28 @@ type Precomputed struct {
 	ACSC    *sparse.CSC
 }
 
-// Precompute runs the shared symbolic analysis for C = A×B.
+// Precompute runs the shared symbolic analysis for C = A×B on the
+// process-wide default executor.
 func Precompute(a, b *sparse.CSR) (*Precomputed, error) {
 	if err := checkShapes(a, b); err != nil {
 		return nil, err
 	}
-	rowWork, err := sparse.IntermediateRowNNZ(a, b)
+	return PrecomputeOn(a, b, nil)
+}
+
+// PrecomputeOn is Precompute on an explicit executor (nil selects the
+// process-wide default): both O(flops) sweeps — the intermediate-population
+// estimate and the symbolic row populations — run as chunked parallel
+// loops with pooled scratch.
+func PrecomputeOn(a, b *sparse.CSR, ex *parallel.Executor) (*Precomputed, error) {
+	if err := checkShapes(a, b); err != nil {
+		return nil, err
+	}
+	rowWork, err := sparse.IntermediateRowNNZOn(a, b, ex)
 	if err != nil {
 		return nil, err
 	}
-	rowNNZ, err := sparse.SymbolicRowNNZ(a, b)
+	rowNNZ, err := sparse.SymbolicRowNNZOn(a, b, ex)
 	if err != nil {
 		return nil, err
 	}
@@ -98,5 +111,5 @@ func pre(opts Options, a, b *sparse.CSR) (*Precomputed, error) {
 	if opts.Pre.matches(a, b) {
 		return opts.Pre, nil
 	}
-	return Precompute(a, b)
+	return PrecomputeOn(a, b, executor(opts))
 }

@@ -42,14 +42,21 @@ func (Reorganizer) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
 			pc = opts.Pre
 		} else {
 			// The merge kernel still needs the structure-only row
-			// populations; recompute just those.
-			rowNNZ, err := sparse.SymbolicRowNNZ(a, b)
-			if err != nil {
-				return nil, err
-			}
-			var nnzc int64
-			for _, n := range rowNNZ {
-				nnzc += int64(n)
+			// populations. The plan stashed them at build time (they
+			// survive Rebind, being structure-only), so a cache hit pays
+			// nothing here; only plans predating the stash fall back to
+			// the symbolic sweep.
+			rowNNZ := plan.RowNNZ
+			nnzc := plan.NNZC
+			if rowNNZ == nil {
+				rowNNZ, err = sparse.SymbolicRowNNZOn(a, b, executor(opts))
+				if err != nil {
+					return nil, err
+				}
+				nnzc = 0
+				for _, n := range rowNNZ {
+					nnzc += int64(n)
+				}
 			}
 			pc = &Precomputed{
 				rows: a.Rows, mid: a.Cols, cols: b.Cols,
@@ -69,7 +76,7 @@ func (Reorganizer) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
 		if err != nil {
 			return nil, err
 		}
-		plan, err = core.BuildPlanCached(a, pc.ACSC, b, pc.RowWork, params)
+		plan, err = core.BuildPlanCached(a, pc.ACSC, b, pc.RowWork, pc.RowNNZ, params)
 		if err != nil {
 			return nil, err
 		}
@@ -131,12 +138,14 @@ func (Reorganizer) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
 		return prod, nil
 	}
 	// Produce the numeric result through the transformed structure when
-	// the intermediate fits; otherwise through the reference kernel.
+	// the intermediate fits; otherwise through the reference kernel. Both
+	// paths run on the host executor and are bit-identical to their
+	// sequential counterparts.
 	var c *sparse.CSR
 	if plan.Cls.TotalWork <= maxPlanExec {
-		c, err = plan.Execute(0)
+		c, err = plan.ExecuteOn(executor(opts), 0)
 	} else {
-		c, err = sparse.Multiply(a, b)
+		c, err = sparse.MultiplyOn(a, b, executor(opts))
 	}
 	if err != nil {
 		return nil, err

@@ -1,0 +1,197 @@
+package parallel
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// The arenas pool the scratch every numeric phase needs — dense float64
+// accumulators, int marker/index arrays, int64 workload vectors — in
+// size-classed sync.Pools shared by the whole process. Class c holds
+// slices of capacity exactly 1<<c, so a recycled buffer is never smaller
+// than a fresh one of its class and waste is bounded at 2x.
+//
+// Contract: Get* buffers have the requested length and ARBITRARY
+// contents (a previous user's data, or poison under Paranoid mode —
+// initialize what you read). Put* hands a buffer back; the caller must
+// not retain any alias. Helpers that need zeroed memory use the *Zeroed
+// variants, which clear explicitly.
+
+// Poison values written into recycled buffers under Paranoid mode. They
+// are chosen to be loud: NaN propagates through any arithmetic, and the
+// int poison is far outside any valid index or count.
+const (
+	PoisonInt   = math.MinInt64 + 0x5151
+	PoisonInt32 = math.MinInt32 + 0x51
+)
+
+// PoisonFloat returns the float64 poison (NaN; a function because NaN is
+// not a constant).
+func PoisonFloat() float64 { return math.NaN() }
+
+// pooling gates the arenas: when disabled every Get allocates and every
+// Put discards, reproducing the library's pre-arena allocation behavior.
+// The benchmark harness flips it to measure the arenas' contribution.
+var poolingDisabled atomic.Bool
+
+// SetPooling enables or disables buffer recycling process-wide. Intended
+// for the benchmark harness and tests; leave it on in production.
+func SetPooling(on bool) { poolingDisabled.Store(!on) }
+
+// sizeClass returns the pool class for a request of n elements: the
+// smallest c with 1<<c >= n.
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+const numClasses = 48 // 2^47 elements is far beyond host memory
+
+var (
+	floatPools [numClasses]sync.Pool
+	intPools   [numClasses]sync.Pool
+	int64Pools [numClasses]sync.Pool
+
+	// The class pools hold *[]T so sync.Pool never boxes. The header
+	// objects themselves are recycled through these side pools — a naive
+	// Put(&s) would heap-allocate one fresh header per return-to-pool,
+	// charging the arenas an allocation on every round trip. Pointers box
+	// into interface{} without allocating, so the steady state is
+	// allocation-free in both directions.
+	floatHeaders sync.Pool
+	intHeaders   sync.Pool
+	int64Headers sync.Pool
+)
+
+// GetFloats returns a []float64 of length n with arbitrary contents.
+func GetFloats(n int) []float64 {
+	stats.arenaGets.Add(1)
+	c := sizeClass(n)
+	if !poolingDisabled.Load() {
+		if v := floatPools[c].Get(); v != nil {
+			h := v.(*[]float64)
+			s := (*h)[:n]
+			*h = nil
+			floatHeaders.Put(h)
+			return s
+		}
+	}
+	stats.arenaNews.Add(1)
+	return make([]float64, n, 1<<c)
+}
+
+// PutFloats recycles a buffer obtained from GetFloats.
+func PutFloats(s []float64) {
+	if cap(s) == 0 || poolingDisabled.Load() {
+		return
+	}
+	c := sizeClass(cap(s))
+	if cap(s) != 1<<c {
+		return // foreign buffer; classes hold exact capacities only
+	}
+	s = s[:cap(s)]
+	if poisoning() {
+		nan := PoisonFloat()
+		for i := range s {
+			s[i] = nan
+		}
+	}
+	h, _ := floatHeaders.Get().(*[]float64)
+	if h == nil {
+		h = new([]float64)
+	}
+	*h = s
+	floatPools[c].Put(h)
+}
+
+// GetInts returns a []int of length n with arbitrary contents.
+func GetInts(n int) []int {
+	stats.arenaGets.Add(1)
+	c := sizeClass(n)
+	if !poolingDisabled.Load() {
+		if v := intPools[c].Get(); v != nil {
+			h := v.(*[]int)
+			s := (*h)[:n]
+			*h = nil
+			intHeaders.Put(h)
+			return s
+		}
+	}
+	stats.arenaNews.Add(1)
+	return make([]int, n, 1<<c)
+}
+
+// GetIntsZeroed returns a zeroed []int of length n — the shape marker
+// sweeps need (0 = untouched).
+func GetIntsZeroed(n int) []int {
+	s := GetInts(n)
+	clear(s)
+	return s
+}
+
+// PutInts recycles a buffer obtained from GetInts.
+func PutInts(s []int) {
+	if cap(s) == 0 || poolingDisabled.Load() {
+		return
+	}
+	c := sizeClass(cap(s))
+	if cap(s) != 1<<c {
+		return
+	}
+	s = s[:cap(s)]
+	if poisoning() {
+		for i := range s {
+			s[i] = PoisonInt
+		}
+	}
+	h, _ := intHeaders.Get().(*[]int)
+	if h == nil {
+		h = new([]int)
+	}
+	*h = s
+	intPools[c].Put(h)
+}
+
+// GetInt64s returns a []int64 of length n with arbitrary contents.
+func GetInt64s(n int) []int64 {
+	stats.arenaGets.Add(1)
+	c := sizeClass(n)
+	if !poolingDisabled.Load() {
+		if v := int64Pools[c].Get(); v != nil {
+			h := v.(*[]int64)
+			s := (*h)[:n]
+			*h = nil
+			int64Headers.Put(h)
+			return s
+		}
+	}
+	stats.arenaNews.Add(1)
+	return make([]int64, n, 1<<c)
+}
+
+// PutInt64s recycles a buffer obtained from GetInt64s.
+func PutInt64s(s []int64) {
+	if cap(s) == 0 || poolingDisabled.Load() {
+		return
+	}
+	c := sizeClass(cap(s))
+	if cap(s) != 1<<c {
+		return
+	}
+	s = s[:cap(s)]
+	if poisoning() {
+		for i := range s {
+			s[i] = PoisonInt
+		}
+	}
+	h, _ := int64Headers.Get().(*[]int64)
+	if h == nil {
+		h = new([]int64)
+	}
+	*h = s
+	int64Pools[c].Put(h)
+}

@@ -1,0 +1,82 @@
+package parallel
+
+// itemWeight is the chunking weight of one item: its work when it has
+// any, otherwise a nominal 1 so runs of empty items still advance chunk
+// boundaries. Weighting non-empty items w+1 — the library's original
+// heuristic — double-counted them (once for their work, once for
+// existing), which skewed chunk boundaries toward row count on matrices
+// dominated by empty rows; see TestWeightedBoundsEmptyRows.
+func itemWeight(w int64) int64 {
+	if w > 0 {
+		return w
+	}
+	return 1
+}
+
+// WeightedBounds returns chunk boundaries (len ≤ parts+1, first 0, last
+// len(weights)) splitting the items into contiguous chunks of near-equal
+// total weight. This is the intermediate-nnz heuristic of the merge
+// planner: weights are per-item work estimates (intermediate products per
+// row, products per block), so one hub item cannot serialize a parallel
+// loop behind it.
+func WeightedBounds(weights []int64, parts int) []int {
+	if parts < 1 {
+		parts = 1
+	}
+	var total int64
+	for _, w := range weights {
+		total += itemWeight(w)
+	}
+	target := total/int64(parts) + 1
+	bounds := make([]int, 1, parts+1)
+	var acc int64
+	for i, w := range weights {
+		acc += itemWeight(w)
+		if acc >= target && i+1 < len(weights) {
+			bounds = append(bounds, i+1)
+			acc = 0
+		}
+	}
+	return append(bounds, len(weights))
+}
+
+// Ranges converts boundary form ([b0, b1, ..., bn]) into n Range chunks,
+// dropping empty ones.
+func Ranges(bounds []int) []Range {
+	out := make([]Range, 0, len(bounds)-1)
+	for i := 0; i+1 < len(bounds); i++ {
+		if bounds[i+1] > bounds[i] {
+			out = append(out, Range{Lo: bounds[i], Hi: bounds[i+1]})
+		}
+	}
+	return out
+}
+
+// WeightedRanges is WeightedBounds composed with Ranges: the chunk list
+// for ForEach over items with the given work estimates.
+func WeightedRanges(weights []int64, parts int) []Range {
+	return Ranges(WeightedBounds(weights, parts))
+}
+
+// UniformRanges splits [0, n) into ≤ parts equal chunks.
+func UniformRanges(n, parts int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]Range, 0, parts)
+	per := (n + parts - 1) / parts
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Range{Lo: lo, Hi: hi})
+	}
+	return out
+}

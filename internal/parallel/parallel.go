@@ -1,0 +1,101 @@
+// Package parallel is the host-side execution engine of the library: a
+// work-stealing executor over work-weighted chunks plus sync.Pool-backed
+// scratch arenas for the numeric hot paths.
+//
+// The package exists for the same reason the Block Reorganizer exists on
+// the GPU. The paper's problem is SM-level load imbalance — thread blocks
+// of wildly different workloads serialize a kernel on its heaviest block —
+// and its fix is to reshape blocks until every SM stays busy (PAPER.md
+// §III). The host-side pipeline has the identical problem one level up:
+// precalculation sweeps, expansion walks and merge phases iterate over
+// rows and blocks whose populations follow the same power law as the
+// input, so a naive row-count split leaves every core but one idle while
+// the hub rows finish. The executor chunks work by intermediate-product
+// weight (the same heuristic the merge planner uses), deals the chunks to
+// per-worker deques, and lets idle workers steal from the busy ones — the
+// CPU analogue of B-Splitting plus hardware work distribution.
+//
+// The arenas attack the second serving-scale problem: every phase used to
+// allocate its dense accumulators, marker arrays and triplet buffers per
+// call, so a server running many multiplications multiplied its peak RSS
+// and GC pressure by the worker count. All scratch now cycles through
+// size-classed sync.Pools shared process-wide.
+//
+// Correctness stance: the executor never changes results. Callers assign
+// disjoint output ranges per chunk, so scheduling order is invisible;
+// every parallel path in the library is required (and tested) to produce
+// bit-identical output to its sequential reference. Under Paranoid mode
+// (BLOCKREORG_PARANOID) recycled arena buffers are poisoned before they
+// return to the pool, so any kernel that reads scratch it did not
+// initialize produces loud NaN/garbage results instead of silently
+// reusing a previous request's data.
+package parallel
+
+import (
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Range is a half-open chunk [Lo, Hi) of a caller-defined index space.
+type Range struct{ Lo, Hi int }
+
+// Len returns the number of items in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Stats counts executor and arena activity since process start. The
+// serving layer exports these as metrics.
+type Stats struct {
+	// Runs counts ForEach invocations that went parallel (at least two
+	// workers); InlineRuns counts the ones that ran on the caller alone.
+	Runs       uint64
+	InlineRuns uint64
+	// Chunks counts executed chunks; Steals counts the ones a worker took
+	// from another worker's deque.
+	Chunks uint64
+	Steals uint64
+	// ArenaGets counts arena checkouts; ArenaNews counts the subset that
+	// had to allocate because the pool was empty. A high hit ratio
+	// (1 - news/gets) is the arena working.
+	ArenaGets uint64
+	ArenaNews uint64
+}
+
+var stats struct {
+	runs, inlineRuns, chunks, steals atomic.Uint64
+	arenaGets, arenaNews             atomic.Uint64
+}
+
+// ReadStats snapshots the process-wide counters.
+func ReadStats() Stats {
+	return Stats{
+		Runs:       stats.runs.Load(),
+		InlineRuns: stats.inlineRuns.Load(),
+		Chunks:     stats.chunks.Load(),
+		Steals:     stats.steals.Load(),
+		ArenaGets:  stats.arenaGets.Load(),
+		ArenaNews:  stats.arenaNews.Load(),
+	}
+}
+
+// poisonOnce resolves whether recycled buffers are poisoned: on when the
+// BLOCKREORG_PARANOID environment variable is set (same switch as the deep
+// sanitizer layer), mirroring gpusim.ParanoidEnv without importing it.
+var poisonOnce = sync.OnceValue(func() bool {
+	switch os.Getenv("BLOCKREORG_PARANOID") {
+	case "", "0", "false", "no", "off":
+		return false
+	}
+	return true
+})
+
+// forcePoison lets tests enable poisoning without the environment.
+var forcePoison atomic.Bool
+
+// SetPoison forces buffer poisoning on (or back to the environment
+// default when off). Tests use it to prove kernels never observe stale
+// arena contents.
+func SetPoison(on bool) { forcePoison.Store(on) }
+
+// poisoning reports whether Put* must poison buffers before pooling them.
+func poisoning() bool { return forcePoison.Load() || poisonOnce() }

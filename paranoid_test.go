@@ -5,6 +5,7 @@ import (
 	"os"
 	"testing"
 
+	"github.com/blockreorg/blockreorg/internal/parallel"
 	"github.com/blockreorg/blockreorg/sparse"
 	"github.com/blockreorg/blockreorg/sparse/rmat"
 )
@@ -34,6 +35,48 @@ func TestParanoidAllAlgorithms(t *testing.T) {
 		}
 		if !res.C.Equal(want, 1e-9) {
 			t.Errorf("%s with Paranoid: product differs from reference", alg)
+		}
+	}
+}
+
+// TestParanoidPoisonedArenaReuse closes the loop on buffer recycling:
+// with poisoning forced on, every buffer returned to the arenas is filled
+// with NaN / out-of-range sentinels before a later Get can hand it out
+// again. Repeated multiplies therefore run almost entirely on recycled,
+// poisoned scratch — if any kernel read a recycled value it did not
+// initialize, the NaN would propagate into the product or the sentinel
+// index would corrupt the structure, and the comparison (or Paranoid's
+// deep checks) would catch it.
+func TestParanoidPoisonedArenaReuse(t *testing.T) {
+	parallel.SetPoison(true)
+	defer parallel.SetPoison(false)
+
+	a, err := rmat.PowerLaw(1200, 15000, 2.05, 59)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sparse.Multiply(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A multi-worker executor forces the chunked Gustavson engine, whose
+	// accumulators, markers and index buffers all cycle through the
+	// arenas.
+	ex := parallel.NewExecutor(4)
+	for iter := 0; iter < 3; iter++ {
+		got, err := sparse.MultiplyOn(a, a, ex)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", iter, err)
+		}
+		if !got.Equal(want, 0) {
+			t.Fatalf("iteration %d: poisoned-arena MultiplyOn diverged", iter)
+		}
+		res, err := Multiply(a, a, Options{Paranoid: true})
+		if err != nil {
+			t.Fatalf("iteration %d: Reorganizer with Paranoid: %v", iter, err)
+		}
+		if !res.C.Equal(want, 1e-9) {
+			t.Fatalf("iteration %d: poisoned-arena Reorganizer diverged", iter)
 		}
 	}
 }

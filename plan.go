@@ -51,7 +51,7 @@ func NewPlan(a, b *sparse.CSR, opts Options) (*Plan, error) {
 	if params.NumSMs == 0 {
 		params.NumSMs = kopts.Device.NumSMs
 	}
-	cp, err := core.BuildPlanCached(a, pc.ACSC, b, pc.RowWork, params)
+	cp, err := core.BuildPlanCached(a, pc.ACSC, b, pc.RowWork, pc.RowNNZ, params)
 	if err != nil {
 		return nil, err
 	}

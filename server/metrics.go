@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+
+	"github.com/blockreorg/blockreorg/internal/parallel"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the wall-clock service
@@ -89,6 +91,24 @@ func (m *metrics) write(w io.Writer, cache CacheStats, queueDepth, queueCap int)
 	fmt.Fprintf(w, "spgemmd_plancache_evictions_total %d\n", cache.Evictions)
 	fmt.Fprintf(w, "# TYPE spgemmd_plancache_size gauge\n")
 	fmt.Fprintf(w, "spgemmd_plancache_size %d\n", cache.Size)
+
+	// The execution engine all jobs share: work-stealing executor runs and
+	// arena traffic. A high steal count means the weighted chunking alone
+	// did not balance the load; a high arena hit ratio (1 - allocs/gets)
+	// means scratch is actually recycling.
+	ps := parallel.ReadStats()
+	fmt.Fprintf(w, "# TYPE spgemmd_executor_parallel_runs_total counter\n")
+	fmt.Fprintf(w, "spgemmd_executor_parallel_runs_total %d\n", ps.Runs)
+	fmt.Fprintf(w, "# TYPE spgemmd_executor_inline_runs_total counter\n")
+	fmt.Fprintf(w, "spgemmd_executor_inline_runs_total %d\n", ps.InlineRuns)
+	fmt.Fprintf(w, "# TYPE spgemmd_executor_chunks_total counter\n")
+	fmt.Fprintf(w, "spgemmd_executor_chunks_total %d\n", ps.Chunks)
+	fmt.Fprintf(w, "# TYPE spgemmd_executor_steals_total counter\n")
+	fmt.Fprintf(w, "spgemmd_executor_steals_total %d\n", ps.Steals)
+	fmt.Fprintf(w, "# TYPE spgemmd_arena_gets_total counter\n")
+	fmt.Fprintf(w, "spgemmd_arena_gets_total %d\n", ps.ArenaGets)
+	fmt.Fprintf(w, "# TYPE spgemmd_arena_allocs_total counter\n")
+	fmt.Fprintf(w, "spgemmd_arena_allocs_total %d\n", ps.ArenaNews)
 
 	algs := make([]string, 0, len(m.byAlg))
 	for alg := range m.byAlg {

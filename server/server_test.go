@@ -207,6 +207,11 @@ func TestServerEndToEnd(t *testing.T) {
 		"spgemmd_jobs_completed_total 2",
 		"spgemmd_jobs_submitted_total 2",
 		fmt.Sprintf("spgemmd_job_seconds_count{algorithm=%q} 2", blockreorg.BlockReorganizer),
+		// The shared execution engine reports its counters too. Values are
+		// process-wide and depend on host parallelism, so presence is all
+		// this asserts.
+		"spgemmd_executor_chunks_total ",
+		"spgemmd_arena_gets_total ",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)

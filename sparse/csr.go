@@ -23,6 +23,23 @@ func NewCSR(rows, cols int) *CSR {
 	return &CSR{Rows: rows, Cols: cols, Ptr: make([]int, rows+1)}
 }
 
+// NewCSRWithRowSizes returns a rows×cols matrix with storage preallocated
+// for exactly rowNNZ[i] entries in row i and the pointer array already
+// finalized. The entries themselves are zero; the caller must fill every
+// row (through the slices Row returns) before the matrix is used. It is
+// the sanctioned way to build a CSR out of row order — e.g. from parallel
+// workers that own disjoint row ranges and know their populations up
+// front — without touching Ptr/Idx/Val directly.
+func NewCSRWithRowSizes(rows, cols int, rowNNZ []int) *CSR {
+	m := NewCSR(rows, cols)
+	for i := 0; i < rows; i++ {
+		m.Ptr[i+1] = m.Ptr[i] + rowNNZ[i]
+	}
+	m.Idx = make([]int, m.Ptr[rows])
+	m.Val = make([]float64, m.Ptr[rows])
+	return m
+}
+
 // NNZ returns the number of stored entries.
 func (m *CSR) NNZ() int { return len(m.Idx) }
 
@@ -172,34 +189,98 @@ func (m *CSR) SortRows() {
 	outIdx := m.Idx[:0]
 	outVal := m.Val[:0]
 	newPtr := make([]int, m.Rows+1)
-	type ent struct {
-		j int
-		v float64
-	}
-	var buf []ent
+	var bufIdx []int
+	var bufVal []float64
 	for i := 0; i < m.Rows; i++ {
 		lo, hi := m.Ptr[i], m.Ptr[i+1]
-		buf = buf[:0]
-		for k := lo; k < hi; k++ {
-			buf = append(buf, ent{m.Idx[k], m.Val[k]})
-		}
-		sort.Slice(buf, func(a, b int) bool { return buf[a].j < buf[b].j })
-		for k := 0; k < len(buf); {
-			j := buf[k].j
-			v := buf[k].v
-			k++
-			for k < len(buf) && buf[k].j == j {
-				v += buf[k].v
-				k++
-			}
-			outIdx = append(outIdx, j)
-			outVal = append(outVal, v)
-		}
+		bufIdx = append(bufIdx[:0], m.Idx[lo:hi]...)
+		bufVal = append(bufVal[:0], m.Val[lo:hi]...)
+		outIdx, outVal = CombineRow(bufIdx, bufVal, outIdx, outVal)
 		newPtr[i+1] = len(outIdx)
 	}
 	m.Idx = outIdx
 	m.Val = outVal
 	m.Ptr = newPtr
+}
+
+// sortRowEntries co-sorts one row's (column, value) pairs by column index
+// without allocating: median-of-three quicksort with insertion sort leaves,
+// swapping idx and val in lockstep. sort.Sort would box the pair into an
+// interface and cost one heap allocation per merged row.
+func sortRowEntries(idx []int, val []float64) {
+	for len(idx) > 24 {
+		mid := partitionRowEntries(idx, val)
+		if mid < len(idx)-mid {
+			sortRowEntries(idx[:mid], val[:mid])
+			idx, val = idx[mid:], val[mid:]
+		} else {
+			sortRowEntries(idx[mid:], val[mid:])
+			idx, val = idx[:mid], val[:mid]
+		}
+	}
+	for i := 1; i < len(idx); i++ {
+		ci, cv := idx[i], val[i]
+		j := i - 1
+		for j >= 0 && idx[j] > ci {
+			idx[j+1], val[j+1] = idx[j], val[j]
+			j--
+		}
+		idx[j+1], val[j+1] = ci, cv
+	}
+}
+
+// partitionRowEntries partitions the pairs around a median-of-three pivot
+// column and returns the boundary.
+func partitionRowEntries(idx []int, val []float64) int {
+	a, b, c := idx[0], idx[len(idx)/2], idx[len(idx)-1]
+	pivot := a
+	if (a <= b && b <= c) || (c <= b && b <= a) {
+		pivot = b
+	} else if (a <= c && c <= b) || (b <= c && c <= a) {
+		pivot = c
+	}
+	i, j := 0, len(idx)-1
+	for i <= j {
+		for idx[i] < pivot {
+			i++
+		}
+		for idx[j] > pivot {
+			j--
+		}
+		if i <= j {
+			idx[i], idx[j] = idx[j], idx[i]
+			val[i], val[j] = val[j], val[i]
+			i++
+			j--
+		}
+	}
+	return i
+}
+
+// CombineRow sorts one row's (idx, val) entry pairs in place by column
+// index, merges duplicate columns by addition, and appends the combined
+// entries to outIdx/outVal, returning the extended slices.
+//
+// It is the single merge primitive behind SortRows (and therefore every
+// COO→CSR conversion) and the parallel plan executor. Sharing it matters
+// for bit-identical results: the sort is unstable, so the order in which
+// duplicate columns are summed is a property of the sort implementation —
+// running the identical code on the identical entry sequence is what makes
+// sequential and parallel merges agree to the last bit.
+func CombineRow(idx []int, val []float64, outIdx []int, outVal []float64) ([]int, []float64) {
+	sortRowEntries(idx, val)
+	for k := 0; k < len(idx); {
+		j := idx[k]
+		v := val[k]
+		k++
+		for k < len(idx) && idx[k] == j {
+			v += val[k]
+			k++
+		}
+		outIdx = append(outIdx, j)
+		outVal = append(outVal, v)
+	}
+	return outIdx, outVal
 }
 
 // csrFromRows assembles a CSR matrix from per-row index/value slices.

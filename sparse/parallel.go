@@ -1,124 +1,214 @@
 package sparse
 
 import (
-	"runtime"
-	"sync"
+	"github.com/blockreorg/blockreorg/internal/parallel"
 )
 
 // MultiplyParallel computes C = A×B with Gustavson's algorithm across
-// `workers` goroutines (0 selects GOMAXPROCS). Rows are dealt in contiguous
-// chunks sized to balance power-law inputs: chunk boundaries follow the
-// intermediate-work distribution rather than the row count, so one hub row
-// cannot serialize the computation — the CPU analogue of the load-balancing
-// problem the Block Reorganizer solves on GPUs.
+// `workers` goroutines (0 selects the process-wide default executor, sized
+// GOMAXPROCS). Rows are dealt in contiguous chunks sized to balance
+// power-law inputs: chunk boundaries follow the intermediate-work
+// distribution rather than the row count, so one hub row cannot serialize
+// the computation — the CPU analogue of the load-balancing problem the
+// Block Reorganizer solves on GPUs.
 //
-// The result is identical to Multiply (the per-row computation is
+// The result is bit-identical to Multiply (the per-row computation is
 // deterministic and rows are written to disjoint output ranges).
 func MultiplyParallel(a, b *CSR, workers int) (*CSR, error) {
+	ex := parallel.Default()
+	if workers > 0 && workers != ex.Workers() {
+		ex = parallel.NewExecutor(workers)
+	}
+	return MultiplyOn(a, b, ex)
+}
+
+// MultiplyOn is Multiply on an explicit executor, with all scratch —
+// dense accumulators, marker arrays, workload vectors — drawn from the
+// shared arenas instead of allocated per call. A nil executor selects the
+// process-wide default.
+func MultiplyOn(a, b *CSR, ex *parallel.Executor) (*CSR, error) {
 	if a.Cols != b.Rows {
-		return nil, shapeError("MultiplyParallel", a.Rows, a.Cols, b.Rows, b.Cols)
+		return nil, shapeError("MultiplyOn", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if ex == nil {
+		ex = parallel.Default()
 	}
-	if workers == 1 || a.Rows < 2*workers {
-		return Multiply(a, b)
+	if ex.Workers() == 1 || a.Rows < 2*ex.Workers() {
+		return multiplyPooled(a, b)
 	}
 
 	// Work-weighted chunking: split rows so each chunk holds a similar
 	// number of intermediate products.
-	rowWork, err := IntermediateRowNNZ(a, b)
-	if err != nil {
-		return nil, err
-	}
-	var total int64
-	for _, w := range rowWork {
-		total += w + 1 // +1 keeps empty rows from collapsing into one chunk
-	}
-	chunks := chunkRows(rowWork, total, 4*workers)
+	rowWork := parallel.GetInt64s(a.Rows)
+	defer parallel.PutInt64s(rowWork)
+	intermediateRowWorkInto(rowWork, a, b, ex)
+	chunks := parallel.WeightedRanges(rowWork, 4*ex.Workers())
 
-	type part struct {
-		lo, hi int
-		idx    []int
-		val    []float64
-		ptr    []int // per-row lengths within the part
-	}
-	parts := make([]part, len(chunks)-1)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for pi := 0; pi+1 < len(chunks); pi++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(pi int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			lo, hi := chunks[pi], chunks[pi+1]
-			p := part{lo: lo, hi: hi, ptr: make([]int, hi-lo)}
-			acc := make([]float64, b.Cols)
-			marker := make([]int, b.Cols)
-			touched := make([]int, 0, 256)
-			for i := lo; i < hi; i++ {
-				touched = touched[:0]
-				for ka := a.Ptr[i]; ka < a.Ptr[i+1]; ka++ {
-					k := a.Idx[ka]
-					av := a.Val[ka]
-					for kb := b.Ptr[k]; kb < b.Ptr[k+1]; kb++ {
-						j := b.Idx[kb]
-						if marker[j] != i+1 {
-							marker[j] = i + 1
-							acc[j] = 0
-							touched = append(touched, j)
-						}
-						acc[j] += av * b.Val[kb]
+	// Symbolic phase: size every output row exactly, so the numeric phase
+	// writes straight into the final arrays — no per-chunk growth, no
+	// stitching copy, and peak memory is the result itself.
+	rowNNZ := parallel.GetInts(a.Rows)
+	ex.ForEach(chunks, func(r parallel.Range) {
+		marker := parallel.GetIntsZeroed(b.Cols)
+		for i := r.Lo; i < r.Hi; i++ {
+			n := 0
+			for ka := a.Ptr[i]; ka < a.Ptr[i+1]; ka++ {
+				k := a.Idx[ka]
+				for kb := b.Ptr[k]; kb < b.Ptr[k+1]; kb++ {
+					j := b.Idx[kb]
+					if marker[j] != i+1 {
+						marker[j] = i + 1
+						n++
 					}
 				}
-				insertionSortInts(touched)
-				for _, j := range touched {
-					p.idx = append(p.idx, j)
-					p.val = append(p.val, acc[j])
-				}
-				p.ptr[i-lo] = len(touched)
 			}
-			parts[pi] = p
-		}(pi)
-	}
-	wg.Wait()
-
-	// Stitch the parts back together.
-	c := NewCSR(a.Rows, b.Cols)
-	nnz := 0
-	for _, p := range parts {
-		nnz += len(p.idx)
-	}
-	c.Idx = make([]int, 0, nnz)
-	c.Val = make([]float64, 0, nnz)
-	for _, p := range parts {
-		c.Idx = append(c.Idx, p.idx...)
-		c.Val = append(c.Val, p.val...)
-		for r, n := range p.ptr {
-			c.Ptr[p.lo+r+1] = c.Ptr[p.lo+r] + n
+			rowNNZ[i] = n
 		}
-	}
+		parallel.PutInts(marker)
+	})
+
+	// Numeric phase: every chunk accumulates its rows and writes them into
+	// their precomputed slots.
+	c := NewCSRWithRowSizes(a.Rows, b.Cols, rowNNZ)
+	parallel.PutInts(rowNNZ)
+	ex.ForEach(chunks, func(r parallel.Range) {
+		acc := parallel.GetFloats(b.Cols)
+		marker := parallel.GetIntsZeroed(b.Cols)
+		touched := parallel.GetInts(b.Cols)[:0]
+		for i := r.Lo; i < r.Hi; i++ {
+			touched = touched[:0]
+			for ka := a.Ptr[i]; ka < a.Ptr[i+1]; ka++ {
+				k := a.Idx[ka]
+				av := a.Val[ka]
+				for kb := b.Ptr[k]; kb < b.Ptr[k+1]; kb++ {
+					j := b.Idx[kb]
+					if marker[j] != i+1 {
+						marker[j] = i + 1
+						acc[j] = 0
+						touched = append(touched, j)
+					}
+					acc[j] += av * b.Val[kb]
+				}
+			}
+			insertionSortInts(touched)
+			dstIdx, dstVal := c.Row(i)
+			for t, j := range touched {
+				dstIdx[t] = j
+				dstVal[t] = acc[j]
+			}
+		}
+		parallel.PutInts(touched)
+		parallel.PutInts(marker)
+		parallel.PutFloats(acc)
+	})
 	return c, nil
 }
 
-// chunkRows returns n+1 row boundaries splitting rowWork into ~parts chunks
-// of near-equal weight.
-func chunkRows(rowWork []int64, total int64, parts int) []int {
-	if parts < 1 {
-		parts = 1
-	}
-	target := total/int64(parts) + 1
-	bounds := []int{0}
-	var acc int64
-	for i, w := range rowWork {
-		acc += w + 1
-		if acc >= target && i+1 < len(rowWork) {
-			bounds = append(bounds, i+1)
-			acc = 0
+// multiplyPooled is the sequential Gustavson kernel with arena scratch:
+// the same computation as Multiply, minus its per-call allocations.
+func multiplyPooled(a, b *CSR) (*CSR, error) {
+	c := NewCSR(a.Rows, b.Cols)
+	acc := parallel.GetFloats(b.Cols)
+	marker := parallel.GetIntsZeroed(b.Cols)
+	touched := parallel.GetInts(256)[:0]
+	for i := 0; i < a.Rows; i++ {
+		touched = touched[:0]
+		for ka := a.Ptr[i]; ka < a.Ptr[i+1]; ka++ {
+			k := a.Idx[ka]
+			av := a.Val[ka]
+			for kb := b.Ptr[k]; kb < b.Ptr[k+1]; kb++ {
+				j := b.Idx[kb]
+				if marker[j] != i+1 {
+					marker[j] = i + 1
+					acc[j] = 0
+					touched = append(touched, j)
+				}
+				acc[j] += av * b.Val[kb]
+			}
 		}
+		insertionSortInts(touched)
+		for _, j := range touched {
+			c.Idx = append(c.Idx, j)
+			c.Val = append(c.Val, acc[j])
+		}
+		c.Ptr[i+1] = len(c.Idx)
 	}
-	return append(bounds, len(rowWork))
+	parallel.PutInts(touched)
+	parallel.PutInts(marker)
+	parallel.PutFloats(acc)
+	return c, nil
+}
+
+// SymbolicRowNNZOn is SymbolicRowNNZ on an explicit executor: the marker
+// sweep runs per work-weighted row chunk with pooled marker arrays, each
+// chunk writing its disjoint range of the counts. A nil executor selects
+// the process-wide default.
+func SymbolicRowNNZOn(a, b *CSR, ex *parallel.Executor) ([]int, error) {
+	if a.Cols != b.Rows {
+		return nil, shapeError("SymbolicRowNNZOn", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if ex == nil {
+		ex = parallel.Default()
+	}
+	counts := make([]int, a.Rows)
+	// The sweep visits every intermediate product once, so the per-row
+	// intermediate counts are its exact work profile.
+	rowWork := parallel.GetInt64s(a.Rows)
+	intermediateRowWorkInto(rowWork, a, b, ex)
+	chunks := parallel.WeightedRanges(rowWork, 4*ex.Workers())
+	parallel.PutInt64s(rowWork)
+	ex.ForEach(chunks, func(r parallel.Range) {
+		marker := parallel.GetIntsZeroed(b.Cols)
+		for i := r.Lo; i < r.Hi; i++ {
+			n := 0
+			for ka := a.Ptr[i]; ka < a.Ptr[i+1]; ka++ {
+				k := a.Idx[ka]
+				for kb := b.Ptr[k]; kb < b.Ptr[k+1]; kb++ {
+					j := b.Idx[kb]
+					if marker[j] != i+1 {
+						marker[j] = i + 1
+						n++
+					}
+				}
+			}
+			counts[i] = n
+		}
+		parallel.PutInts(marker)
+	})
+	return counts, nil
+}
+
+// IntermediateRowNNZOn is IntermediateRowNNZ on an explicit executor with
+// pooled scratch. A nil executor selects the process-wide default.
+func IntermediateRowNNZOn(a, b *CSR, ex *parallel.Executor) ([]int64, error) {
+	if a.Cols != b.Rows {
+		return nil, shapeError("IntermediateRowNNZOn", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if ex == nil {
+		ex = parallel.Default()
+	}
+	out := make([]int64, a.Rows)
+	intermediateRowWorkInto(out, a, b, ex)
+	return out, nil
+}
+
+// intermediateRowWorkInto fills out (length a.Rows) with the per-row
+// intermediate product counts of A×B. Shapes must already be checked.
+func intermediateRowWorkInto(out []int64, a, b *CSR, ex *parallel.Executor) {
+	rowNNZ := parallel.GetInt64s(b.Rows)
+	for k := 0; k < b.Rows; k++ {
+		rowNNZ[k] = int64(b.RowNNZ(k))
+	}
+	ex.ForEachN(a.Rows, func(r parallel.Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			var n int64
+			for ka := a.Ptr[i]; ka < a.Ptr[i+1]; ka++ {
+				n += rowNNZ[a.Idx[ka]]
+			}
+			out[i] = n
+		}
+	})
+	parallel.PutInt64s(rowNNZ)
 }
 
 // insertionSortInts sorts small index slices in place; row populations are

@@ -3,6 +3,8 @@ package sparse
 import (
 	"testing"
 	"testing/quick"
+
+	"github.com/blockreorg/blockreorg/internal/parallel"
 )
 
 func TestMultiplyParallelMatchesSerial(t *testing.T) {
@@ -19,7 +21,7 @@ func TestMultiplyParallelMatchesSerial(t *testing.T) {
 		}
 		for _, workers := range []int{0, 1, 2, 7} {
 			got, err := MultiplyParallel(a, b, workers)
-			if err != nil || got.Validate() != nil || !got.Equal(want, 1e-12) {
+			if err != nil || got.Validate() != nil || !got.Equal(want, 0) {
 				return false
 			}
 		}
@@ -51,7 +53,7 @@ func TestMultiplyParallelSkewed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !got.Equal(want, 1e-12) {
+	if !got.Equal(want, 0) {
 		t.Fatal("parallel result differs on skewed input")
 	}
 }
@@ -62,21 +64,108 @@ func TestMultiplyParallelShape(t *testing.T) {
 	}
 }
 
-func TestChunkRowsCoverAndBalance(t *testing.T) {
-	rowWork := make([]int64, 1000)
-	var total int64
-	for i := range rowWork {
-		rowWork[i] = int64(i % 17)
-		total += rowWork[i] + 1
-	}
-	bounds := chunkRows(rowWork, total, 8)
-	if bounds[0] != 0 || bounds[len(bounds)-1] != len(rowWork) {
-		t.Fatalf("bounds do not cover rows: %v", bounds)
-	}
-	for i := 1; i < len(bounds); i++ {
-		if bounds[i] <= bounds[i-1] {
-			t.Fatalf("bounds not increasing: %v", bounds)
+// TestMultiplyParallelMostlyEmptyRows is the regression test for the old
+// chunk-weighting heuristic (w+1 per row), which double-counted non-empty
+// rows and let the empty-row mass of a 90%-empty matrix drag chunk
+// boundaries toward equal row counts. The fixed weighting must keep the
+// work of every chunk near the mean, and the parallel product must remain
+// bit-identical to the sequential oracle.
+func TestMultiplyParallelMostlyEmptyRows(t *testing.T) {
+	const n = 4000
+	rng := testRNG(17)
+	coo := NewCOO(n, n, 0)
+	// 10% populated rows with power-law degrees; the rest stay empty.
+	for i := 0; i < n/10; i++ {
+		deg := 1 + int(float64(300)/float64(i+1))
+		for d := 0; d < deg; d++ {
+			coo.Add(i, rng.IntN(n), 1+rng.Float64())
 		}
+	}
+	m := coo.ToCSR()
+
+	rowWork, err := IntermediateRowNNZ(m, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, maxRow int64
+	for _, w := range rowWork {
+		total += w
+		if w > maxRow {
+			maxRow = w
+		}
+	}
+	const parts = 16
+	bounds := parallel.WeightedBounds(rowWork, parts)
+	target := total/parts + 1
+	for i := 0; i+1 < len(bounds); i++ {
+		var work int64
+		for _, w := range rowWork[bounds[i]:bounds[i+1]] {
+			work += w
+		}
+		slack := int64(bounds[i+1] - bounds[i]) // nominal weight of empty rows
+		if work > target+maxRow+slack {
+			t.Fatalf("chunk %d carries %d of %d total work (target %d): empty-row weighting regressed",
+				i, work, total, target)
+		}
+	}
+
+	want, err := Multiply(m, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 16} {
+		got, err := MultiplyParallel(m, m, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want, 0) {
+			t.Fatalf("workers=%d: parallel result not bit-identical on mostly-empty matrix", workers)
+		}
+	}
+}
+
+func TestPrecalcSweepsMatchSerial(t *testing.T) {
+	rng := testRNG(23)
+	a := randomCSR(rng, 120, 90, 0.1)
+	b := randomCSR(rng, 90, 150, 0.1)
+	ex := parallel.NewExecutor(7)
+
+	wantSym, err := SymbolicRowNNZ(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSym, err := SymbolicRowNNZOn(a, b, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantSym {
+		if wantSym[i] != gotSym[i] {
+			t.Fatalf("SymbolicRowNNZOn differs at row %d: %d vs %d", i, gotSym[i], wantSym[i])
+		}
+	}
+
+	wantInt, err := IntermediateRowNNZ(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotInt, err := IntermediateRowNNZOn(a, b, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantInt {
+		if wantInt[i] != gotInt[i] {
+			t.Fatalf("IntermediateRowNNZOn differs at row %d: %d vs %d", i, gotInt[i], wantInt[i])
+		}
+	}
+
+	if _, err := SymbolicRowNNZOn(NewCSR(2, 3), NewCSR(4, 2), ex); err == nil {
+		t.Fatal("SymbolicRowNNZOn accepted mismatched shapes")
+	}
+	if _, err := IntermediateRowNNZOn(NewCSR(2, 3), NewCSR(4, 2), ex); err == nil {
+		t.Fatal("IntermediateRowNNZOn accepted mismatched shapes")
 	}
 }
 
