@@ -1,23 +1,3 @@
-// Package blockreorg is a Go reproduction of "Optimization of GPU-based
-// Sparse Matrix Multiplication for Large Sparse Networks" (Lee et al.,
-// ICDE 2020): the Block Reorganizer optimization pass for outer-product
-// sparse matrix-matrix multiplication, together with the baselines it is
-// evaluated against, running on a deterministic cycle-approximate GPU
-// simulator.
-//
-// The package computes real products — every algorithm's numeric output is
-// the exact sparse product — while the timing side reports what the chosen
-// algorithm would cost on the simulated device, exposing the paper's
-// metrics (speedup, GFLOPS, load-balancing index, sync stalls, L2
-// throughput).
-//
-// Quick start:
-//
-//	a, _ := rmat.PowerLaw(100_000, 1_000_000, 2.1, 42)
-//	res, err := blockreorg.Multiply(a, a, blockreorg.Options{})
-//	// res.C is A², res.GFLOPS/res.TotalSeconds describe the simulated run.
-//
-// See the examples directory for complete programs.
 package blockreorg
 
 import (
@@ -26,6 +6,7 @@ import (
 	"github.com/blockreorg/blockreorg/internal/core"
 	"github.com/blockreorg/blockreorg/internal/gpusim"
 	"github.com/blockreorg/blockreorg/internal/kernels"
+	"github.com/blockreorg/blockreorg/internal/parallel"
 	"github.com/blockreorg/blockreorg/sparse"
 )
 
@@ -110,6 +91,11 @@ type Options struct {
 	// ErrInvalidOptions. The plan's embedded tuning governs the run, so
 	// the tuning fields above are ignored.
 	Plan *Plan
+
+	// Trace optionally attaches a phase-level tracing recorder
+	// (NewTrace) to the run. Nil disables tracing at zero cost; see the
+	// Trace type for what gets recorded and Profile for the output.
+	Trace *Trace
 }
 
 // PlanSummary reports the Block Reorganizer classification of a run.
@@ -177,9 +163,16 @@ func Multiply(a, b *sparse.CSR, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var execBefore parallel.Stats
+	if opts.Trace.Enabled() {
+		execBefore = parallel.ReadStats()
+	}
 	p, err := alg.Multiply(a, b, kopts)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Trace.Enabled() {
+		recordExecutorDelta(opts.Trace, execBefore)
 	}
 	return wrapResult(p, opts.Algorithm), nil
 }
@@ -214,6 +207,7 @@ func resolveOptions(a, b *sparse.CSR, opts *Options) (kernels.Algorithm, kernels
 		Device:     dev,
 		SkipValues: opts.SkipValues,
 		Paranoid:   opts.Paranoid,
+		Trace:      opts.Trace,
 		Core: core.Params{
 			Alpha:               opts.Alpha,
 			AutoAlpha:           opts.AutoTune,

@@ -10,7 +10,12 @@
 #   4. go test -race — the invariant-heavy packages under the race detector,
 #                      with BLOCKREORG_PARANOID=1 so every multiplication in
 #                      those suites runs the deep sanitizer layer
-#   5. bench smoke    — every benchmark once with -benchmem, so a change
+#   5. examples       — every runnable Example function executes with its
+#                      Output pinned, and every example program compiles,
+#                      so the documented code paths cannot drift from the
+#                      API (docs/CLI.md and the godoc examples are tested,
+#                      not trusted)
+#   6. bench smoke    — every benchmark once with -benchmem, so a change
 #                      that breaks a measured path (or its setup) fails
 #                      here instead of silently disappearing from the
 #                      perf record
@@ -35,7 +40,13 @@ echo "==> blockreorg-vet"
 go run ./cmd/blockreorg-vet ./...
 
 echo "==> go test -race (paranoid)"
-BLOCKREORG_PARANOID=1 go test -race . ./internal/core/... ./internal/gpusim/... ./sparse/... ./server/...
+BLOCKREORG_PARANOID=1 go test -race . ./internal/core/... ./internal/gpusim/... ./internal/trace/... ./sparse/... ./server/...
+
+echo "==> examples (godoc Examples + example programs)"
+go test -run Example ./...
+for ex in ./examples/*/; do
+    go build -o /dev/null "$ex"
+done
 
 echo "==> bench smoke (every benchmark once)"
 go test -run '^$' -bench . -benchtime 1x -benchmem ./...

@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -35,6 +36,8 @@ func main() {
 		compare   = flag.Bool("compare", false, "measure the host execution engine and fail on regression against the baseline record")
 		benchFile = flag.String("benchfile", "BENCH_host.json", "baseline record path for -baseline/-compare")
 		tolerance = flag.Float64("tolerance", 0.10, "ns/op regression tolerance for -compare")
+		profile   = flag.Bool("profile", false, "trace one Block Reorganizer run per dataset and write the per-phase record")
+		profFile  = flag.String("profileout", "PROFILE_host.json", "per-phase record path for -profile")
 	)
 	flag.Parse()
 
@@ -44,6 +47,13 @@ func main() {
 	}
 	if *baseline || *compare {
 		if err := runHostBench(os.Stdout, *baseline, *benchFile, *tolerance, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "blockreorg-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *profile {
+		if err := runProfile(os.Stdout, *profFile, *scale, *gpu, *subset, *cacheDir, *workers, *csvDir); err != nil {
 			fmt.Fprintln(os.Stderr, "blockreorg-bench:", err)
 			os.Exit(1)
 		}
@@ -110,6 +120,39 @@ func runHostBench(w io.Writer, write bool, path string, tolerance float64, scale
 		return fmt.Errorf("%d host benchmark regression(s) against %s", len(problems), path)
 	}
 	fmt.Fprintf(w, "no regressions against %s\n", path)
+	return nil
+}
+
+// runProfile traces one Block Reorganizer multiplication per Table II
+// dataset (defaulting to the reduced host-bench grid), prints the per-phase
+// share table, and writes the machine-readable record to path. -csv
+// additionally exports the table.
+func runProfile(w io.Writer, path string, scale int, gpu, subset, cacheDir string, workers int, csvDir string) error {
+	dev, err := gpusim.ByName(gpu)
+	if err != nil {
+		return err
+	}
+	cfg := bench.Config{Scale: scale, Device: dev, CacheDir: cacheDir, Workers: workers}
+	if subset != "" {
+		cfg.Datasets = strings.Split(subset, ",")
+	}
+	fmt.Fprintf(w, "profiling host phases (scale 1/%d, GOMAXPROCS=%d)...\n", scale, runtime.GOMAXPROCS(0))
+	rep, err := bench.RunProfile(cfg)
+	if err != nil {
+		return err
+	}
+	t := rep.Table()
+	fmt.Fprintln(w)
+	t.Render(w)
+	if csvDir != "" {
+		if err := writeCSV(csvDir, "profile_host.csv", t); err != nil {
+			return err
+		}
+	}
+	if err := rep.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nper-phase record written to %s\n", path)
 	return nil
 }
 

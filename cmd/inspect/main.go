@@ -4,16 +4,20 @@
 //
 //	inspect -dataset as-caida -scale 8
 //	inspect -f matrix.mtx -alpha 20 -sms 80
+//	inspect -dataset youtube -profile
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/bits"
 	"os"
 
 	"github.com/blockreorg/blockreorg/internal/core"
 	"github.com/blockreorg/blockreorg/internal/datasets"
+	"github.com/blockreorg/blockreorg/internal/kernels"
 	"github.com/blockreorg/blockreorg/internal/tableio"
+	"github.com/blockreorg/blockreorg/internal/trace"
 	"github.com/blockreorg/blockreorg/sparse"
 )
 
@@ -25,15 +29,16 @@ func main() {
 		alpha   = flag.Float64("alpha", 0, "dominator threshold divisor (0 = paper default)")
 		beta    = flag.Float64("beta", 0, "limiting threshold multiplier (0 = paper default)")
 		sms     = flag.Int("sms", 30, "SM count of the target GPU")
+		profile = flag.Bool("profile", false, "trace the preprocessing phases and print the workload histogram")
 	)
 	flag.Parse()
-	if err := run(*file, *dataset, *scale, *alpha, *beta, *sms); err != nil {
+	if err := run(*file, *dataset, *scale, *alpha, *beta, *sms, *profile); err != nil {
 		fmt.Fprintln(os.Stderr, "inspect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(file, dataset string, scale int, alpha, beta float64, sms int) error {
+func run(file, dataset string, scale int, alpha, beta float64, sms int, profile bool) error {
 	var m *sparse.CSR
 	var err error
 	name := file
@@ -70,9 +75,30 @@ func run(file, dataset string, scale int, alpha, beta float64, sms int) error {
 	stats.Render(os.Stdout)
 	fmt.Println()
 
-	plan, err := core.BuildPlan(m, m, core.Params{Alpha: alpha, Beta: beta, NumSMs: sms})
-	if err != nil {
-		return err
+	// With -profile, run the preprocessing the way the pipeline does — the
+	// shared symbolic analysis feeding the plan build — under a recorder, so
+	// the phase table reflects real relative costs.
+	var rec *trace.Recorder
+	if profile {
+		rec = trace.New()
+	}
+	var plan *core.Plan
+	params := core.Params{Alpha: alpha, Beta: beta, NumSMs: sms}
+	if profile {
+		pc, err := kernels.PrecomputeTraced(m, m, nil, rec)
+		if err != nil {
+			return err
+		}
+		plan, err = core.BuildPlanTraced(m, pc.ACSC, m, pc.RowWork, pc.RowNNZ, params, rec)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		plan, err = core.BuildPlan(m, m, params)
+		if err != nil {
+			return err
+		}
 	}
 	ps := plan.Stats()
 	cls := tableio.New(fmt.Sprintf("%s — Block Reorganizer classification for C=A² (SMs=%d)", name, sms), "population", "count", "share")
@@ -92,5 +118,64 @@ func run(file, dataset string, scale int, alpha, beta float64, sms int) error {
 	cls.AddRow("nnz(Ĉ) products", tableio.Count(ps.TotalWork), "-")
 	cls.AddRow("dominator threshold", tableio.Count(ps.Threshold), "-")
 	cls.Render(os.Stdout)
+
+	if profile {
+		fmt.Println()
+		renderPhases(rec.Profile())
+		fmt.Println()
+		renderHistogram(plan)
+	}
 	return nil
+}
+
+// renderPhases prints the preprocessing phase breakdown recorded by the
+// traced plan build.
+func renderPhases(p *trace.Profile) {
+	t := tableio.New("Preprocessing phases (host wall time)", "phase", "calls", "ms", "share", "items")
+	for _, b := range p.Phases {
+		t.AddRow(b.Phase, fmt.Sprintf("%d", b.Calls), fmt.Sprintf("%.3f", b.Seconds*1e3),
+			fmt.Sprintf("%.1f%%", 100*b.Share), tableio.Count(b.Items))
+	}
+	t.Render(os.Stdout)
+}
+
+// renderHistogram prints the per-pair workload distribution in log2 buckets
+// with the classification split — the shape the paper's thresholds cut.
+func renderHistogram(plan *core.Plan) {
+	const buckets = 24 // 2^23 ≈ 8M products per pair tops out real grids
+	type bin struct{ dom, norm, low int }
+	hist := make([]bin, buckets)
+	maxBucket := 0
+	for k, w := range plan.Cls.Work {
+		if w == 0 {
+			continue
+		}
+		b := bits.Len64(uint64(w)) - 1 // floor(log2 w)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		if b > maxBucket {
+			maxBucket = b
+		}
+		switch plan.Cls.Category[k] {
+		case core.Dominator:
+			hist[b].dom++
+		case core.Normal:
+			hist[b].norm++
+		case core.LowPerformer:
+			hist[b].low++
+		}
+	}
+	t := tableio.New("Pair workload histogram (log2 buckets of nnz(Ĉ) per pair)",
+		"products", "pairs", "dominators", "normals", "low performers")
+	for b := 0; b <= maxBucket; b++ {
+		h := hist[b]
+		n := h.dom + h.norm + h.low
+		if n == 0 {
+			continue
+		}
+		t.AddRow(fmt.Sprintf("2^%d..2^%d", b, b+1), tableio.Count(int64(n)),
+			tableio.Count(int64(h.dom)), tableio.Count(int64(h.norm)), tableio.Count(int64(h.low)))
+	}
+	t.Render(os.Stdout)
 }

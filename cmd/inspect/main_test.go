@@ -9,10 +9,10 @@ import (
 )
 
 func TestRunOnDataset(t *testing.T) {
-	if err := run("", "as-caida", 32, 0, 0, 30); err != nil {
+	if err := run("", "as-caida", 32, 0, 0, 30, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", "nosuch", 32, 0, 0, 30); err == nil {
+	if err := run("", "nosuch", 32, 0, 0, 30, false); err == nil {
 		t.Fatal("unknown dataset accepted")
 	}
 }
@@ -26,13 +26,13 @@ func TestRunOnFile(t *testing.T) {
 	if err := sparse.WriteMatrixMarketFile(path, m); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "", 0, 20, 5, 80); err != nil {
+	if err := run(path, "", 0, 20, 5, 80, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(filepath.Join(t.TempDir(), "missing.mtx"), "", 0, 0, 0, 30); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "missing.mtx"), "", 0, 0, 0, 30, false); err == nil {
 		t.Fatal("missing file accepted")
 	}
-	if err := run("", "", 0, 0, 0, 30); err == nil {
+	if err := run("", "", 0, 0, 0, 30, false); err == nil {
 		t.Fatal("no input accepted")
 	}
 }

@@ -179,6 +179,7 @@ func (c *client) multiply(args []string) error {
 	values := fs.Bool("values", false, "fetch the product values")
 	outFile := fs.String("o", "", "write the product to this Matrix Market file (implies -values)")
 	timeout := fs.Duration("timeout", 0, "job deadline (0: server default)")
+	profile := fs.Bool("profile", false, "fetch and print the host-side phase breakdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -190,6 +191,7 @@ func (c *client) multiply(args []string) error {
 		Algorithm:     *alg,
 		GPU:           *gpu,
 		ReturnValues:  *values || *outFile != "",
+		Profile:       *profile,
 		TimeoutMillis: timeout.Milliseconds(),
 	}
 	if *b != "" {
@@ -255,6 +257,13 @@ func (c *client) printResult(r *server.JobResult) {
 	if r.Plan != nil {
 		fmt.Fprintf(c.out, "  plan: %d pairs, %d dominators, %d low performers, %d split, %d combined, %d limited rows\n",
 			r.Plan.Pairs, r.Plan.Dominators, r.Plan.LowPerformers, r.Plan.SplitBlocks, r.Plan.CombinedBlocks, r.Plan.LimitedRows)
+	}
+	if r.Profile != nil {
+		fmt.Fprintf(c.out, "  host phases:\n")
+		for _, b := range r.Profile.Phases {
+			fmt.Fprintf(c.out, "    %-18s %9.3fms %5.1f%% (%d calls)\n",
+				b.Phase, b.Seconds*1e3, 100*b.Share, b.Calls)
+		}
 	}
 	fmt.Fprintf(c.out, "  wall %.3fs\n", r.WallSeconds)
 }

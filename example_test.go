@@ -1,7 +1,9 @@
 package blockreorg_test
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"github.com/blockreorg/blockreorg"
 	"github.com/blockreorg/blockreorg/sparse"
@@ -62,6 +64,74 @@ func ExampleResult_Speedup() {
 	}
 	fmt.Printf("faster than the baseline: %v\n", reorg.Speedup(base) > 1)
 	// Output: faster than the baseline: true
+}
+
+// ExampleNewPlan pays the Block Reorganizer preprocessing once and drives a
+// multiplication with the cached plan.
+func ExampleNewPlan() {
+	g, err := rmat.PowerLaw(3000, 30000, 2.0, 11)
+	if err != nil {
+		panic(err)
+	}
+	plan, err := blockreorg.NewPlan(g, g, blockreorg.Options{})
+	if err != nil {
+		panic(err)
+	}
+	res, err := blockreorg.Multiply(g, g, blockreorg.Options{Plan: plan, SkipValues: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("plan reused: %v, pairs classified: %v\n",
+		res.PlanReused, plan.Summary().Pairs > 0)
+	// Output: plan reused: true, pairs classified: true
+}
+
+// ExamplePlan_Rebind carries one preprocessing plan to new operands with the
+// same sparsity pattern but different values — the serving layer's
+// plan-cache hit.
+func ExamplePlan_Rebind() {
+	g, err := rmat.PowerLaw(3000, 30000, 2.0, 11)
+	if err != nil {
+		panic(err)
+	}
+	plan, err := blockreorg.NewPlan(g, g, blockreorg.Options{})
+	if err != nil {
+		panic(err)
+	}
+
+	// Same structure, re-weighted: the preprocessing is structure-only, so
+	// the plan transfers in O(nnz) instead of being rebuilt.
+	h := g.Clone()
+	for k := range h.Val {
+		h.Val[k] *= 2
+	}
+	bound, err := plan.Rebind(h, h)
+	if err != nil {
+		panic(err)
+	}
+	res, err := blockreorg.Multiply(h, h, blockreorg.Options{Plan: bound})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("plan reused: %v, nnz preserved: %v\n", res.PlanReused, res.NNZC > 0)
+	// Output: plan reused: true, nnz preserved: true
+}
+
+// ExampleMultiplyContext bounds a multiplication with a deadline, the way a
+// serving layer with per-request timeouts calls the library.
+func ExampleMultiplyContext() {
+	g, err := rmat.PowerLaw(2000, 20000, 2.1, 5)
+	if err != nil {
+		panic(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := blockreorg.MultiplyContext(ctx, g, g, blockreorg.Options{SkipValues: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("finished on %s: %v\n", res.Device, res.TotalSeconds > 0)
+	// Output: finished on TITAN Xp: true
 }
 
 // ExampleCompare runs the full evaluation line-up on one input.

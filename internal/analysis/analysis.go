@@ -1,34 +1,3 @@
-// Package analysis implements blockreorg-vet: a project-specific static
-// analyzer built only on the standard library's go/ast, go/parser and
-// go/types. It encodes the structural rules the type system cannot see —
-// the invariants every PR must preserve for the Block Reorganizer's plans
-// and sparse formats to stay trustworthy:
-//
-//   - rawindex: outside the sparse package, the Ptr/Idx/Val storage of a
-//     CSR/CSC must not be indexed or sliced directly; the Row/Col accessors
-//     and AppendRow/AppendCol builders are the sanctioned surface, so the
-//     format contract is enforced in one place.
-//   - nnztrunc: nnz arithmetic (workloads, flop counts, intermediate
-//     populations — values that scale with nnz(A)·nnz(B)) must stay int or
-//     int64; converting it to a narrower integer type silently truncates on
-//     large networks.
-//   - kernelvalidate: every exported entry point of the kernels package
-//     that accepts sparse operands must run the validation gate
-//     (checkShapes/checkInputs or an explicit Validate/CheckDeep) before
-//     touching them.
-//   - seededrand: deterministic simulator and benchmark code must not use
-//     math/rand (v1) or the auto-seeded top-level generators of
-//     math/rand/v2; randomness flows through explicitly seeded sources.
-//   - scratchmake: kernel-package loops (sparse, kernels, core) must not
-//     allocate nnz-scaled scratch with make([]...); such buffers come from
-//     the internal/parallel arenas, which recycle them across calls and
-//     poison them under Paranoid mode.
-//
-// The analyzers run over type-checked packages when types resolve and fall
-// back to syntactic matching where they do not (the loader stubs imports
-// outside the module, so stdlib-heavy expressions may lack type info).
-// Test files are not analyzed: tests deliberately build corrupt structures
-// to exercise the validators.
 package analysis
 
 import (
@@ -83,6 +52,7 @@ func All() []*Analyzer {
 		KernelValidateAnalyzer(),
 		SeededRandAnalyzer(),
 		ScratchMakeAnalyzer(),
+		PkgDocAnalyzer(),
 	}
 }
 

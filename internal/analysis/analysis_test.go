@@ -55,6 +55,9 @@ func TestAnalyzers(t *testing.T) {
 		{"seededrand", "seededrandok", 0, ""},
 		{"scratchmake", "scratchmakebad", 3, "internal/parallel arenas"},
 		{"scratchmake", "scratchmakeok", 0, ""},
+		{"pkgdoc", "pkgdocbad", 1, "no package documentation"},
+		{"pkgdoc", "pkgdocprefix", 1, "godoc convention"},
+		{"pkgdoc", "pkgdocok", 0, ""},
 	}
 	for _, c := range cases {
 		got := findingsFor(all, c.analyzer, c.pkgDir)

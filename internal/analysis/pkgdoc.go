@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PkgDocAnalyzer enforces the documentation contract: every package must
+// carry a package doc comment, and for library packages it must follow the
+// godoc convention of opening with "Package <name>". Commands (package
+// main) only need a doc comment — the convention there is "Command <name>"
+// but any summary is accepted. The CI gate runs this so a new package
+// cannot ship without the one-paragraph statement of what it is for.
+func PkgDocAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "pkgdoc",
+		Doc:  "every package carries a doc comment; library packages open with \"Package <name>\"",
+		Run:  runPkgDoc,
+	}
+}
+
+func runPkgDoc(p *Pass) []Finding {
+	var doc string
+	for _, f := range p.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			doc = f.Doc.Text()
+			break
+		}
+	}
+	if doc == "" {
+		if len(p.Files) == 0 {
+			return nil
+		}
+		return []Finding{{
+			Pos:      p.position(p.Files[0].Name),
+			Analyzer: "pkgdoc",
+			Message:  fmt.Sprintf("package %s has no package documentation; add a doc comment (conventionally in doc.go)", p.PkgName),
+		}}
+	}
+	if p.PkgName != "main" && !strings.HasPrefix(doc, "Package "+p.PkgName) {
+		for _, f := range p.Files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				return []Finding{{
+					Pos:      p.position(f.Doc),
+					Analyzer: "pkgdoc",
+					Message:  fmt.Sprintf("package documentation should open with %q (godoc convention)", "Package "+p.PkgName),
+				}}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,5 @@
+package pkgdocbad
+
+// Helper has a doc comment, but the package clause does not — the rule
+// wants package-level documentation, not symbol docs.
+func Helper() int { return 1 }

@@ -1,0 +1,4 @@
+// Package pkgdocok is documented the conventional way.
+package pkgdocok
+
+func Helper() int { return 1 }

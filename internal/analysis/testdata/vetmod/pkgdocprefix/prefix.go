@@ -1,0 +1,4 @@
+// Provides things, without naming the package first.
+package pkgdocprefix
+
+func Helper() int { return 1 }

@@ -1,8 +1,3 @@
-// Package bench is the benchmark harness that regenerates every table and
-// figure of the Block Reorganizer paper's evaluation on the simulated
-// devices. Each experiment is addressable by the paper artifact it
-// reproduces (tab1..tab3, fig3a..fig16b, casestudy) and returns text tables
-// that cmd/blockreorg-bench renders or exports as CSV.
 package bench
 
 import (

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"github.com/blockreorg/blockreorg/internal/datasets"
+	"github.com/blockreorg/blockreorg/internal/kernels"
+	"github.com/blockreorg/blockreorg/internal/tableio"
+	"github.com/blockreorg/blockreorg/internal/trace"
+)
+
+// DatasetProfile is the phase-resolved host profile of one Table II dataset:
+// a full Block Reorganizer multiplication (values included — the numeric
+// expansion/scatter/merge phases are the point) traced end to end.
+type DatasetProfile struct {
+	Dataset string `json:"dataset"`
+	Rows    int    `json:"rows"`
+	NNZ     int    `json:"nnz"`
+	// Coverage is the instrumented share of the run's wall time: the sum of
+	// every phase except "other", over the wall time. The acceptance gate is
+	// ≥0.95 on the Table II grid.
+	Coverage float64        `json:"coverage"`
+	Profile  *trace.Profile `json:"profile"`
+}
+
+// ProfileReport is the machine-readable record cmd/blockreorg-bench -profile
+// writes (PROFILE_host.json by default): one traced multiplication per
+// selected Table II dataset, pinned to the recording host.
+type ProfileReport struct {
+	GoMaxProcs int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	GoVersion  string           `json:"go_version"`
+	Scale      int              `json:"scale"`
+	Datasets   []DatasetProfile `json:"datasets"`
+}
+
+// RunProfile traces one Block Reorganizer multiplication (A², the paper's
+// workload) per dataset in the config's selection — defaulting to the
+// reduced Table II grid the host benchmarks use — and returns the
+// phase-resolved report. Runs are sequential across datasets so one
+// dataset's executor activity cannot bleed into another's profile.
+func RunProfile(cfg Config) (*ProfileReport, error) {
+	cfg = cfg.normalize()
+	if len(cfg.Datasets) == 0 {
+		cfg.Datasets = hostBenchDatasets()
+	}
+	rep := &ProfileReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Scale:      cfg.Scale,
+	}
+	for _, name := range cfg.Datasets {
+		spec, err := datasets.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		m, err := cfg.generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		rec := trace.New()
+		_, err = kernels.Reorganizer{}.Multiply(m, m, kernels.Options{
+			Device: cfg.Device, Exec: cfg.ex, Trace: rec,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: profiling %s: %w", name, err)
+		}
+		p := rec.Profile()
+		rep.Datasets = append(rep.Datasets, DatasetProfile{
+			Dataset:  name,
+			Rows:     m.Rows,
+			NNZ:      m.NNZ(),
+			Coverage: 1 - p.PhaseSeconds(trace.PhaseOther)/p.WallSeconds,
+			Profile:  p,
+		})
+	}
+	return rep, nil
+}
+
+// Table renders the report as one phase-share grid: datasets as rows, the
+// taxonomy phases as columns (share of wall time), plus wall time and
+// coverage.
+func (r *ProfileReport) Table() *tableio.Table {
+	phases := trace.Phases()
+	cols := []string{"dataset", "wall_ms"}
+	for _, ph := range phases {
+		cols = append(cols, string(ph))
+	}
+	cols = append(cols, "coverage")
+	t := tableio.New("Host phase profile (share of wall time, Block Reorganizer)", cols...)
+	for _, d := range r.Datasets {
+		row := []string{d.Dataset, fmt.Sprintf("%.2f", d.Profile.WallSeconds*1e3)}
+		for _, ph := range phases {
+			row = append(row, fmt.Sprintf("%.3f", d.Profile.PhaseSeconds(ph)/d.Profile.WallSeconds))
+		}
+		row = append(row, fmt.Sprintf("%.3f", d.Coverage))
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// WriteFile stores the report as indented JSON.
+func (r *ProfileReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"github.com/blockreorg/blockreorg/internal/parallel"
+	"github.com/blockreorg/blockreorg/internal/trace"
 	"github.com/blockreorg/blockreorg/sparse"
 )
 
@@ -21,6 +22,13 @@ import (
 // merged row its final position up front, so chunks write straight into
 // the result arrays with no stitching pass.
 func (p *Plan) ExecuteOn(ex *parallel.Executor, maxIntermediate int64) (*sparse.CSR, error) {
+	return p.ExecuteTraced(ex, maxIntermediate, nil)
+}
+
+// ExecuteTraced is ExecuteOn with phase-level tracing: the expansion walk,
+// the row scatter and the per-row merge each record a span on rec (nil
+// disables tracing at zero cost; the result is identical either way).
+func (p *Plan) ExecuteTraced(ex *parallel.Executor, maxIntermediate int64, rec *trace.Recorder) (*sparse.CSR, error) {
 	if maxIntermediate > 0 && p.Cls.TotalWork > maxIntermediate {
 		return nil, fmt.Errorf("core: intermediate matrix has %d products, over limit %d", p.Cls.TotalWork, maxIntermediate)
 	}
@@ -30,7 +38,10 @@ func (p *Plan) ExecuteOn(ex *parallel.Executor, maxIntermediate int64) (*sparse.
 	if p.RowNNZ == nil {
 		// A plan built before the symbolic populations were stashed cannot
 		// pre-place its merged rows; run the sequential reference.
-		return p.Execute(maxIntermediate)
+		endExp := rec.SpanItems(trace.PhaseExpansion, p.Cls.TotalWork)
+		c, err := p.Execute(maxIntermediate)
+		endExp()
+		return c, err
 	}
 
 	// Snapshot the launch order as flat arena-backed arrays: a counting
@@ -79,6 +90,7 @@ func (p *Plan) ExecuteOn(ex *parallel.Executor, maxIntermediate int64) (*sparse.
 	strmV := parallel.GetFloats(total)
 	chunks := parallel.WeightedRanges(weights, 4*ex.Workers())
 	parallel.PutInt64s(weights)
+	endExp := rec.SpanItems(trace.PhaseExpansion, int64(total))
 	ex.ForEach(chunks, func(r parallel.Range) {
 		for b := r.Lo; b < r.Hi; b++ {
 			pos := blockOff[b]
@@ -98,6 +110,7 @@ func (p *Plan) ExecuteOn(ex *parallel.Executor, maxIntermediate int64) (*sparse.
 			}
 		}
 	})
+	endExp()
 	parallel.PutInts(partPair)
 	parallel.PutInts(partLo)
 	parallel.PutInts(partHi)
@@ -109,6 +122,7 @@ func (p *Plan) ExecuteOn(ex *parallel.Executor, maxIntermediate int64) (*sparse.
 	// counting pass; the walk itself is sequential to preserve stream order
 	// within each row (the merge order contract).
 	rows := p.A.Rows
+	endScat := rec.SpanItems(trace.PhaseScatter, int64(total))
 	ptr := parallel.GetInts(rows + 1)
 	ptr[0] = 0
 	for i := 0; i < rows; i++ {
@@ -133,11 +147,13 @@ func (p *Plan) ExecuteOn(ex *parallel.Executor, maxIntermediate int64) (*sparse.
 	parallel.PutInts(strmI)
 	parallel.PutInts(strmJ)
 	parallel.PutFloats(strmV)
+	endScat()
 
 	// Merge: sort-combine each row in place and append it into its final
 	// slot, known up front from the stashed symbolic row populations. Row
 	// chunks are weighted by pre-merge population — the merge's true cost.
 	c := sparse.NewCSRWithRowSizes(rows, p.B.Cols, p.RowNNZ)
+	endMerge := rec.SpanItems(trace.PhaseMerge, p.NNZC)
 	var badRow atomic.Int64
 	badRow.Store(-1)
 	ex.ForEach(parallel.WeightedRanges(p.Limit.RowWork, 4*ex.Workers()), func(r parallel.Range) {
@@ -158,6 +174,7 @@ func (p *Plan) ExecuteOn(ex *parallel.Executor, maxIntermediate int64) (*sparse.
 	parallel.PutInts(ptr)
 	parallel.PutInts(scatIdx)
 	parallel.PutFloats(scatVal)
+	endMerge()
 	if i := badRow.Load(); i >= 0 {
 		return nil, fmt.Errorf("core: row %d merged to an unexpected population, plan recorded %d", i, p.RowNNZ[i])
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/blockreorg/blockreorg/internal/trace"
 	"github.com/blockreorg/blockreorg/sparse"
 )
 
@@ -82,6 +83,15 @@ func BuildPlan(a, b *sparse.CSR, p Params) (*Plan, error) {
 // repeatedly (the precompute layer, the benchmark harness) share these
 // across runs.
 func BuildPlanCached(a *sparse.CSR, acsc *sparse.CSC, b *sparse.CSR, rowWork []int64, rowNNZ []int, p Params) (*Plan, error) {
+	return BuildPlanTraced(a, acsc, b, rowWork, rowNNZ, p, nil)
+}
+
+// BuildPlanTraced is BuildPlanCached with phase-level tracing: the
+// classification, B-Splitting, B-Gathering and B-Limiting stages (and any
+// symbolic sweeps computed here rather than supplied) each record a span
+// on rec. A nil rec disables tracing at zero cost; the plan never retains
+// the recorder.
+func BuildPlanTraced(a *sparse.CSR, acsc *sparse.CSC, b *sparse.CSR, rowWork []int64, rowNNZ []int, p Params, rec *trace.Recorder) (*Plan, error) {
 	p, err := p.Normalize()
 	if err != nil {
 		return nil, err
@@ -90,39 +100,56 @@ func BuildPlanCached(a *sparse.CSR, acsc *sparse.CSC, b *sparse.CSR, rowWork []i
 		return nil, errors.New("core: nil operand")
 	}
 	if acsc == nil {
+		endConv := rec.SpanItems(trace.PhaseConvert, int64(a.NNZ()))
 		acsc = a.ToCSC()
+		endConv()
 	}
+	// Auto-tuning inspects the same workload distribution Classify bins,
+	// so its time is billed to the classification phase.
+	endCls := rec.SpanItems(trace.PhaseClassify, int64(acsc.Cols))
 	if p.AutoAlpha {
 		alpha, err := AutoTuneAlpha(acsc, b, p.NumSMs)
 		if err != nil {
+			endCls()
 			return nil, err
 		}
 		p.Alpha = alpha
 	}
 	cls, err := Classify(acsc, b, p)
+	endCls()
 	if err != nil {
 		return nil, err
 	}
+	endSplit := rec.SpanItems(trace.PhaseSplit, int64(len(cls.Dominators)))
 	split, err := PlanSplit(cls, acsc, p)
+	endSplit()
 	if err != nil {
 		return nil, err
 	}
+	endGather := rec.SpanItems(trace.PhaseGather, int64(len(cls.LowPerformers)))
 	gather, err := PlanGather(cls, p)
+	endGather()
 	if err != nil {
 		return nil, err
 	}
 	if rowWork == nil {
+		endWork := rec.Span(trace.PhaseIntermediate)
 		rowWork, err = sparse.IntermediateRowNNZ(a, b)
+		endWork()
 		if err != nil {
 			return nil, err
 		}
 	}
+	endLimit := rec.SpanItems(trace.PhaseLimit, int64(a.Rows))
 	limit, err := PlanLimitFrom(rowWork, cls, p)
+	endLimit()
 	if err != nil {
 		return nil, err
 	}
 	if rowNNZ == nil {
+		endSym := rec.Span(trace.PhaseSymbolic)
 		rowNNZ, err = sparse.SymbolicRowNNZOn(a, b, nil)
+		endSym()
 		if err != nil {
 			return nil, err
 		}
@@ -131,11 +158,13 @@ func BuildPlanCached(a *sparse.CSR, acsc *sparse.CSC, b *sparse.CSR, rowWork []i
 	for _, n := range rowNNZ {
 		nnzc += int64(n)
 	}
-	return &Plan{
+	plan := &Plan{
 		Params: p, A: a, ACSC: acsc, B: b,
 		Cls: cls, Split: split, Gather: gather, Limit: limit,
 		RowNNZ: rowNNZ, NNZC: nnzc,
-	}, nil
+	}
+	plan.RecordTrace(rec)
+	return plan, nil
 }
 
 // VisitBlocks calls fn once per expansion thread block the plan launches,
@@ -232,6 +261,37 @@ func (p *Plan) Stats() PlanStats {
 		TotalWork:      p.Cls.TotalWork,
 		Threshold:      p.Cls.Threshold,
 	}
+}
+
+// RecordTrace reports the plan's classification populations, workload
+// volume and chosen factors onto a tracing recorder — the counter/gauge
+// half of a profile, complementing the phase spans. Nil rec is a no-op.
+// Plan-cache hits call it too, so reused-plan profiles still carry the
+// classification even though no classification span ran.
+func (p *Plan) RecordTrace(rec *trace.Recorder) {
+	if !rec.Enabled() {
+		return
+	}
+	st := p.Stats()
+	rec.Add(trace.CounterPairs, int64(st.Pairs))
+	rec.Add(trace.CounterDominators, int64(st.Dominators))
+	rec.Add(trace.CounterNormals, int64(st.Normals))
+	rec.Add(trace.CounterLowPerformers, int64(st.LowPerformers))
+	rec.Add(trace.CounterSplitBlocks, int64(st.SplitBlocks))
+	rec.Add(trace.CounterCombinedBlocks, int64(st.CombinedBlocks))
+	rec.Add(trace.CounterLimitedRows, int64(st.LimitedRows))
+	rec.Add(trace.CounterFlops, st.TotalWork)
+	rec.Add(trace.CounterNNZC, p.NNZC)
+	rec.Set(trace.GaugeAlpha, p.Params.Alpha)
+	rec.Set(trace.GaugeBeta, p.Params.Beta)
+	rec.Set(trace.GaugeLimitExtraShm, float64(p.Limit.ExtraSharedMem))
+	maxFactor := 0
+	for _, f := range p.Split.Factor {
+		if f > maxFactor {
+			maxFactor = f
+		}
+	}
+	rec.Set(trace.GaugeSplitFactorMax, float64(maxFactor))
 }
 
 // Validate checks the plan's structural invariants: every active pair is

@@ -1,0 +1,14 @@
+// Package datasets catalogs the evaluation inputs of the Block Reorganizer
+// paper and generates deterministic synthetic stand-ins for them.
+//
+// The paper evaluates on 28 real-world matrices (Table II): 19 regular
+// finite-element-style matrices from the Florida Suite Sparse collection
+// and 9 skewed networks from the Stanford large network collection, plus
+// R-MAT synthetics (Table III). The original files are not redistributable
+// here, so each catalog entry pairs the published dimensions with a
+// generator — banded meshes for the Florida family, Chung-Lu power-law
+// graphs for the Stanford family — whose exponent is tuned to the entry's
+// published product amplification nnz(C)/nnz(A). A scale divisor shrinks
+// the instances for iteration-speed while preserving the degree
+// distribution shape that the Block Reorganizer's behaviour depends on.
+package datasets

@@ -1,0 +1,25 @@
+// Package gpusim is a deterministic, cycle-approximate simulator of a CUDA
+// capable GPU, specialized for the memory-bound, block-structured kernels
+// that sparse matrix multiplication produces.
+//
+// The simulator models the scheduling and contention behaviour that the
+// Block Reorganizer paper measures, rather than individual instructions:
+//
+//   - thread blocks are dispatched in FIFO order to streaming
+//     multiprocessors (SMs) under real occupancy limits (threads, block
+//     slots and shared memory per SM), so an overloaded block occupies an
+//     SM while the others drain — the paper's Figure 3(a) load imbalance;
+//   - warps execute in 32-lane lock-step, so a block with few effective
+//     threads wastes issue slots and cannot hide memory latency — the
+//     paper's underloaded-block pathology (Figures 3(b) and 13);
+//   - all global traffic flows through a shared L2/DRAM pipe with
+//     processor-sharing bandwidth contention, a per-block memory-level
+//     parallelism cap, and a segment-granularity L2 reuse model — the
+//     levers behind B-Splitting's cache gain (Figure 12) and B-Limiting's
+//     contention relief (Figure 14).
+//
+// Timing is quasi-static: a block's duration is computed from the machine
+// state at dispatch. Identical blocks may be dispatched in chunks to bound
+// event counts on million-block grids. The simulation is single-threaded
+// and fully deterministic.
+package gpusim

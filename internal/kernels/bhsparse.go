@@ -50,18 +50,14 @@ func (BhSPARSE) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
 		}
 	}
 	rep.HostSeconds = 100e-6 + float64(spillWork)*1.0e-9
-	for _, k := range []*gpusim.Kernel{
+	if err := runKernels(sim, rep, opts.Trace,
 		precalcKernel("bh(bin-rows)", a.Rows),
 		bhBinKernel("bh(tiny-rows)", rowWork, rowNNZ, 1, 32),
 		bhBinKernel("bh(small-rows)", rowWork, rowNNZ, 32, 256),
 		bhBinKernel("bh(medium-rows)", rowWork, rowNNZ, 256, bhSpill),
 		bhBinKernel("bh(spill-rows)", rowWork, rowNNZ, bhSpill, 1<<62),
-	} {
-		res, err := sim.Run(k)
-		if err != nil {
-			return nil, err
-		}
-		rep.Kernels = append(rep.Kernels, res)
+	); err != nil {
+		return nil, err
 	}
 	return finishProduct(a, b, opts, rep, pc)
 }

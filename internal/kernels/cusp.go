@@ -51,12 +51,8 @@ func (CUSP) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
 	kernels = append(kernels,
 		uniformKernel("esc(compress)", gpusim.PhaseMerge, flops, 16, compressWrite, "esc-compress"))
 
-	for _, k := range kernels {
-		res, err := sim.Run(k)
-		if err != nil {
-			return nil, err
-		}
-		rep.Kernels = append(rep.Kernels, res)
+	if err := runKernels(sim, rep, opts.Trace, kernels...); err != nil {
+		return nil, err
 	}
 	return finishProduct(a, b, opts, rep, pc)
 }

@@ -34,15 +34,11 @@ func (CuSPARSE) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
 		return nil, err
 	}
 	rep := &gpusim.Report{Device: opts.Device.Name}
-	for _, k := range []*gpusim.Kernel{
+	if err := runKernels(sim, rep, opts.Trace,
 		warpPerRowKernel("csrgemm(symbolic)", pc.RowWork, pc.RowNNZ, 0.2),
 		warpPerRowKernel("csrgemm(numeric)", pc.RowWork, pc.RowNNZ, 1),
-	} {
-		res, err := sim.Run(k)
-		if err != nil {
-			return nil, err
-		}
-		rep.Kernels = append(rep.Kernels, res)
+	); err != nil {
+		return nil, err
 	}
 	return finishProduct(a, b, opts, rep, pc)
 }

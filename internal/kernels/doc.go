@@ -1,0 +1,19 @@
+// Package kernels implements the spGEMM algorithms of the Block Reorganizer
+// evaluation as coupled functional/timing kernels for the gpusim device
+// model:
+//
+//   - RowProduct — the paper's baseline: row-product (Gustavson) expansion
+//     plus a dense-accumulator merge;
+//   - OuterProduct — the column-by-row expansion baseline the Block
+//     Reorganizer builds on;
+//   - Reorganizer — outer-product expansion transformed by B-Splitting and
+//     B-Gathering, plus a B-Limited merge (the paper's contribution);
+//   - CuSPARSE, CUSP, BhSPARSE — algorithmic emulations of the library
+//     baselines (hash-per-row, expand-sort-compress, and row-binning
+//     respectively) with their characteristic cost structures;
+//   - MKL — a multicore CPU Gustavson model.
+//
+// Every algorithm produces the numerically correct product (verified
+// against sparse.Multiply in tests) and a gpusim.Report with the timing
+// the paper's figures are built from.
+package kernels

@@ -1,21 +1,3 @@
-// Package kernels implements the spGEMM algorithms of the Block Reorganizer
-// evaluation as coupled functional/timing kernels for the gpusim device
-// model:
-//
-//   - RowProduct — the paper's baseline: row-product (Gustavson) expansion
-//     plus a dense-accumulator merge;
-//   - OuterProduct — the column-by-row expansion baseline the Block
-//     Reorganizer builds on;
-//   - Reorganizer — outer-product expansion transformed by B-Splitting and
-//     B-Gathering, plus a B-Limited merge (the paper's contribution);
-//   - CuSPARSE, CUSP, BhSPARSE — algorithmic emulations of the library
-//     baselines (hash-per-row, expand-sort-compress, and row-binning
-//     respectively) with their characteristic cost structures;
-//   - MKL — a multicore CPU Gustavson model.
-//
-// Every algorithm produces the numerically correct product (verified
-// against sparse.Multiply in tests) and a gpusim.Report with the timing
-// the paper's figures are built from.
 package kernels
 
 import (
@@ -26,6 +8,7 @@ import (
 	"github.com/blockreorg/blockreorg/internal/core"
 	"github.com/blockreorg/blockreorg/internal/gpusim"
 	"github.com/blockreorg/blockreorg/internal/parallel"
+	"github.com/blockreorg/blockreorg/internal/trace"
 	"github.com/blockreorg/blockreorg/sparse"
 )
 
@@ -68,6 +51,10 @@ type Options struct {
 	// depend on the choice — every parallel path is bit-identical to its
 	// sequential reference.
 	Exec *parallel.Executor
+	// Trace optionally records phase-level spans and workload counters
+	// for the run (see internal/trace). Nil disables tracing at zero
+	// cost; results never depend on it.
+	Trace *trace.Recorder
 }
 
 // executor resolves the run's host-side executor.
@@ -198,11 +185,27 @@ func finishProduct(a, b *sparse.CSR, opts Options, rep *gpusim.Report, pc *Preco
 	if opts.SkipValues {
 		return p, nil
 	}
-	c, err := sparse.MultiplyOn(a, b, executor(opts))
+	c, err := sparse.MultiplyTraced(a, b, executor(opts), opts.Trace)
 	if err != nil {
 		return nil, err
 	}
 	p.C = c
 	p.NNZC = int64(c.NNZ())
 	return p, nil
+}
+
+// runKernels drives every kernel through the simulator, appending the
+// results to rep and recording one simulate-phase span per kernel (items =
+// blocks launched) when tracing is on.
+func runKernels(sim *gpusim.Simulator, rep *gpusim.Report, rec *trace.Recorder, ks ...*gpusim.Kernel) error {
+	for _, k := range ks {
+		done := rec.SpanItems(trace.PhaseSimulate, int64(len(k.Blocks)))
+		res, err := sim.Run(k)
+		done()
+		if err != nil {
+			return err
+		}
+		rep.Kernels = append(rep.Kernels, res)
+	}
+	return nil
 }

@@ -31,16 +31,12 @@ func (OuterProduct) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
 	}
 
 	rep := &gpusim.Report{Device: opts.Device.Name}
-	for _, k := range []*gpusim.Kernel{
+	if err := runKernels(sim, rep, opts.Trace,
 		precalcKernel("precalc(block-nnz)", pc.ACSC.Cols),
 		outerExpansionKernel(pc.ACSC, b),
 		mergeKernel("merge(gustavson)", pc.RowWork, pc.RowNNZ, mergeReadMatrixForm, nil, 0),
-	} {
-		res, err := sim.Run(k)
-		if err != nil {
-			return nil, err
-		}
-		rep.Kernels = append(rep.Kernels, res)
+	); err != nil {
+		return nil, err
 	}
 	return finishProduct(a, b, opts, rep, pc)
 }

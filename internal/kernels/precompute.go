@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/blockreorg/blockreorg/internal/parallel"
+	"github.com/blockreorg/blockreorg/internal/trace"
 	"github.com/blockreorg/blockreorg/sparse"
 )
 
@@ -44,28 +45,48 @@ func PrecomputeOn(a, b *sparse.CSR, ex *parallel.Executor) (*Precomputed, error)
 	if err := checkShapes(a, b); err != nil {
 		return nil, err
 	}
+	return PrecomputeTraced(a, b, ex, nil)
+}
+
+// PrecomputeTraced is PrecomputeOn with phase-level tracing: the
+// intermediate sweep, the symbolic sweep and the CSC reorientation each
+// record a span (nil rec disables tracing at zero cost).
+func PrecomputeTraced(a, b *sparse.CSR, ex *parallel.Executor, rec *trace.Recorder) (*Precomputed, error) {
+	if err := checkShapes(a, b); err != nil {
+		return nil, err
+	}
+	workStart := rec.Now()
 	rowWork, err := sparse.IntermediateRowNNZOn(a, b, ex)
 	if err != nil {
 		return nil, err
 	}
+	var flops int64
+	for _, w := range rowWork {
+		flops += w
+	}
+	rec.Observe(trace.PhaseIntermediate, flops, rec.Since(workStart))
+
+	symStart := rec.Now()
 	rowNNZ, err := sparse.SymbolicRowNNZOn(a, b, ex)
 	if err != nil {
 		return nil, err
 	}
-	var flops, nnzc int64
-	for _, w := range rowWork {
-		flops += w
-	}
+	var nnzc int64
 	for _, n := range rowNNZ {
 		nnzc += int64(n)
 	}
+	rec.Observe(trace.PhaseSymbolic, nnzc, rec.Since(symStart))
+
+	endConv := rec.SpanItems(trace.PhaseConvert, int64(a.NNZ()))
+	acsc := a.ToCSC()
+	endConv()
 	return &Precomputed{
 		rows: a.Rows, mid: a.Cols, cols: b.Cols,
 		RowWork: rowWork,
 		RowNNZ:  rowNNZ,
 		Flops:   flops,
 		NNZC:    nnzc,
-		ACSC:    a.ToCSC(),
+		ACSC:    acsc,
 	}, nil
 }
 
@@ -111,5 +132,5 @@ func pre(opts Options, a, b *sparse.CSR) (*Precomputed, error) {
 	if opts.Pre.matches(a, b) {
 		return opts.Pre, nil
 	}
-	return PrecomputeOn(a, b, executor(opts))
+	return PrecomputeTraced(a, b, executor(opts), opts.Trace)
 }

@@ -3,6 +3,7 @@ package kernels
 import (
 	"github.com/blockreorg/blockreorg/internal/core"
 	"github.com/blockreorg/blockreorg/internal/gpusim"
+	"github.com/blockreorg/blockreorg/internal/trace"
 	"github.com/blockreorg/blockreorg/sparse"
 )
 
@@ -49,6 +50,7 @@ func (Reorganizer) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
 			rowNNZ := plan.RowNNZ
 			nnzc := plan.NNZC
 			if rowNNZ == nil {
+				symStart := opts.Trace.Now()
 				rowNNZ, err = sparse.SymbolicRowNNZOn(a, b, executor(opts))
 				if err != nil {
 					return nil, err
@@ -57,6 +59,7 @@ func (Reorganizer) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
 				for _, n := range rowNNZ {
 					nnzc += int64(n)
 				}
+				opts.Trace.Observe(trace.PhaseSymbolic, nnzc, opts.Trace.Since(symStart))
 			}
 			pc = &Precomputed{
 				rows: a.Rows, mid: a.Cols, cols: b.Cols,
@@ -76,10 +79,16 @@ func (Reorganizer) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
 		if err != nil {
 			return nil, err
 		}
-		plan, err = core.BuildPlanCached(a, pc.ACSC, b, pc.RowWork, pc.RowNNZ, params)
+		plan, err = core.BuildPlanTraced(a, pc.ACSC, b, pc.RowWork, pc.RowNNZ, params, opts.Trace)
 		if err != nil {
 			return nil, err
 		}
+	}
+	if reused {
+		// The cached-plan path skips BuildPlanTraced, so record the plan's
+		// workload shape here — profiles of cache hits still carry the
+		// classification populations.
+		plan.RecordTrace(opts.Trace)
 	}
 	if paranoid(opts) {
 		// Deep self-check: the transformed launch must conserve every
@@ -122,12 +131,8 @@ func (Reorganizer) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
 		mergeKernel("merge(b-limiting)", plan.Limit.RowWork, rowNNZ,
 			mergeReadMatrixForm, plan.Limit.Limited, plan.Limit.ExtraSharedMem),
 	)
-	for _, k := range kernels {
-		res, err := sim.Run(k)
-		if err != nil {
-			return nil, err
-		}
-		rep.Kernels = append(rep.Kernels, res)
+	if err := runKernels(sim, rep, opts.Trace, kernels...); err != nil {
+		return nil, err
 	}
 
 	st := plan.Stats()
@@ -143,9 +148,9 @@ func (Reorganizer) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
 	// sequential counterparts.
 	var c *sparse.CSR
 	if plan.Cls.TotalWork <= maxPlanExec {
-		c, err = plan.ExecuteOn(executor(opts), 0)
+		c, err = plan.ExecuteTraced(executor(opts), 0, opts.Trace)
 	} else {
-		c, err = sparse.MultiplyOn(a, b, executor(opts))
+		c, err = sparse.MultiplyTraced(a, b, executor(opts), opts.Trace)
 	}
 	if err != nil {
 		return nil, err

@@ -30,16 +30,12 @@ func (RowProduct) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
 	}
 
 	rep := &gpusim.Report{Device: opts.Device.Name}
-	for _, k := range []*gpusim.Kernel{
+	if err := runKernels(sim, rep, opts.Trace,
 		precalcKernel("precalc(row-nnz)", a.Rows),
 		rowExpansionKernel(a, b),
 		mergeKernel("merge(gustavson)", pc.RowWork, pc.RowNNZ, mergeReadRowForm, nil, 0),
-	} {
-		res, err := sim.Run(k)
-		if err != nil {
-			return nil, err
-		}
-		rep.Kernels = append(rep.Kernels, res)
+	); err != nil {
+		return nil, err
 	}
 	return finishProduct(a, b, opts, rep, pc)
 }

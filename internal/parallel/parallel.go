@@ -1,34 +1,3 @@
-// Package parallel is the host-side execution engine of the library: a
-// work-stealing executor over work-weighted chunks plus sync.Pool-backed
-// scratch arenas for the numeric hot paths.
-//
-// The package exists for the same reason the Block Reorganizer exists on
-// the GPU. The paper's problem is SM-level load imbalance — thread blocks
-// of wildly different workloads serialize a kernel on its heaviest block —
-// and its fix is to reshape blocks until every SM stays busy (PAPER.md
-// §III). The host-side pipeline has the identical problem one level up:
-// precalculation sweeps, expansion walks and merge phases iterate over
-// rows and blocks whose populations follow the same power law as the
-// input, so a naive row-count split leaves every core but one idle while
-// the hub rows finish. The executor chunks work by intermediate-product
-// weight (the same heuristic the merge planner uses), deals the chunks to
-// per-worker deques, and lets idle workers steal from the busy ones — the
-// CPU analogue of B-Splitting plus hardware work distribution.
-//
-// The arenas attack the second serving-scale problem: every phase used to
-// allocate its dense accumulators, marker arrays and triplet buffers per
-// call, so a server running many multiplications multiplied its peak RSS
-// and GC pressure by the worker count. All scratch now cycles through
-// size-classed sync.Pools shared process-wide.
-//
-// Correctness stance: the executor never changes results. Callers assign
-// disjoint output ranges per chunk, so scheduling order is invisible;
-// every parallel path in the library is required (and tested) to produce
-// bit-identical output to its sequential reference. Under Paranoid mode
-// (BLOCKREORG_PARANOID) recycled arena buffers are poisoned before they
-// return to the pool, so any kernel that reads scratch it did not
-// initialize produces loud NaN/garbage results instead of silently
-// reusing a previous request's data.
 package parallel
 
 import (

@@ -1,0 +1,4 @@
+// Package tableio renders the experiment results as aligned text tables,
+// CSV files and inline ASCII bar charts — the presentation layer of the
+// benchmark harness.
+package tableio

@@ -1,6 +1,3 @@
-// Package tableio renders the experiment results as aligned text tables,
-// CSV files and inline ASCII bar charts — the presentation layer of the
-// benchmark harness.
 package tableio
 
 import (

@@ -43,7 +43,7 @@ func NewPlan(a, b *sparse.CSR, opts Options) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	pc, err := kernels.Precompute(a, b)
+	pc, err := kernels.PrecomputeTraced(a, b, nil, opts.Trace)
 	if err != nil {
 		return nil, err
 	}
@@ -51,7 +51,7 @@ func NewPlan(a, b *sparse.CSR, opts Options) (*Plan, error) {
 	if params.NumSMs == 0 {
 		params.NumSMs = kopts.Device.NumSMs
 	}
-	cp, err := core.BuildPlanCached(a, pc.ACSC, b, pc.RowWork, pc.RowNNZ, params)
+	cp, err := core.BuildPlanTraced(a, pc.ACSC, b, pc.RowWork, pc.RowNNZ, params, opts.Trace)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,29 @@
+// Package server implements spgemmd, a concurrent spGEMM serving layer on
+// top of the blockreorg library: an HTTP service that accepts multiply
+// jobs against named matrices (or uploaded COO payloads), runs them on a
+// pool of workers each owning a simulated device, and reuses the Block
+// Reorganizer's front-loaded preprocessing across requests through a
+// structure-keyed plan cache.
+//
+// The pieces:
+//
+//   - Registry — named operand matrices, loaded from Matrix Market or
+//     binary CSR files or registered over the API, each carrying its
+//     structure fingerprint;
+//   - PlanCache — an LRU of reusable preprocessing plans keyed by the
+//     operands' sparsity fingerprints plus the device and tuning that
+//     shaped the plan;
+//   - Server — request admission (bounded queue, per-request deadlines,
+//     429 on saturation), the worker pool, job tracking, graceful drain,
+//     and the /healthz and /metrics endpoints.
+//
+// # Observability
+//
+// Every job runs under a phase-level trace recorder (internal/trace).
+// /metrics exposes the aggregate as Prometheus histograms — per-algorithm
+// service latency (spgemmd_job_seconds) and per-phase host time
+// (spgemmd_phase_seconds), alongside queue, plan-cache and execution-engine
+// counters — and a request that sets "profile": true gets its own phase
+// breakdown back in the job result. The standard Go runtime profiles are
+// served under /debug/pprof/.
+package server

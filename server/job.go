@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/blockreorg/blockreorg"
+	"github.com/blockreorg/blockreorg/internal/trace"
 	"github.com/blockreorg/blockreorg/sparse"
 )
 
@@ -95,6 +96,11 @@ type MultiplyRequest struct {
 	// ReturnValues includes the product matrix in the job result as a COO
 	// payload. Off by default: products of large networks are large.
 	ReturnValues bool `json:"return_values,omitempty"`
+	// Profile includes the host-side phase breakdown (per-phase wall time,
+	// workload counters) in the job result. Every job is traced either way
+	// — the per-phase Prometheus histograms are fed from the same record —
+	// so this only controls the response payload.
+	Profile bool `json:"profile,omitempty"`
 	// TimeoutMillis bounds the job's total time in queue plus execution;
 	// 0 selects the server default, and the server maximum caps it.
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
@@ -122,6 +128,9 @@ type JobResult struct {
 	Plan *blockreorg.PlanSummary `json:"plan,omitempty"`
 	// WallSeconds is the host-side service time (queue excluded).
 	WallSeconds float64 `json:"wall_seconds"`
+	// Profile is the host-side phase breakdown, present when the request
+	// set "profile": true.
+	Profile *trace.Profile `json:"profile,omitempty"`
 	// Values is the product matrix, present when the request asked for it.
 	Values *COOPayload `json:"values,omitempty"`
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/blockreorg/blockreorg/internal/parallel"
+	"github.com/blockreorg/blockreorg/internal/trace"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the wall-clock service
@@ -16,13 +17,18 @@ var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
 
 // latencyHist is a fixed-bucket cumulative histogram.
 type latencyHist struct {
-	counts []uint64 // counts[i] = observations <= latencyBuckets[i]
-	count  uint64
-	sum    float64
+	buckets []float64 // upper bounds, ascending
+	counts  []uint64  // counts[i] = observations <= buckets[i]
+	count   uint64
+	sum     float64
+}
+
+func newHist(buckets []float64) *latencyHist {
+	return &latencyHist{buckets: buckets, counts: make([]uint64, len(buckets))}
 }
 
 func (h *latencyHist) observe(v float64) {
-	for i, ub := range latencyBuckets {
+	for i, ub := range h.buckets {
 		if v <= ub {
 			h.counts[i]++
 		}
@@ -30,6 +36,10 @@ func (h *latencyHist) observe(v float64) {
 	h.count++
 	h.sum += v
 }
+
+// phaseBuckets are the upper bounds (seconds) of the per-phase histograms.
+// Phases are finer-grained than whole jobs, so the grid starts at 100µs.
+var phaseBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
 
 // metrics aggregates the serving counters. The plan cache and queue report
 // through their own structures; everything here is job accounting.
@@ -40,10 +50,14 @@ type metrics struct {
 	failed    uint64
 	rejected  uint64
 	byAlg     map[string]*latencyHist
+	byPhase   map[string]*latencyHist
 }
 
 func newMetrics() *metrics {
-	return &metrics{byAlg: make(map[string]*latencyHist)}
+	return &metrics{
+		byAlg:   make(map[string]*latencyHist),
+		byPhase: make(map[string]*latencyHist),
+	}
 }
 
 func (m *metrics) addSubmitted() { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
@@ -58,10 +72,32 @@ func (m *metrics) addCompleted(alg string, seconds float64) {
 	m.completed++
 	h, ok := m.byAlg[alg]
 	if !ok {
-		h = &latencyHist{counts: make([]uint64, len(latencyBuckets))}
+		h = newHist(latencyBuckets)
 		m.byAlg[alg] = h
 	}
 	h.observe(seconds)
+}
+
+// addPhases folds one job's phase breakdown into the per-phase histograms.
+// The unattributed remainder ("other") is skipped — it is an artifact of the
+// profile's accounting, not a pipeline stage.
+func (m *metrics) addPhases(p *trace.Profile) {
+	if p == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, b := range p.Phases {
+		if b.Phase == string(trace.PhaseOther) {
+			continue
+		}
+		h, ok := m.byPhase[b.Phase]
+		if !ok {
+			h = newHist(phaseBuckets)
+			m.byPhase[b.Phase] = h
+		}
+		h.observe(b.Seconds)
+	}
 }
 
 // write renders the metrics in Prometheus text exposition format. The
@@ -118,11 +154,29 @@ func (m *metrics) write(w io.Writer, cache CacheStats, queueDepth, queueCap int)
 	fmt.Fprintf(w, "# TYPE spgemmd_job_seconds histogram\n")
 	for _, alg := range algs {
 		h := m.byAlg[alg]
-		for i, ub := range latencyBuckets {
-			fmt.Fprintf(w, "spgemmd_job_seconds_bucket{algorithm=%q,le=\"%g\"} %d\n", alg, ub, h.counts[i])
-		}
-		fmt.Fprintf(w, "spgemmd_job_seconds_bucket{algorithm=%q,le=\"+Inf\"} %d\n", alg, h.count)
-		fmt.Fprintf(w, "spgemmd_job_seconds_sum{algorithm=%q} %g\n", alg, h.sum)
-		fmt.Fprintf(w, "spgemmd_job_seconds_count{algorithm=%q} %d\n", alg, h.count)
+		writeHist(w, "spgemmd_job_seconds", "algorithm", alg, h)
 	}
+
+	// Host-side phase timings across all completed jobs, fed from the
+	// per-job trace profiles (see internal/trace for the taxonomy).
+	phases := make([]string, 0, len(m.byPhase))
+	for ph := range m.byPhase {
+		phases = append(phases, ph)
+	}
+	sort.Strings(phases)
+	fmt.Fprintf(w, "# TYPE spgemmd_phase_seconds histogram\n")
+	for _, ph := range phases {
+		writeHist(w, "spgemmd_phase_seconds", "phase", ph, m.byPhase[ph])
+	}
+}
+
+// writeHist renders one labelled cumulative histogram in Prometheus text
+// exposition format.
+func writeHist(w io.Writer, name, label, value string, h *latencyHist) {
+	for i, ub := range h.buckets {
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"%g\"} %d\n", name, label, value, ub, h.counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, value, h.count)
+	fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, label, value, h.sum)
+	fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, value, h.count)
 }

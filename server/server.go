@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -130,6 +131,14 @@ func New(cfg Config, reg *Registry) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/matrices", s.handleRegisterMatrix)
 	s.mux.HandleFunc("POST /v1/multiply", s.handleMultiply)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	// Standard Go runtime profiling endpoints (net/http/pprof). The index
+	// route also serves the named profiles (heap, goroutine, block, ...);
+	// cmdline/profile/symbol/trace need their dedicated handlers.
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return s, nil
 }
 
@@ -223,6 +232,10 @@ func (s *Server) runJob(j *job, workerGPU string) {
 	}
 	s.jobs.setRunning(j)
 
+	// Every job runs traced: the per-phase Prometheus histograms are fed
+	// from the profile, and requests that set "profile" get it back in the
+	// result. The recorder is per-job, so concurrent workers never share one.
+	rec := blockreorg.NewTrace()
 	opts := blockreorg.Options{
 		Algorithm:   blockreorg.Algorithm(j.req.Algorithm),
 		GPU:         blockreorg.GPU(j.req.GPU),
@@ -231,6 +244,7 @@ func (s *Server) runJob(j *job, workerGPU string) {
 		SplitFactor: j.req.SplitFactor,
 		LimitFactor: j.req.LimitFactor,
 		Paranoid:    s.cfg.Paranoid,
+		Trace:       rec,
 	}
 	if opts.Algorithm == "" {
 		opts.Algorithm = blockreorg.BlockReorganizer
@@ -287,6 +301,8 @@ func (s *Server) runJob(j *job, workerGPU string) {
 	}
 
 	wall := time.Since(start)
+	profile := rec.Profile()
+	s.metrics.addPhases(profile)
 	out := &JobResult{
 		Algorithm:        string(res.Algorithm),
 		Device:           res.Device,
@@ -302,6 +318,9 @@ func (s *Server) runJob(j *job, workerGPU string) {
 		PlanCacheHit:     res.PlanReused,
 		Plan:             res.Plan,
 		WallSeconds:      wall.Seconds(),
+	}
+	if j.req.Profile {
+		out.Profile = profile
 	}
 	if j.req.ReturnValues && res.C != nil {
 		out.Values = payloadFromCSR(res.C)

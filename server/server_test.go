@@ -444,3 +444,73 @@ func TestConfigRejectsUnknownGPU(t *testing.T) {
 		t.Fatal("New accepted an unknown GPU")
 	}
 }
+
+// TestServerObservability covers the tracing surfaces: a request with
+// "profile": true gets a phase breakdown in its result (and one without
+// does not), the per-phase histograms reach /metrics, and the Go runtime
+// profiles answer under /debug/pprof/.
+func TestServerObservability(t *testing.T) {
+	a := testNetwork(t, 300, 4000, 11)
+	reg := NewRegistry()
+	if _, err := reg.Register("a", a); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 1}, reg)
+
+	// Without profile: the breakdown stays out of the payload.
+	st := pollDone(t, ts.URL, submit(t, ts.URL, MultiplyRequest{A: Operand{Name: "a"}}))
+	if st.State != StateDone {
+		t.Fatalf("job failed: %s", st.Error)
+	}
+	if st.Result.Profile != nil {
+		t.Fatal("unprofiled job returned a profile")
+	}
+
+	// With profile: phases in pipeline order summing to the wall time.
+	st = pollDone(t, ts.URL, submit(t, ts.URL, MultiplyRequest{A: Operand{Name: "a"}, Profile: true}))
+	if st.State != StateDone {
+		t.Fatalf("profiled job failed: %s", st.Error)
+	}
+	p := st.Result.Profile
+	if p == nil {
+		t.Fatal("profiled job returned no profile")
+	}
+	if p.WallSeconds <= 0 || len(p.Phases) == 0 {
+		t.Fatalf("degenerate profile: %+v", p)
+	}
+	var sum float64
+	for _, b := range p.Phases {
+		sum += b.Seconds
+	}
+	if diff := sum - p.WallSeconds; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("phase seconds sum %v != wall %v", sum, p.WallSeconds)
+	}
+
+	// Both jobs fed the per-phase histograms.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsText := string(body)
+	if !strings.Contains(metricsText, "spgemmd_phase_seconds_bucket{phase=") {
+		t.Error("/metrics missing spgemmd_phase_seconds histogram")
+	}
+	if strings.Contains(metricsText, `phase="other"`) {
+		t.Error("/metrics exposes the accounting-only \"other\" phase")
+	}
+
+	// The runtime profiles are mounted.
+	resp, err = http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/: got %d, want 200", resp.StatusCode)
+	}
+}

@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"github.com/blockreorg/blockreorg/internal/parallel"
+	"github.com/blockreorg/blockreorg/internal/trace"
 )
 
 // MultiplyParallel computes C = A×B with Gustavson's algorithm across
@@ -27,6 +28,14 @@ func MultiplyParallel(a, b *CSR, workers int) (*CSR, error) {
 // shared arenas instead of allocated per call. A nil executor selects the
 // process-wide default.
 func MultiplyOn(a, b *CSR, ex *parallel.Executor) (*CSR, error) {
+	return MultiplyTraced(a, b, ex, nil)
+}
+
+// MultiplyTraced is MultiplyOn with phase-level tracing: the work-weighting
+// sweep, the symbolic sizing pass and the numeric expansion each record a
+// span on rec (see internal/trace). A nil recorder disables tracing at zero
+// cost and the result is identical either way.
+func MultiplyTraced(a, b *CSR, ex *parallel.Executor, rec *trace.Recorder) (*CSR, error) {
 	if a.Cols != b.Rows {
 		return nil, shapeError("MultiplyOn", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
@@ -34,19 +43,31 @@ func MultiplyOn(a, b *CSR, ex *parallel.Executor) (*CSR, error) {
 		ex = parallel.Default()
 	}
 	if ex.Workers() == 1 || a.Rows < 2*ex.Workers() {
-		return multiplyPooled(a, b)
+		endExp := rec.Span(trace.PhaseExpansion)
+		c, err := multiplyPooled(a, b)
+		endExp()
+		return c, err
 	}
 
 	// Work-weighted chunking: split rows so each chunk holds a similar
 	// number of intermediate products.
+	workStart := rec.Now()
 	rowWork := parallel.GetInt64s(a.Rows)
 	defer parallel.PutInt64s(rowWork)
 	intermediateRowWorkInto(rowWork, a, b, ex)
 	chunks := parallel.WeightedRanges(rowWork, 4*ex.Workers())
+	if rec.Enabled() {
+		var flops int64
+		for _, w := range rowWork {
+			flops += w
+		}
+		rec.Observe(trace.PhaseIntermediate, flops, rec.Since(workStart))
+	}
 
 	// Symbolic phase: size every output row exactly, so the numeric phase
 	// writes straight into the final arrays — no per-chunk growth, no
 	// stitching copy, and peak memory is the result itself.
+	symStart := rec.Now()
 	rowNNZ := parallel.GetInts(a.Rows)
 	ex.ForEach(chunks, func(r parallel.Range) {
 		marker := parallel.GetIntsZeroed(b.Cols)
@@ -70,7 +91,15 @@ func MultiplyOn(a, b *CSR, ex *parallel.Executor) (*CSR, error) {
 	// Numeric phase: every chunk accumulates its rows and writes them into
 	// their precomputed slots.
 	c := NewCSRWithRowSizes(a.Rows, b.Cols, rowNNZ)
+	if rec.Enabled() {
+		var nnzc int64
+		for _, n := range rowNNZ {
+			nnzc += int64(n)
+		}
+		rec.Observe(trace.PhaseSymbolic, nnzc, rec.Since(symStart))
+	}
 	parallel.PutInts(rowNNZ)
+	endExp := rec.SpanItems(trace.PhaseExpansion, int64(c.NNZ()))
 	ex.ForEach(chunks, func(r parallel.Range) {
 		acc := parallel.GetFloats(b.Cols)
 		marker := parallel.GetIntsZeroed(b.Cols)
@@ -101,6 +130,7 @@ func MultiplyOn(a, b *CSR, ex *parallel.Executor) (*CSR, error) {
 		parallel.PutInts(marker)
 		parallel.PutFloats(acc)
 	})
+	endExp()
 	return c, nil
 }
 

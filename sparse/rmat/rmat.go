@@ -1,13 +1,3 @@
-// Package rmat generates synthetic sparse matrices with controlled
-// structure: R-MAT recursive power-law graphs (Chakrabarti et al., SDM
-// 2004), Chung-Lu power-law graphs, banded finite-element-style meshes, and
-// uniform random matrices.
-//
-// The Block Reorganizer paper evaluates on two families of inputs — regular
-// FEM matrices from the Florida Suite Sparse collection and skewed social
-// networks from SNAP — plus R-MAT synthetics (its Table III). The
-// generators in this package produce deterministic, seeded stand-ins for
-// all three families.
 package rmat
 
 import (

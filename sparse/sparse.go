@@ -1,17 +1,3 @@
-// Package sparse implements sparse matrix storage formats and the linear
-// algebra primitives used throughout the Block Reorganizer library.
-//
-// The package provides the three classic sparse formats — CSR (compressed
-// sparse row), CSC (compressed sparse column) and COO (coordinate triples) —
-// together with conversions between them, a dense fallback for testing,
-// Matrix Market I/O, a reference Gustavson sparse matrix-matrix multiply
-// (spGEMM) used as the correctness oracle, and symbolic analysis helpers
-// (row-wise and block-wise nnz estimation of the intermediate product
-// matrix) that the Block Reorganizer's preprocessing step builds on.
-//
-// All formats index from zero. Unless stated otherwise, CSR and CSC matrices
-// keep the entries of each row (respectively column) sorted by index with no
-// duplicates; Validate reports violations.
 package sparse
 
 import (
