@@ -69,6 +69,14 @@ type Options struct {
 	// environment variable enables the same checks globally — including
 	// for Compare and the EXPERIMENTS pipeline — without code changes.
 	Paranoid bool
+	// Workers bounds the host-side executor this run's numeric phases use:
+	// 0 shares the process-wide work-stealing executor (sized to
+	// GOMAXPROCS), 1 forces sequential execution, and n > 1 runs a
+	// dedicated n-worker executor for just this multiplication. The result
+	// is bit-identical for every setting — the knob trades latency against
+	// interference with concurrent runs, never values. Negative counts are
+	// ErrInvalidOptions.
+	Workers int
 
 	// Block Reorganizer tuning (ignored by other algorithms); zero values
 	// select the paper's defaults.
@@ -203,6 +211,9 @@ func resolveOptions(a, b *sparse.CSR, opts *Options) (kernels.Algorithm, kernels
 	if err != nil {
 		return nil, kopts, fmt.Errorf("%w: unknown GPU %q", ErrInvalidOptions, opts.GPU)
 	}
+	if opts.Workers < 0 {
+		return nil, kopts, fmt.Errorf("%w: negative worker count %d", ErrInvalidOptions, opts.Workers)
+	}
 	kopts = kernels.Options{
 		Device:     dev,
 		SkipValues: opts.SkipValues,
@@ -221,6 +232,9 @@ func resolveOptions(a, b *sparse.CSR, opts *Options) (kernels.Algorithm, kernels
 	}
 	if _, err := kopts.Core.Normalize(); err != nil {
 		return nil, kopts, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+	}
+	if opts.Workers > 0 {
+		kopts.Exec = parallel.NewExecutor(opts.Workers)
 	}
 	if opts.Plan != nil {
 		if opts.Algorithm != BlockReorganizer {

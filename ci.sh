@@ -19,6 +19,9 @@
 #                      that breaks a measured path (or its setup) fails
 #                      here instead of silently disappearing from the
 #                      perf record
+#   7. graphrun smoke — genmat generates a small R-MAT network and graphrun
+#                      clusters it end to end, so the CLI wiring from file
+#                      input through the pipeline engine stays exercised
 #
 # Run from the repository root. Exits non-zero on the first failure.
 set -eu
@@ -40,7 +43,7 @@ echo "==> blockreorg-vet"
 go run ./cmd/blockreorg-vet ./...
 
 echo "==> go test -race (paranoid)"
-BLOCKREORG_PARANOID=1 go test -race . ./internal/core/... ./internal/gpusim/... ./internal/trace/... ./sparse/... ./server/...
+BLOCKREORG_PARANOID=1 go test -race . ./internal/core/... ./internal/gpusim/... ./internal/trace/... ./sparse/... ./server/... ./pipeline/...
 
 echo "==> examples (godoc Examples + example programs)"
 go test -run Example ./...
@@ -50,5 +53,11 @@ done
 
 echo "==> bench smoke (every benchmark once)"
 go test -run '^$' -bench . -benchtime 1x -benchmem ./...
+
+echo "==> graphrun smoke (genmat R-MAT -> MCL clustering)"
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+go run ./cmd/genmat -kind rmat -n 256 -nnz 1024 -seed 7 -o "$smoke_dir/net.mtx"
+go run ./cmd/graphrun -workload mcl -in "$smoke_dir/net.mtx" -symmetrize -profile
 
 echo "ci.sh: all gates passed"

@@ -3,11 +3,13 @@
 //	spgemmctl -server http://localhost:8447 matrices
 //	spgemmctl upload -name wiki -file wiki.mtx
 //	spgemmctl multiply -a wiki -gpu "Tesla V100" -values -o product.mtx
+//	spgemmctl pipeline -a wiki -workload mcl -inflation 2
 //	spgemmctl job -id j-3
 //	spgemmctl metrics
 //
-// multiply submits the job and polls it to completion, printing the
-// profile (and whether the run hit the server's plan cache).
+// multiply and pipeline submit the job and poll it to completion,
+// printing the profile (and whether the run hit the server's plan cache;
+// for pipeline jobs, the run's cross-iteration plan-cache traffic).
 package main
 
 import (
@@ -30,7 +32,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "spgemmctl: missing subcommand (matrices | upload | multiply | job | metrics)")
+		fmt.Fprintln(os.Stderr, "spgemmctl: missing subcommand (matrices | upload | multiply | pipeline | job | metrics)")
 		os.Exit(2)
 	}
 	c := &client{base: strings.TrimRight(*serverURL, "/"), out: os.Stdout}
@@ -42,6 +44,8 @@ func main() {
 		err = c.upload(args[1:])
 	case "multiply":
 		err = c.multiply(args[1:])
+	case "pipeline":
+		err = c.pipeline(args[1:])
 	case "job":
 		err = c.job(args[1:])
 	case "metrics":
@@ -224,6 +228,111 @@ func (c *client) multiply(args []string) error {
 		fmt.Fprintf(c.out, "product written to %s\n", *outFile)
 	}
 	return nil
+}
+
+func (c *client) pipeline(args []string) error {
+	fs := flag.NewFlagSet("pipeline", flag.ContinueOnError)
+	a := fs.String("a", "", "registered name of the network")
+	workload := fs.String("workload", "", "power | mcl | similarity")
+	k := fs.Int("k", 0, "power: exponent (default 2)")
+	collapse := fs.Bool("collapse", false, "power: boolean semiring")
+	selfloops := fs.Bool("selfloops", false, "power: add self-loops")
+	inflation := fs.Float64("inflation", 0, "mcl: inflation factor (default 2)")
+	prune := fs.Float64("prune", 0, "mcl: prune tolerance (default 1e-4)")
+	eps := fs.Float64("eps", 0, "mcl: chaos convergence threshold (default 1e-6)")
+	maxiter := fs.Int("maxiter", 0, "mcl: iteration bound (default: server's)")
+	measure := fs.String("measure", "", "similarity: common | cosine")
+	mask := fs.String("mask", "", "similarity: none | existing | new")
+	minscore := fs.Float64("minscore", 0, "similarity: drop scores at or below this")
+	alg := fs.String("alg", "", "algorithm (default Block-Reorganizer)")
+	gpu := fs.String("gpu", "", "simulated device (default: the worker's)")
+	values := fs.Bool("values", false, "fetch the result matrix values")
+	outFile := fs.String("o", "", "write the result to this Matrix Market file (implies -values)")
+	timeout := fs.Duration("timeout", 0, "job deadline (0: server default)")
+	profile := fs.Bool("profile", false, "fetch and print the host-side phase breakdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *a == "" || *workload == "" {
+		return fmt.Errorf("pipeline needs -a and -workload")
+	}
+	req := server.PipelineRequest{
+		A:             server.Operand{Name: *a},
+		Workload:      *workload,
+		K:             *k,
+		Collapse:      *collapse,
+		SelfLoops:     *selfloops,
+		Inflation:     *inflation,
+		PruneTol:      *prune,
+		Epsilon:       *eps,
+		MaxIterations: *maxiter,
+		Measure:       *measure,
+		Mask:          *mask,
+		MinScore:      *minscore,
+		Algorithm:     *alg,
+		GPU:           *gpu,
+		ReturnValues:  *values || *outFile != "",
+		Profile:       *profile,
+		TimeoutMillis: timeout.Milliseconds(),
+	}
+	var accepted struct {
+		Job string `json:"job"`
+	}
+	if err := c.postJSON("/v1/pipeline", req, &accepted); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "job %s accepted\n", accepted.Job)
+
+	st, err := c.poll(accepted.Job)
+	if err != nil {
+		return err
+	}
+	if st.State == server.StateFailed {
+		return fmt.Errorf("job %s failed (%s): %s", st.ID, st.ErrorKind, st.Error)
+	}
+	c.printPipelineResult(st.Result)
+	if *outFile != "" && st.Result.Values != nil {
+		coo := sparse.NewCOO(st.Result.Values.Rows, st.Result.Values.Cols, len(st.Result.Values.I))
+		for k := range st.Result.Values.I {
+			coo.Add(st.Result.Values.I[k], st.Result.Values.J[k], st.Result.Values.V[k])
+		}
+		if err := sparse.WriteMatrixMarketFile(*outFile, coo.ToCSR()); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "result written to %s\n", *outFile)
+	}
+	return nil
+}
+
+// printPipelineResult renders a completed pipeline job.
+func (c *client) printPipelineResult(r *server.JobResult) {
+	if r == nil || r.Pipeline == nil {
+		return
+	}
+	p := r.Pipeline
+	fmt.Fprintf(c.out, "%s on %s (%s): %dx%d, nnz=%d\n",
+		p.Workload, r.Device, r.Algorithm, r.Rows, r.Cols, p.NNZ)
+	for _, it := range p.Iters {
+		tag := "miss"
+		if it.PlanHit {
+			tag = "hit"
+		}
+		fmt.Fprintf(c.out, "  iter %-3d nnz=%-10d plan=%-4s sim=%.6fs delta=%.3e\n",
+			it.Iteration, it.NNZ, tag, it.SimSeconds, it.Delta)
+	}
+	fmt.Fprintf(c.out, "  iterations=%d converged=%v plan hits=%d misses=%d\n",
+		p.Iterations, p.Converged, p.PlanHits, p.PlanMisses)
+	if p.Workload == server.WorkloadMCL {
+		fmt.Fprintf(c.out, "  clusters: %d\n", p.NumClusters)
+	}
+	if r.Profile != nil {
+		fmt.Fprintf(c.out, "  host phases:\n")
+		for _, b := range r.Profile.Phases {
+			fmt.Fprintf(c.out, "    %-18s %9.3fms %5.1f%% (%d calls)\n",
+				b.Phase, b.Seconds*1e3, 100*b.Share, b.Calls)
+		}
+	}
+	fmt.Fprintf(c.out, "  wall %.3fs\n", r.WallSeconds)
 }
 
 // poll waits for a job to reach a terminal state.

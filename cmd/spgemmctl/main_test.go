@@ -105,6 +105,56 @@ func TestClientRoundTrip(t *testing.T) {
 	}
 }
 
+func TestClientPipeline(t *testing.T) {
+	_, c, out := newBackend(t)
+
+	dir := t.TempDir()
+	g, err := rmat.Generate(96, 384, rmat.Default, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, err = g.Symmetrize(); err != nil {
+		t.Fatal(err)
+	}
+	g.Fill(1)
+	path := filepath.Join(dir, "net.mtx")
+	if err := sparse.WriteMatrixMarketFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.upload([]string{"-name", "net", "-file", path}); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+
+	// MCL to completion with the profile.
+	if err := c.pipeline([]string{"-a", "net", "-workload", "mcl", "-profile"}); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"accepted", "mcl on", "converged=true", "clusters:", "pipeline.expand"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("pipeline output missing %q:\n%s", want, text)
+		}
+	}
+	out.Reset()
+
+	// Similarity scores written to a file.
+	scores := filepath.Join(dir, "scores.mtx")
+	if err := c.pipeline([]string{"-a", "net", "-workload", "similarity", "-mask", "new", "-o", scores}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "result written") {
+		t.Fatalf("similarity output: %q", out.String())
+	}
+	got, err := sparse.ReadMatrixMarketFile(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 96 || got.Cols != 96 {
+		t.Fatalf("scores file is %dx%d", got.Rows, got.Cols)
+	}
+}
+
 func TestClientErrors(t *testing.T) {
 	_, c, _ := newBackend(t)
 	if err := c.multiply([]string{"-a", "nope"}); err == nil || !strings.Contains(err.Error(), "unknown matrix") {
@@ -121,5 +171,11 @@ func TestClientErrors(t *testing.T) {
 	}
 	if err := c.upload([]string{"-name", "x", "-file", "matrix.xls"}); err == nil || !strings.Contains(err.Error(), "unknown matrix format") {
 		t.Fatalf("bad extension error = %v", err)
+	}
+	if err := c.pipeline([]string{"-a", "x"}); err == nil {
+		t.Fatal("pipeline without -workload accepted")
+	}
+	if err := c.pipeline([]string{"-a", "nope", "-workload", "mcl"}); err == nil || !strings.Contains(err.Error(), "unknown matrix") {
+		t.Fatalf("pipeline unknown operand error = %v", err)
 	}
 }

@@ -55,6 +55,10 @@ func TestAnalyzers(t *testing.T) {
 		{"seededrand", "seededrandok", 0, ""},
 		{"scratchmake", "scratchmakebad", 3, "internal/parallel arenas"},
 		{"scratchmake", "scratchmakeok", 0, ""},
+		{"rawindex", "pipelinebad", 5, "Row/Col accessors"},
+		{"rawindex", "pipelineok", 0, ""},
+		{"scratchmake", "pipelinebad", 1, "internal/parallel arenas"},
+		{"scratchmake", "pipelineok", 0, ""},
 		{"pkgdoc", "pkgdocbad", 1, "no package documentation"},
 		{"pkgdoc", "pkgdocprefix", 1, "godoc convention"},
 		{"pkgdoc", "pkgdocok", 0, ""},

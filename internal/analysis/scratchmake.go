@@ -5,7 +5,7 @@ import (
 )
 
 // ScratchMakeAnalyzer enforces the arena rule: inside the kernel packages
-// (sparse, kernels, core), a loop body must not allocate nnz-scaled
+// (sparse, kernels, core, pipeline), a loop body must not allocate nnz-scaled
 // scratch with make([]...) — dense accumulators, marker arrays, workload
 // vectors and triplet buffers cycle through the internal/parallel arenas
 // instead. A make inside a row or block loop re-allocates per iteration
@@ -22,10 +22,16 @@ func ScratchMakeAnalyzer() *Analyzer {
 }
 
 // kernelPackage reports whether the package holds numeric kernels bound by
-// the arena rule. internal/parallel itself is exempt: it is where the
-// sanctioned allocations live.
+// the arena rule. The pipeline package counts: its convergence sweeps and
+// normalization passes run once per iteration, so a make inside them
+// re-allocates every round of an iterative workload. internal/parallel
+// itself is exempt: it is where the sanctioned allocations live.
 func kernelPackage(name string) bool {
-	return name == "sparse" || name == "kernels" || name == "core"
+	switch name {
+	case "sparse", "kernels", "core", "pipeline":
+		return true
+	}
+	return false
 }
 
 func runScratchMake(p *Pass) []Finding {

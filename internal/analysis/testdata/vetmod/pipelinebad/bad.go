@@ -1,0 +1,30 @@
+// Package pipeline is the violating fixture for the pipeline-package
+// rules: raw CSR storage access (rawindex) and per-iteration nnz-scaled
+// scratch allocation (scratchmake), both forbidden in the engine.
+package pipeline
+
+import "example.com/vetmod/sparse"
+
+// ColumnPeek indexes Idx and Val directly instead of going through the
+// Row accessor — two rawindex violations.
+func ColumnPeek(m *sparse.CSR) float64 {
+	return float64(m.Idx[0]) + m.Val[0] // want rawindex x2
+}
+
+// SweepRows slices row storage by hand — rawindex violations on the
+// slice and its Ptr bounds.
+func SweepRows(m *sparse.CSR, i int) []float64 {
+	return m.Val[m.Ptr[i]:m.Ptr[i+1]] // want rawindex x3
+}
+
+// ChaosSweep allocates the dense per-column scratch inside the iteration
+// loop — a scratchmake violation now that pipeline is a kernel package.
+func ChaosSweep(iterations, nnzCols int) float64 {
+	var chaos float64
+	for it := 0; it < iterations; it++ {
+		colMax := make([]float64, nnzCols) // want scratchmake
+		colMax[0] = float64(it)
+		chaos = colMax[0]
+	}
+	return chaos
+}

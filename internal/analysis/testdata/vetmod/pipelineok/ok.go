@@ -1,0 +1,41 @@
+// Package pipeline is the clean fixture for the pipeline-package rules:
+// storage reached through the Row accessor, and iteration scratch either
+// hoisted out of the loop or not nnz-scaled.
+package pipeline
+
+import "example.com/vetmod/sparse"
+
+// RowSum uses the sanctioned accessor — no raw storage access.
+func RowSum(m *sparse.CSR, i int) float64 {
+	_, vals := m.Row(i)
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+// HoistedSweep allocates the dense scratch once, outside the iteration
+// loop — the sanctioned shape when an arena is not used.
+func HoistedSweep(iterations, nnzCols int) float64 {
+	colMax := make([]float64, nnzCols)
+	var chaos float64
+	for it := 0; it < iterations; it++ {
+		colMax[0] = float64(it)
+		chaos = colMax[0]
+	}
+	return chaos
+}
+
+// SmallState makes a fixed-size buffer in the loop; its size is not
+// nnz-scaled, so the rule leaves it alone.
+func SmallState(iterations int) int {
+	const width = 4
+	total := 0
+	for it := 0; it < iterations; it++ {
+		lane := make([]int, width)
+		lane[0] = it
+		total += lane[0]
+	}
+	return total
+}

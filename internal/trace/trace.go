@@ -50,12 +50,36 @@ const (
 	PhaseOther Phase = "other"
 )
 
+// The pipeline engine's span taxonomy (package pipeline): one span per
+// iteration step of an iterative spGEMM workload. PipelineExpand wraps a
+// whole multiplication, whose inner phases record on the same recorder, so
+// a pipeline profile attributes that time twice — once to the step and
+// once to the multiplication's own phases. The "other" remainder therefore
+// never appears in pipeline profiles (the accounted time already exceeds
+// the wall time); per-phase shares remain exact.
+const (
+	// PhasePipelineExpand is one expansion step: the spGEMM multiply of an
+	// iteration (M·M for MCL, M·A for power chains, A·Aᵀ for similarity).
+	PhasePipelineExpand Phase = "pipeline.expand"
+	// PhasePipelineInflate is one inflation step: elementwise power plus
+	// column normalization (MCL), or the similarity post-scaling.
+	PhasePipelineInflate Phase = "pipeline.inflate"
+	// PhasePipelinePrune is one pruning step: dropping sub-tolerance
+	// entries and renormalizing.
+	PhasePipelinePrune Phase = "pipeline.prune"
+	// PhasePipelineConverge is one convergence test: the chaos or
+	// idempotence sweep that decides whether the iteration stops.
+	PhasePipelineConverge Phase = "pipeline.converge"
+)
+
 // Phases returns the taxonomy in pipeline order (PhaseOther last).
 func Phases() []Phase {
 	return []Phase{
 		PhaseIntermediate, PhaseSymbolic, PhaseConvert,
 		PhaseClassify, PhaseSplit, PhaseGather, PhaseLimit,
 		PhaseSimulate, PhaseExpansion, PhaseScatter, PhaseMerge,
+		PhasePipelineExpand, PhasePipelineInflate,
+		PhasePipelinePrune, PhasePipelineConverge,
 		PhaseOther,
 	}
 }
@@ -83,6 +107,14 @@ const (
 	CounterExecSteals  = "executor_steals"
 	CounterArenaGets   = "arena_gets"
 	CounterArenaAllocs = "arena_allocs"
+	// Pipeline engine accounting (package pipeline): iterations run, and
+	// the cross-iteration plan cache's hit/miss split. A hit means the
+	// iteration's multiply reused a previously built preprocessing plan
+	// via Rebind, skipping the precalculation entirely.
+	CounterPipelineIterations = "pipeline_iterations"
+	CounterPipelinePlanHits   = "pipeline_plan_hits"
+	CounterPipelinePlanMisses = "pipeline_plan_misses"
+	CounterPipelinePruned     = "pipeline_pruned_entries"
 
 	// GaugeAlpha and GaugeBeta are the resolved threshold divisors;
 	// GaugeSplitFactorMax is the largest splitting factor chosen,

@@ -1,0 +1,150 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/blockreorg/blockreorg"
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+func TestMCLConvergesDeterministically(t *testing.T) {
+	a := testGraph(t, 128, 512, 99)
+	first, err := MCL(context.Background(), a, MCLOptions{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Converged {
+		t.Fatalf("MCL did not converge in %d iterations (chaos %g)", first.Iterations, first.Iters[len(first.Iters)-1].Delta)
+	}
+	if err := first.M.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	second, err := MCL(context.Background(), a, MCLOptions{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Iterations != first.Iterations || !second.M.Equal(first.M, 0) {
+		t.Fatal("repeated run diverged")
+	}
+	if !equalInts(first.Clusters, second.Clusters) {
+		t.Fatal("repeated run assigned different clusters")
+	}
+}
+
+// TestMCLSerialParallelPlanReuseBitIdentical is the tentpole's determinism
+// acceptance check: sequential, work-stealing, and plan-cache-disabled
+// runs of the same seeded R-MAT clustering must agree bit for bit — limit
+// matrix and cluster assignment both.
+func TestMCLSerialParallelPlanReuseBitIdentical(t *testing.T) {
+	a := testGraph(t, 128, 512, 1234)
+	ref, err := MCL(context.Background(), a, MCLOptions{}, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []Options{
+		{},                  // process-wide work-stealing executor
+		{Workers: 4},        // dedicated parallel executor
+		{NoPlanReuse: true}, // every multiply planned cold
+		{Workers: 4, NoPlanReuse: true},
+	}
+	for _, opts := range variants {
+		got, err := MCL(context.Background(), a, MCLOptions{}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Iterations != ref.Iterations {
+			t.Fatalf("%+v: %d iterations vs %d", opts, got.Iterations, ref.Iterations)
+		}
+		if !got.M.Equal(ref.M, 0) {
+			t.Fatalf("%+v: limit matrix not bit-identical to serial run", opts)
+		}
+		if !equalInts(got.Clusters, ref.Clusters) {
+			t.Fatalf("%+v: cluster assignment differs from serial run", opts)
+		}
+	}
+}
+
+func TestMCLDisjointCliques(t *testing.T) {
+	// Two disjoint triangles must come out as exactly two clusters, with
+	// deterministic first-node labeling: {0,1,2} -> 0, {3,4,5} -> 1.
+	coo := sparse.NewCOO(6, 6, 12)
+	tri := func(base int) {
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				if i != j {
+					coo.Add(base+i, base+j, 1)
+				}
+			}
+		}
+	}
+	tri(0)
+	tri(3)
+	res, err := MCL(context.Background(), coo.ToCSR(), MCLOptions{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("cliques did not converge")
+	}
+	if res.NumClusters != 2 {
+		t.Fatalf("got %d clusters, want 2 (%v)", res.NumClusters, res.Clusters)
+	}
+	want := []int{0, 0, 0, 1, 1, 1}
+	if !equalInts(res.Clusters, want) {
+		t.Fatalf("clusters %v, want %v", res.Clusters, want)
+	}
+}
+
+func TestMCLCoversEveryNode(t *testing.T) {
+	a := testGraph(t, 96, 400, 31)
+	res, err := MCL(context.Background(), a, MCLOptions{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 96 {
+		t.Fatalf("clusters cover %d nodes, want 96", len(res.Clusters))
+	}
+	seen := make([]bool, res.NumClusters)
+	for node, c := range res.Clusters {
+		if c < 0 || c >= res.NumClusters {
+			t.Fatalf("node %d has out-of-range cluster %d", node, c)
+		}
+		seen[c] = true
+	}
+	for c, ok := range seen {
+		if !ok {
+			t.Fatalf("cluster label %d is unused", c)
+		}
+	}
+}
+
+func TestMCLInvalidInputs(t *testing.T) {
+	ctx := context.Background()
+	if _, err := MCL(ctx, nil, MCLOptions{}, Options{}); !errors.Is(err, blockreorg.ErrInvalidOptions) {
+		t.Fatalf("nil matrix: %v", err)
+	}
+	if _, err := MCL(ctx, sparse.NewCSR(2, 3), MCLOptions{}, Options{}); !errors.Is(err, blockreorg.ErrInvalidOptions) {
+		t.Fatalf("rectangular: %v", err)
+	}
+	neg := &sparse.CSR{Rows: 2, Cols: 2, Ptr: []int{0, 1, 1}, Idx: []int{1}, Val: []float64{-1}}
+	if _, err := MCL(ctx, neg, MCLOptions{}, Options{}); !errors.Is(err, blockreorg.ErrInvalidOptions) {
+		t.Fatalf("negative weight: %v", err)
+	}
+	if _, err := MCL(ctx, sparse.Identity(2), MCLOptions{Inflation: -2}, Options{}); !errors.Is(err, blockreorg.ErrInvalidOptions) {
+		t.Fatalf("negative inflation: %v", err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,74 @@
+package pipeline
+
+import (
+	"context"
+
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+// PowerOptions configures a PowerIterate run.
+type PowerOptions struct {
+	// Collapse projects the iterate onto the boolean semiring after every
+	// multiply (and collapses the base operand first), so M after i
+	// iterations is the i+1-hop reachability indicator rather than the
+	// weighted power.
+	Collapse bool
+	// SelfLoops adds the identity to the base operand, turning the chain
+	// into the transitive-closure iteration: with Collapse, the iterate
+	// grows monotonically toward the reachability closure and then stops
+	// changing.
+	SelfLoops bool
+	// StopOnFixpoint stops early once the iterate's maximum elementwise
+	// change is at or below FixpointTol — the natural exit for a closure
+	// chain that has saturated before the iteration budget runs out.
+	StopOnFixpoint bool
+	FixpointTol    float64
+}
+
+// PowerIterate computes the k-th power of the square matrix a — the
+// multi-hop neighborhood workload — by iterating M ← M·A from M = A.
+// Computing A^k takes k−1 multiply iterations, and because the right-hand
+// operand is the same matrix every time, every iteration after the first
+// rebinds the first iteration's preprocessing plan whenever the running
+// product's structure has stabilized (a structurally full or
+// pattern-idempotent A reports exactly iterations−1 plan-cache hits).
+// With PowerOptions.Collapse and SelfLoops set the run is the k-hop
+// reachability closure instead: values collapse to 1 after every multiply
+// and the iterate saturates monotonically.
+//
+// k must be at least 1; k = 1 returns (a copy of) the base operand with
+// zero iterations. The Result's M is the final power.
+func PowerIterate(ctx context.Context, a *sparse.CSR, k int, po PowerOptions, opts Options) (*Result, error) {
+	if a == nil {
+		return nil, invalidf("power: nil matrix")
+	}
+	if a.Rows != a.Cols {
+		return nil, invalidf("power: matrix must be square, got %dx%d", a.Rows, a.Cols)
+	}
+	if k < 1 {
+		return nil, invalidf("power: exponent %d must be at least 1", k)
+	}
+	base := a.Clone()
+	if po.SelfLoops {
+		var err error
+		base, err = sparse.Add(base, sparse.Identity(a.Rows))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if po.Collapse {
+		base.Fill(1)
+	}
+	steps := []Step{ExpandStep{}}
+	if po.Collapse {
+		steps = append(steps, CollapseStep{})
+	}
+	if po.StopOnFixpoint {
+		steps = append(steps, FixpointStep{Tol: po.FixpointTol})
+	}
+	p := &Pipeline{Name: "power", MaxIterations: k - 1, Steps: steps}
+	if k == 1 {
+		return &Result{Pipeline: p.Name, M: base}, nil
+	}
+	return NewRunner(opts).Run(ctx, p, &State{M: base, A: base})
+}

@@ -1,0 +1,158 @@
+package pipeline
+
+import (
+	"context"
+	"math"
+
+	"github.com/blockreorg/blockreorg/internal/trace"
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+// Similarity measures and mask modes.
+const (
+	// MeasureCommon counts common neighbors: scores are |N(i) ∩ N(j)|,
+	// computed as bool(A)·bool(A)ᵀ.
+	MeasureCommon = "common"
+	// MeasureCosine is the cosine similarity of the weighted neighbor
+	// vectors: (A·Aᵀ)_ij / (‖a_i‖·‖a_j‖).
+	MeasureCosine = "cosine"
+
+	// MaskNone keeps every nonzero score.
+	MaskNone = "none"
+	// MaskExisting keeps scores only for pairs already linked in A — the
+	// edge-strength view.
+	MaskExisting = "existing"
+	// MaskNew keeps scores only for pairs NOT linked in A, diagonal
+	// excluded — the link-prediction candidate set.
+	MaskNew = "new"
+)
+
+// SimilarityOptions configures a Similarity run. Zero values select
+// common-neighbor counting with no mask.
+type SimilarityOptions struct {
+	// Measure is MeasureCommon (default) or MeasureCosine.
+	Measure string
+	// Mask is MaskNone (default), MaskExisting or MaskNew. Masks compare
+	// against A's own pattern, so a directed edge list should be
+	// symmetrized first; masking requires a square matrix.
+	Mask string
+	// MinScore prunes scores at or below this value (0 still drops
+	// explicit zeros and NaNs).
+	MinScore float64
+}
+
+// Similarity computes pairwise row-similarity scores of a — the
+// link-prediction workload — as a single-pass pipeline: one A·Aᵀ
+// expansion through the engine, a measure-specific rescale, a Hadamard
+// mask, and a prune. The Result's M holds the score matrix S where S_ij
+// scores rows i and j. Rectangular matrices are fine without a mask
+// (rows of a bipartite adjacency); masking requires square.
+func Similarity(ctx context.Context, a *sparse.CSR, so SimilarityOptions, opts Options) (*Result, error) {
+	if a == nil {
+		return nil, invalidf("similarity: nil matrix")
+	}
+	switch so.Measure {
+	case "", MeasureCommon, MeasureCosine:
+	default:
+		return nil, invalidf("similarity: unknown measure %q", so.Measure)
+	}
+	switch so.Mask {
+	case "", MaskNone:
+	case MaskExisting, MaskNew:
+		if a.Rows != a.Cols {
+			return nil, invalidf("similarity: mask %q requires a square matrix, got %dx%d",
+				so.Mask, a.Rows, a.Cols)
+		}
+	default:
+		return nil, invalidf("similarity: unknown mask %q", so.Mask)
+	}
+	base := a.Clone()
+	if so.Measure == "" || so.Measure == MeasureCommon {
+		base.Fill(1)
+	}
+	steps := []Step{ExpandStep{}}
+	if so.Measure == MeasureCosine {
+		steps = append(steps, cosineScaleStep{})
+	}
+	if so.Mask == MaskExisting || so.Mask == MaskNew {
+		steps = append(steps, maskStep{mode: so.Mask, against: a})
+	}
+	steps = append(steps, PruneStep{Tol: so.MinScore})
+	p := &Pipeline{Name: "similarity", MaxIterations: 1, Steps: steps}
+	return NewRunner(opts).Run(ctx, p, &State{M: base, A: base.Transpose()})
+}
+
+// cosineScaleStep rescales the Gram matrix S = A·Aᵀ into cosine space:
+// S_ij / sqrt(S_ii·S_jj). Rows with zero self-overlap scale to zero (a
+// following prune drops them).
+type cosineScaleStep struct{}
+
+func (cosineScaleStep) Name() string { return "cosine-scale" }
+
+func (cosineScaleStep) Apply(st *State) error {
+	done := st.run.trace.Span(trace.PhasePipelineInflate)
+	defer done()
+	f := st.M.Diagonal()
+	for i, d := range f {
+		if d > 0 {
+			f[i] = 1 / math.Sqrt(d)
+		} else {
+			f[i] = 0
+		}
+	}
+	st.M.ScaleRows(f)
+	st.M.ScaleColumns(f)
+	return nil
+}
+
+// maskStep filters the score matrix against the original adjacency
+// pattern: MaskExisting keeps only scored pairs that are edges,
+// MaskNew keeps only scored pairs that are non-edges off the diagonal.
+type maskStep struct {
+	mode    string
+	against *sparse.CSR
+}
+
+func (s maskStep) Name() string { return "mask" }
+
+func (s maskStep) Apply(st *State) error {
+	done := st.run.trace.Span(trace.PhasePipelinePrune)
+	defer done()
+	if s.mode == MaskExisting {
+		pattern := s.against.Clone()
+		pattern.Fill(1)
+		masked, err := sparse.Hadamard(st.M, pattern)
+		if err != nil {
+			return err
+		}
+		st.M = masked
+		return nil
+	}
+	st.M = dropPattern(st.M, s.against)
+	return nil
+}
+
+// dropPattern returns m without the entries present in pat's pattern and
+// without the diagonal — the complement-mask of maskStep's MaskNew mode.
+func dropPattern(m, pat *sparse.CSR) *sparse.CSR {
+	out := sparse.NewCSR(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi, mv := m.Row(i)
+		pi, _ := pat.Row(i)
+		q := 0
+		var idx []int
+		var val []float64
+		for k, j := range mi {
+			for q < len(pi) && pi[q] < j {
+				q++
+			}
+			if (q < len(pi) && pi[q] == j) || j == i {
+				continue
+			}
+			idx = append(idx, j)
+			val = append(val, mv[k])
+		}
+		out.AppendRow(i, idx, val)
+	}
+	return out
+}

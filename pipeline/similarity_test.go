@@ -1,0 +1,156 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/blockreorg/blockreorg"
+)
+
+func TestSimilarityCommonAgainstDense(t *testing.T) {
+	a := randomCSR(testRNG(8), 25, 25, 0.2)
+	res, err := Similarity(context.Background(), a, SimilarityOptions{Measure: MeasureCommon}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.Rows
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var want float64
+			for l := 0; l < n; l++ {
+				if a.At(i, l) != 0 && a.At(j, l) != 0 {
+					want++
+				}
+			}
+			if got := res.M.At(i, j); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("common(%d,%d) = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestSimilarityCosineAgainstDense(t *testing.T) {
+	a := randomCSR(testRNG(9), 20, 30, 0.25)
+	res, err := Similarity(context.Background(), a, SimilarityOptions{Measure: MeasureCosine}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := a.ToDense()
+	n, m := a.Rows, a.Cols
+	dot := func(i, j int) float64 {
+		var s float64
+		for l := 0; l < m; l++ {
+			s += d.Data[i*m+l] * d.Data[j*m+l]
+		}
+		return s
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := dot(i, j)
+			if ni, nj := dot(i, i), dot(j, j); ni > 0 && nj > 0 {
+				want /= math.Sqrt(ni) * math.Sqrt(nj)
+			} else {
+				want = 0
+			}
+			if got := res.M.At(i, j); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("cosine(%d,%d) = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if self := res.M.At(i, i); self != 0 && math.Abs(self-1) > 1e-9 {
+			t.Fatalf("cosine(%d,%d) = %g, want 1", i, i, self)
+		}
+	}
+}
+
+func TestSimilarityMasks(t *testing.T) {
+	a := testGraph(t, 40, 160, 21)
+	existing, err := Similarity(context.Background(), a, SimilarityOptions{Mask: MaskExisting}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Rows; i++ {
+		idx, _ := existing.M.Row(i)
+		for _, j := range idx {
+			if a.At(i, j) == 0 {
+				t.Fatalf("existing-mask kept non-edge (%d,%d)", i, j)
+			}
+		}
+	}
+	fresh, err := Similarity(context.Background(), a, SimilarityOptions{Mask: MaskNew}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Rows; i++ {
+		idx, _ := fresh.M.Row(i)
+		for _, j := range idx {
+			if a.At(i, j) != 0 {
+				t.Fatalf("new-mask kept existing edge (%d,%d)", i, j)
+			}
+			if j == i {
+				t.Fatalf("new-mask kept diagonal entry %d", i)
+			}
+		}
+	}
+	// The two masks partition the unmasked off-diagonal scores (the
+	// diagonal is excluded: MaskNew always drops it, and MaskExisting only
+	// keeps self-scores where the graph stores self-loops).
+	all, err := Similarity(context.Background(), a, SimilarityOptions{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	countOffDiag := func(res *Result) int {
+		n := 0
+		for i := 0; i < res.M.Rows; i++ {
+			idx, _ := res.M.Row(i)
+			for _, j := range idx {
+				if j != i {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if got, want := countOffDiag(existing)+countOffDiag(fresh), countOffDiag(all); got != want {
+		t.Fatalf("masks split %d off-diagonal entries, want %d", got, want)
+	}
+}
+
+func TestSimilarityMinScore(t *testing.T) {
+	a := testGraph(t, 40, 160, 22)
+	res, err := Similarity(context.Background(), a, SimilarityOptions{MinScore: 1.5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Rows; i++ {
+		_, val := res.M.Row(i)
+		for _, v := range val {
+			if v <= 1.5 {
+				t.Fatalf("score %g survived MinScore 1.5", v)
+			}
+		}
+	}
+}
+
+func TestSimilarityRectangularAndInvalid(t *testing.T) {
+	ctx := context.Background()
+	rect := randomCSR(testRNG(10), 8, 20, 0.3)
+	if _, err := Similarity(ctx, rect, SimilarityOptions{}, Options{}); err != nil {
+		t.Fatalf("rectangular without mask: %v", err)
+	}
+	if _, err := Similarity(ctx, rect, SimilarityOptions{Mask: MaskNew}, Options{}); !errors.Is(err, blockreorg.ErrInvalidOptions) {
+		t.Fatal("rectangular with mask accepted")
+	}
+	if _, err := Similarity(ctx, rect, SimilarityOptions{Measure: "jaccard"}, Options{}); !errors.Is(err, blockreorg.ErrInvalidOptions) {
+		t.Fatal("unknown measure accepted")
+	}
+	if _, err := Similarity(ctx, rect, SimilarityOptions{Mask: "bogus"}, Options{}); !errors.Is(err, blockreorg.ErrInvalidOptions) {
+		t.Fatal("unknown mask accepted")
+	}
+	if _, err := Similarity(ctx, nil, SimilarityOptions{}, Options{}); !errors.Is(err, blockreorg.ErrInvalidOptions) {
+		t.Fatal("nil matrix accepted")
+	}
+}

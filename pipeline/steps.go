@@ -1,0 +1,224 @@
+package pipeline
+
+import (
+	"github.com/blockreorg/blockreorg/internal/parallel"
+	"github.com/blockreorg/blockreorg/internal/trace"
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+// ExpandStep is the spGEMM step of an iteration: M ← M·M when Square is
+// set (MCL expansion), M ← M·A against the pipeline's fixed operand
+// otherwise (power chains). The product runs through the Runner's engine
+// and plan cache and replaces the iterate.
+type ExpandStep struct {
+	Square bool
+}
+
+func (s ExpandStep) Name() string { return "expand" }
+
+func (s ExpandStep) Apply(st *State) error {
+	done := st.run.trace.Span(trace.PhasePipelineExpand)
+	defer done()
+	b := st.A
+	if s.Square {
+		b = st.M
+	}
+	if b == nil {
+		return invalidf("expand step has no right-hand operand")
+	}
+	c, err := st.multiply(st.M, b)
+	if err != nil {
+		return err
+	}
+	st.M = c
+	return nil
+}
+
+// CollapseStep projects the iterate onto the boolean semiring: every
+// stored value becomes 1, so subsequent products count reachability
+// rather than path weights. Collapsing also freezes the iterate's value
+// distribution, which is what lets a saturated reachability chain reach a
+// bit-identical fixpoint. The step is O(nnz) with no scratch, so it
+// records no span of its own.
+type CollapseStep struct{}
+
+func (CollapseStep) Name() string { return "collapse" }
+
+func (CollapseStep) Apply(st *State) error {
+	st.M.Fill(1)
+	return nil
+}
+
+// InflateStep is MCL's inflation: the Hadamard power M∘ᴿ followed by
+// column renormalization, sharpening the probability mass within each
+// column. R must be positive; R = 1 renormalizes only.
+type InflateStep struct {
+	R float64
+}
+
+func (s InflateStep) Name() string { return "inflate" }
+
+func (s InflateStep) Apply(st *State) error {
+	done := st.run.trace.Span(trace.PhasePipelineInflate)
+	defer done()
+	if s.R <= 0 {
+		return invalidf("inflation factor %v must be positive", s.R)
+	}
+	st.M.PowElements(s.R)
+	normalizeColumns(st.M)
+	return nil
+}
+
+// PruneStep drops entries at or below Tol (and the explicit zeros the
+// upstream steps produce), optionally renormalizing the surviving columns
+// so the iterate stays column-stochastic. The dropped-entry count feeds
+// the iteration stats and the pipeline_pruned_entries counter.
+type PruneStep struct {
+	Tol         float64
+	Renormalize bool
+}
+
+func (s PruneStep) Name() string { return "prune" }
+
+func (s PruneStep) Apply(st *State) error {
+	done := st.run.trace.Span(trace.PhasePipelinePrune)
+	defer done()
+	before := st.M.NNZ()
+	st.M = st.M.Prune(s.Tol)
+	dropped := before - st.M.NNZ()
+	st.Stat.Pruned += dropped
+	st.run.trace.Add(trace.CounterPipelinePruned, int64(dropped))
+	if s.Renormalize {
+		normalizeColumns(st.M)
+	}
+	return nil
+}
+
+// ChaosStep is MCL's convergence test. The chaos of a column-stochastic
+// matrix is max over columns of (max_i M_ij − Σ_i M_ij²); it reaches zero
+// exactly when every column is a point distribution, i.e. the iteration
+// has hit the doubly idempotent limit. The step stores the measure in
+// State.Delta and marks convergence when chaos ≤ Eps or the iterate is
+// bit-identical to the previous one (the idempotence fallback, which also
+// catches non-stochastic fixpoints such as the empty matrix).
+type ChaosStep struct {
+	Eps float64
+}
+
+func (s ChaosStep) Name() string { return "converge" }
+
+func (s ChaosStep) Apply(st *State) error {
+	done := st.run.trace.Span(trace.PhasePipelineConverge)
+	defer done()
+	st.Delta = chaos(st.M)
+	if st.Delta <= s.Eps || maxAbsDiff(st.M, st.Prev) == 0 {
+		st.Converged = true
+	}
+	return nil
+}
+
+// FixpointStep marks convergence when the iterate's maximum elementwise
+// change since the previous iteration (structurally absent entries count
+// as zero) is at or below Tol. With Tol = 0 it demands a bit-identical
+// fixpoint — the natural stop for boolean reachability closures.
+type FixpointStep struct {
+	Tol float64
+}
+
+func (s FixpointStep) Name() string { return "converge" }
+
+func (s FixpointStep) Apply(st *State) error {
+	done := st.run.trace.Span(trace.PhasePipelineConverge)
+	defer done()
+	st.Delta = maxAbsDiff(st.M, st.Prev)
+	if st.Delta <= s.Tol {
+		st.Converged = true
+	}
+	return nil
+}
+
+// normalizeColumns scales every column of m to unit sum in place (the
+// column-stochastic projection). Columns whose sum is zero are left
+// untouched — in a nonnegative iterate such a column stores no mass.
+func normalizeColumns(m *sparse.CSR) {
+	sums := m.ColSums()
+	for j, s := range sums {
+		if s != 0 {
+			sums[j] = 1 / s
+		} else {
+			sums[j] = 1
+		}
+	}
+	m.ScaleColumns(sums)
+}
+
+// chaos computes MCL's convergence measure with arena-pooled column
+// scratch: two dense per-column accumulators (running max and sum of
+// squares), swept once over the iterate's rows.
+func chaos(m *sparse.CSR) float64 {
+	if m.NNZ() == 0 {
+		return 0
+	}
+	colMax := parallel.GetFloats(m.Cols)
+	colSq := parallel.GetFloats(m.Cols)
+	for j := range colMax {
+		colMax[j] = 0
+		colSq[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		idx, val := m.Row(i)
+		for k, j := range idx {
+			v := val[k]
+			if v > colMax[j] {
+				colMax[j] = v
+			}
+			colSq[j] += v * v
+		}
+	}
+	var c float64
+	for j := range colMax {
+		if d := colMax[j] - colSq[j]; d > c {
+			c = d
+		}
+	}
+	parallel.PutFloats(colSq)
+	parallel.PutFloats(colMax)
+	return c
+}
+
+// maxAbsDiff returns the maximum elementwise |a − b| over the union of
+// both patterns, treating absent entries as zero. Shapes must match
+// (callers compare successive iterates of one pipeline).
+func maxAbsDiff(a, b *sparse.CSR) float64 {
+	var d float64
+	abs := func(v float64) float64 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	for i := 0; i < a.Rows; i++ {
+		ai, av := a.Row(i)
+		bi, bv := b.Row(i)
+		p, q := 0, 0
+		for p < len(ai) || q < len(bi) {
+			var diff float64
+			switch {
+			case q >= len(bi) || (p < len(ai) && ai[p] < bi[q]):
+				diff = abs(av[p])
+				p++
+			case p >= len(ai) || bi[q] < ai[p]:
+				diff = abs(bv[q])
+				q++
+			default:
+				diff = abs(av[p] - bv[q])
+				p++
+				q++
+			}
+			if diff > d {
+				d = diff
+			}
+		}
+	}
+	return d
+}

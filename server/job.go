@@ -133,6 +133,11 @@ type JobResult struct {
 	Profile *trace.Profile `json:"profile,omitempty"`
 	// Values is the product matrix, present when the request asked for it.
 	Values *COOPayload `json:"values,omitempty"`
+	// Pipeline carries the workload-level outcome of a pipeline job
+	// (POST /v1/pipeline); nil for multiply jobs. The timing fields above
+	// that describe a single simulated multiplication stay zero — a
+	// pipeline run spans many — and WallSeconds covers the whole run.
+	Pipeline *PipelineResult `json:"pipeline,omitempty"`
 }
 
 // Job states.
@@ -163,12 +168,15 @@ type JobStatus struct {
 // job is the internal unit of work. The resolved operands are pinned at
 // admission time so a poll never races a registry change, and the
 // fingerprints ride along for the plan-cache key. Mutable fields are
-// guarded by the owning store's mutex.
+// guarded by the owning store's mutex. A job is either a multiply (preq
+// nil, req populated) or a pipeline run (preq set, b nil); both flow
+// through the same queue, worker pool and lifecycle.
 type job struct {
 	id       string
 	a, b     *sparse.CSR
 	fpA, fpB uint64
 	req      MultiplyRequest
+	preq     *PipelineRequest
 	deadline time.Time
 
 	state     string
@@ -198,6 +206,22 @@ func (s *jobStore) add(a, b *sparse.CSR, fpA, fpB uint64, req MultiplyRequest, d
 		id: fmt.Sprintf("j-%d", s.next),
 		a:  a, b: b, fpA: fpA, fpB: fpB,
 		req: req, deadline: deadline,
+		state:     StateQueued,
+		completed: make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	return j
+}
+
+// addPipeline creates a queued pipeline job and assigns its id.
+func (s *jobStore) addPipeline(a *sparse.CSR, fpA uint64, preq *PipelineRequest, deadline time.Time) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	j := &job{
+		id: fmt.Sprintf("j-%d", s.next),
+		a:  a, fpA: fpA,
+		preq: preq, deadline: deadline,
 		state:     StateQueued,
 		completed: make(chan struct{}),
 	}

@@ -41,6 +41,11 @@ func (h *latencyHist) observe(v float64) {
 // Phases are finer-grained than whole jobs, so the grid starts at 100µs.
 var phaseBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
 
+// iterationBuckets are the upper bounds of the per-workload iteration
+// count histogram: convergent pipelines usually stop within a handful of
+// iterations, runaway ones pile into the tail.
+var iterationBuckets = []float64{1, 2, 3, 5, 8, 13, 21, 34, 64}
+
 // metrics aggregates the serving counters. The plan cache and queue report
 // through their own structures; everything here is job accounting.
 type metrics struct {
@@ -51,12 +56,19 @@ type metrics struct {
 	rejected  uint64
 	byAlg     map[string]*latencyHist
 	byPhase   map[string]*latencyHist
+	// Pipeline jobs: iteration counts per workload plus the runs'
+	// cross-iteration plan-cache traffic (the Runner's cache, distinct
+	// from the server's request-level plan cache reported above).
+	byWorkload       map[string]*latencyHist
+	pipelinePlanHits uint64
+	pipelinePlanMiss uint64
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		byAlg:   make(map[string]*latencyHist),
-		byPhase: make(map[string]*latencyHist),
+		byAlg:      make(map[string]*latencyHist),
+		byPhase:    make(map[string]*latencyHist),
+		byWorkload: make(map[string]*latencyHist),
 	}
 }
 
@@ -76,6 +88,21 @@ func (m *metrics) addCompleted(alg string, seconds float64) {
 		m.byAlg[alg] = h
 	}
 	h.observe(seconds)
+}
+
+// addPipeline records one completed pipeline run: its iteration count
+// under the workload's histogram and its plan-cache hit/miss traffic.
+func (m *metrics) addPipeline(workload string, iterations, hits, misses int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.byWorkload[workload]
+	if !ok {
+		h = newHist(iterationBuckets)
+		m.byWorkload[workload] = h
+	}
+	h.observe(float64(iterations))
+	m.pipelinePlanHits += uint64(hits)
+	m.pipelinePlanMiss += uint64(misses)
 }
 
 // addPhases folds one job's phase breakdown into the per-phase histograms.
@@ -145,6 +172,20 @@ func (m *metrics) write(w io.Writer, cache CacheStats, queueDepth, queueCap int)
 	fmt.Fprintf(w, "spgemmd_arena_gets_total %d\n", ps.ArenaGets)
 	fmt.Fprintf(w, "# TYPE spgemmd_arena_allocs_total counter\n")
 	fmt.Fprintf(w, "spgemmd_arena_allocs_total %d\n", ps.ArenaNews)
+
+	fmt.Fprintf(w, "# TYPE spgemmd_pipeline_plan_hits_total counter\n")
+	fmt.Fprintf(w, "spgemmd_pipeline_plan_hits_total %d\n", m.pipelinePlanHits)
+	fmt.Fprintf(w, "# TYPE spgemmd_pipeline_plan_misses_total counter\n")
+	fmt.Fprintf(w, "spgemmd_pipeline_plan_misses_total %d\n", m.pipelinePlanMiss)
+	workloads := make([]string, 0, len(m.byWorkload))
+	for wl := range m.byWorkload {
+		workloads = append(workloads, wl)
+	}
+	sort.Strings(workloads)
+	fmt.Fprintf(w, "# TYPE spgemmd_pipeline_iterations histogram\n")
+	for _, wl := range workloads {
+		writeHist(w, "spgemmd_pipeline_iterations", "workload", wl, m.byWorkload[wl])
+	}
 
 	algs := make([]string, 0, len(m.byAlg))
 	for alg := range m.byAlg {

@@ -1,0 +1,225 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+// submitPipeline posts a pipeline request and returns the job id,
+// requiring 202.
+func submitPipeline(t *testing.T, base string, req PipelineRequest) string {
+	t.Helper()
+	var accepted map[string]string
+	resp := postJSON(t, base+"/v1/pipeline", req, &accepted)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit pipeline: got status %d, want 202", resp.StatusCode)
+	}
+	if accepted["job"] == "" {
+		t.Fatal("submit pipeline: empty job id")
+	}
+	return accepted["job"]
+}
+
+// testCommunity registers a small symmetrized R-MAT graph under the name.
+func testCommunity(t *testing.T, reg *Registry, name string, seed uint64) *sparse.CSR {
+	t.Helper()
+	g := testNetwork(t, 96, 384, seed)
+	g, err := g.Symmetrize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Fill(1)
+	if _, err := reg.Register(name, g); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPipelineMCLEndToEnd(t *testing.T) {
+	reg := NewRegistry()
+	testCommunity(t, reg, "net", 5)
+	_, ts := newTestServer(t, Config{Workers: 1}, reg)
+
+	id := submitPipeline(t, ts.URL, PipelineRequest{
+		A:        Operand{Name: "net"},
+		Workload: WorkloadMCL,
+		Profile:  true,
+	})
+	st := pollDone(t, ts.URL, id)
+	if st.State != StateDone {
+		t.Fatalf("job state %s (%s: %s)", st.State, st.ErrorKind, st.Error)
+	}
+	p := st.Result.Pipeline
+	if p == nil {
+		t.Fatal("pipeline job carries no pipeline result")
+	}
+	if p.Workload != WorkloadMCL || !p.Converged || p.Iterations < 1 {
+		t.Fatalf("unexpected pipeline outcome: %+v", p)
+	}
+	if len(p.Clusters) != 96 || p.NumClusters < 1 {
+		t.Fatalf("MCL returned %d cluster entries, %d clusters", len(p.Clusters), p.NumClusters)
+	}
+	if len(p.Iters) != p.Iterations {
+		t.Fatalf("%d iteration stats for %d iterations", len(p.Iters), p.Iterations)
+	}
+	if p.PlanHits+p.PlanMisses != p.Iterations {
+		t.Fatalf("plan traffic %d+%d does not cover %d iterations", p.PlanHits, p.PlanMisses, p.Iterations)
+	}
+	if st.Result.Profile == nil {
+		t.Fatal("profile requested but absent")
+	}
+	seen := false
+	for _, ph := range st.Result.Profile.Phases {
+		if strings.HasPrefix(ph.Phase, "pipeline.") {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("profile has no pipeline.* spans")
+	}
+}
+
+func TestPipelinePowerPlanHitsVisibleInMetrics(t *testing.T) {
+	reg := NewRegistry()
+	// A structurally full matrix keeps its pattern under powering, so a
+	// k-iteration chain must report k−1 plan hits all the way out to the
+	// Prometheus surface.
+	n := 16
+	coo := sparse.NewCOO(n, n, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			coo.Add(i, j, float64(i+j+1))
+		}
+	}
+	if _, err := reg.Register("full", coo.ToCSR()); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 1}, reg)
+
+	id := submitPipeline(t, ts.URL, PipelineRequest{
+		A:        Operand{Name: "full"},
+		Workload: WorkloadPower,
+		K:        5,
+	})
+	st := pollDone(t, ts.URL, id)
+	if st.State != StateDone {
+		t.Fatalf("job state %s (%s: %s)", st.State, st.ErrorKind, st.Error)
+	}
+	p := st.Result.Pipeline
+	if p.Iterations != 4 {
+		t.Fatalf("A^5 ran %d iterations, want 4", p.Iterations)
+	}
+	if p.PlanHits < p.Iterations-1 {
+		t.Fatalf("got %d plan hits over %d iterations, want >= %d", p.PlanHits, p.Iterations, p.Iterations-1)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"spgemmd_pipeline_plan_hits_total 3",
+		"spgemmd_pipeline_plan_misses_total 1",
+		`spgemmd_pipeline_iterations_count{workload="power"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output is missing %q", want)
+		}
+	}
+}
+
+func TestPipelineSimilarityReturnValues(t *testing.T) {
+	reg := NewRegistry()
+	testCommunity(t, reg, "net", 9)
+	_, ts := newTestServer(t, Config{Workers: 1}, reg)
+
+	id := submitPipeline(t, ts.URL, PipelineRequest{
+		A:            Operand{Name: "net"},
+		Workload:     WorkloadSimilarity,
+		Mask:         "new",
+		ReturnValues: true,
+	})
+	st := pollDone(t, ts.URL, id)
+	if st.State != StateDone {
+		t.Fatalf("job state %s (%s: %s)", st.State, st.ErrorKind, st.Error)
+	}
+	if st.Result.Values == nil {
+		t.Fatal("values requested but absent")
+	}
+	if st.Result.Pipeline.NNZ != len(st.Result.Values.I) {
+		t.Fatalf("payload has %d entries, result reports %d", len(st.Result.Values.I), st.Result.Pipeline.NNZ)
+	}
+}
+
+func TestPipelineAdmissionValidation(t *testing.T) {
+	reg := NewRegistry()
+	testCommunity(t, reg, "net", 11)
+	rect := sparse.NewCSR(4, 7)
+	if _, err := reg.Register("rect", rect); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 1}, reg)
+
+	cases := []struct {
+		name string
+		req  PipelineRequest
+	}{
+		{"missing workload", PipelineRequest{A: Operand{Name: "net"}}},
+		{"unknown workload", PipelineRequest{A: Operand{Name: "net"}, Workload: "pagerank"}},
+		{"unknown matrix", PipelineRequest{A: Operand{Name: "ghost"}, Workload: WorkloadMCL}},
+		{"rectangular mcl", PipelineRequest{A: Operand{Name: "rect"}, Workload: WorkloadMCL}},
+		{"rectangular masked similarity", PipelineRequest{A: Operand{Name: "rect"}, Workload: WorkloadSimilarity, Mask: "new"}},
+		{"negative k", PipelineRequest{A: Operand{Name: "net"}, Workload: WorkloadPower, K: -2}},
+		{"negative inflation", PipelineRequest{A: Operand{Name: "net"}, Workload: WorkloadMCL, Inflation: -1}},
+		{"unknown algorithm", PipelineRequest{A: Operand{Name: "net"}, Workload: WorkloadMCL, Algorithm: "magic"}},
+		{"unknown gpu", PipelineRequest{A: Operand{Name: "net"}, Workload: WorkloadMCL, GPU: "abacus"}},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, ts.URL+"/v1/pipeline", tc.req, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: got status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+func TestPipelineTimeoutCancels(t *testing.T) {
+	reg := NewRegistry()
+	testCommunity(t, reg, "net", 13)
+	_, ts := newTestServer(t, Config{Workers: 1}, reg)
+
+	id := submitPipeline(t, ts.URL, PipelineRequest{
+		A:             Operand{Name: "net"},
+		Workload:      WorkloadMCL,
+		MaxIterations: 64,
+		TimeoutMillis: 1,
+	})
+	st := pollDone(t, ts.URL, id)
+	if st.State != StateFailed || st.ErrorKind != FailTimeout {
+		t.Fatalf("got state %s kind %s, want failed/timeout", st.State, st.ErrorKind)
+	}
+}
+
+func TestPipelineRejectedWhileDraining(t *testing.T) {
+	reg := NewRegistry()
+	testCommunity(t, reg, "net", 17)
+	s, ts := newTestServer(t, Config{Workers: 1}, reg)
+	if err := s.Shutdown(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	resp := postJSON(t, ts.URL+"/v1/pipeline", PipelineRequest{
+		A: Operand{Name: "net"}, Workload: WorkloadMCL,
+	}, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit: got status %d, want 503", resp.StatusCode)
+	}
+}

@@ -130,6 +130,7 @@ func New(cfg Config, reg *Registry) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/matrices", s.handleListMatrices)
 	s.mux.HandleFunc("POST /v1/matrices", s.handleRegisterMatrix)
 	s.mux.HandleFunc("POST /v1/multiply", s.handleMultiply)
+	s.mux.HandleFunc("POST /v1/pipeline", s.handlePipeline)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	// Standard Go runtime profiling endpoints (net/http/pprof). The index
 	// route also serves the named profiles (heap, goroutine, block, ...);
@@ -224,6 +225,10 @@ func (s *Server) enqueue(j *job) error {
 
 // runJob executes one admitted job on the worker's device.
 func (s *Server) runJob(j *job, workerGPU string) {
+	if j.preq != nil {
+		s.runPipelineJob(j, workerGPU)
+		return
+	}
 	start := time.Now()
 	if !time.Now().Before(j.deadline) {
 		s.jobs.fail(j, FailTimeout, "deadline expired while queued")

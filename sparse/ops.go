@@ -66,8 +66,20 @@ func Hadamard(a, b *CSR) (*CSR, error) {
 }
 
 // Prune returns a copy of m without entries whose absolute value is at or
-// below tol. Prune(0) drops exact zeros only.
+// below the tolerance.
+//
+// Tolerance semantics: an entry survives exactly when |v| > max(tol, 0).
+// The threshold test is strict, so Prune(0) drops exact zeros only, and a
+// negative tolerance is clamped to zero rather than widening the keep set
+// — explicit zeros produced upstream (cancellation in a multiply chain,
+// inflation of a zero, a masked-out entry) never survive any Prune call.
+// NaN entries fail every comparison and are dropped too, so a pruned
+// matrix stores finite nonzeros only (±Inf entries, which compare above
+// every tolerance, are kept).
 func (m *CSR) Prune(tol float64) *CSR {
+	if tol < 0 {
+		tol = 0
+	}
 	c := NewCSR(m.Rows, m.Cols)
 	for i := 0; i < m.Rows; i++ {
 		idx, val := m.Row(i)
@@ -116,6 +128,38 @@ func (m *CSR) ScaleRows(f []float64) {
 		for k := m.Ptr[i]; k < m.Ptr[i+1]; k++ {
 			m.Val[k] *= f[i]
 		}
+	}
+}
+
+// ScaleColumns multiplies column j by f[j] in place. The factor slice must
+// have one entry per column.
+func (m *CSR) ScaleColumns(f []float64) {
+	for k := range m.Val {
+		m.Val[k] *= f[m.Idx[k]]
+	}
+}
+
+// ColSums returns the sum of each column's values — the normalization
+// vector of a column-stochastic iteration (MCL's inflation step divides
+// every column by its sum).
+func (m *CSR) ColSums() []float64 {
+	out := make([]float64, m.Cols)
+	for k := range m.Val {
+		out[m.Idx[k]] += m.Val[k]
+	}
+	return out
+}
+
+// PowElements raises every stored value to the power p in place: the
+// Hadamard power M∘ᵖ that MCL's inflation applies before renormalizing.
+// Exponentiating negative entries to fractional powers produces NaN, which
+// a following Prune drops; p = 1 is a no-op.
+func (m *CSR) PowElements(p float64) {
+	if p == 1 {
+		return
+	}
+	for k := range m.Val {
+		m.Val[k] = math.Pow(m.Val[k], p)
 	}
 }
 

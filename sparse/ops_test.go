@@ -193,3 +193,122 @@ func TestSymmetrize(t *testing.T) {
 		t.Fatal("rectangular symmetrize accepted")
 	}
 }
+
+func TestScaleColumnsAgainstDense(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := testRNG(seed)
+		n := 1 + rng.IntN(15)
+		m := 1 + rng.IntN(15)
+		a := randomCSR(rng, n, m, 0.3)
+		factors := make([]float64, m)
+		for j := range factors {
+			factors[j] = rng.NormFloat64()
+		}
+		want := a.ToDense()
+		a.ScaleColumns(factors)
+		if a.Validate() != nil {
+			return false
+		}
+		got := a.ToDense()
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				if math.Abs(want.Data[i*m+j]*factors[j]-got.Data[i*m+j]) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColSumsAgainstDense(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := testRNG(seed)
+		n := 1 + rng.IntN(15)
+		m := 1 + rng.IntN(15)
+		a := randomCSR(rng, n, m, 0.3)
+		d := a.ToDense()
+		sums := a.ColSums()
+		if len(sums) != m {
+			return false
+		}
+		for j := 0; j < m; j++ {
+			var want float64
+			for i := 0; i < n; i++ {
+				want += d.Data[i*m+j]
+			}
+			if math.Abs(want-sums[j]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowElementsAgainstDense(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := testRNG(seed)
+		n := 1 + rng.IntN(15)
+		a := randomCSR(rng, n, n, 0.35)
+		for k := range a.Val {
+			a.Val[k] = math.Abs(a.Val[k]) // keep fractional powers real
+		}
+		p := 0.5 + 3*rng.Float64()
+		want := a.ToDense()
+		a.PowElements(p)
+		if a.Validate() != nil {
+			return false
+		}
+		got := a.ToDense()
+		for k := range want.Data {
+			w := want.Data[k]
+			if w != 0 {
+				w = math.Pow(w, p)
+			}
+			if math.Abs(w-got.Data[k]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowElementsIdentityPower(t *testing.T) {
+	m := &CSR{Rows: 1, Cols: 3, Ptr: []int{0, 3}, Idx: []int{0, 1, 2}, Val: []float64{-2, 0, 3}}
+	m.PowElements(1)
+	if m.Val[0] != -2 || m.Val[1] != 0 || m.Val[2] != 3 {
+		t.Fatalf("PowElements(1) changed values: %v", m.Val)
+	}
+}
+
+func TestPruneDropsExplicitZerosAndNaNs(t *testing.T) {
+	// Explicit zeros (e.g. cancellation upstream) must never survive, even
+	// with a negative tolerance, and NaNs are dropped too.
+	m := &CSR{
+		Rows: 2, Cols: 3,
+		Ptr: []int{0, 3, 5},
+		Idx: []int{0, 1, 2, 0, 2},
+		Val: []float64{0, 1e-9, math.NaN(), -0.0, math.Inf(1)},
+	}
+	for _, tol := range []float64{-1, -1e-300, 0} {
+		p := m.Prune(tol)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if p.NNZ() != 2 {
+			t.Fatalf("Prune(%v) kept %d entries, want 2 (1e-9 and +Inf)", tol, p.NNZ())
+		}
+		if p.At(0, 1) != 1e-9 || !math.IsInf(p.At(1, 2), 1) {
+			t.Fatalf("Prune(%v) kept wrong entries", tol)
+		}
+	}
+}
