@@ -7,19 +7,25 @@
 #   1. gofmt         — no unformatted files
 #   2. go vet        — the standard analyzers
 #   3. blockreorg-vet — the project-specific analyzers (see internal/analysis)
-#   4. go test -race — the invariant-heavy packages under the race detector,
+#   4. vet allowlist  — blockreorg-vet -json diffed against the committed
+#                      vet_allowlist.json (empty), so any new finding fails
+#                      the build with a parseable, file:line diagnostic
+#   5. go test -race — the invariant-heavy packages under the race detector,
 #                      with BLOCKREORG_PARANOID=1 so every multiplication in
 #                      those suites runs the deep sanitizer layer
-#   5. examples       — every runnable Example function executes with its
+#   6. examples       — every runnable Example function executes with its
 #                      Output pinned, and every example program compiles,
 #                      so the documented code paths cannot drift from the
 #                      API (docs/CLI.md and the godoc examples are tested,
 #                      not trusted)
-#   6. bench smoke    — every benchmark once with -benchmem, so a change
+#   7. bench smoke    — every benchmark once with -benchmem, so a change
 #                      that breaks a measured path (or its setup) fails
 #                      here instead of silently disappearing from the
-#                      perf record
-#   7. graphrun smoke — genmat generates a small R-MAT network and graphrun
+#                      perf record. Skipped with a loud warning on hosts
+#                      with fewer than 4 CPUs: a 1-CPU "speedup" is noise
+#                      that poisons the perf record (see EXPERIMENTS.md,
+#                      "Hardware baseline")
+#   8. graphrun smoke — genmat generates a small R-MAT network and graphrun
 #                      clusters it end to end, so the CLI wiring from file
 #                      input through the pipeline engine stays exercised
 #
@@ -42,6 +48,17 @@ go vet ./...
 echo "==> blockreorg-vet"
 go run ./cmd/blockreorg-vet ./...
 
+echo "==> blockreorg-vet -json (allowlist diff)"
+vet_json=$(mktemp)
+go run ./cmd/blockreorg-vet -json ./... >"$vet_json" || true
+if ! diff -u vet_allowlist.json "$vet_json"; then
+    echo "blockreorg-vet findings diverge from vet_allowlist.json" >&2
+    echo "(fix the findings, or suppress with a reasoned //vet:ignore)" >&2
+    rm -f "$vet_json"
+    exit 1
+fi
+rm -f "$vet_json"
+
 echo "==> go test -race (paranoid)"
 BLOCKREORG_PARANOID=1 go test -race . ./internal/core/... ./internal/gpusim/... ./internal/trace/... ./sparse/... ./server/... ./pipeline/...
 
@@ -52,7 +69,14 @@ for ex in ./examples/*/; do
 done
 
 echo "==> bench smoke (every benchmark once)"
-go test -run '^$' -bench . -benchtime 1x -benchmem ./...
+cores=${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}
+if [ "$cores" -lt 4 ]; then
+    echo "WARNING: bench smoke SKIPPED — only $cores CPU(s) available, need >= 4." >&2
+    echo "WARNING: parallel 'speedups' measured on a starved host are noise and" >&2
+    echo "WARNING: must not enter the perf record; see EXPERIMENTS.md, 'Hardware baseline'." >&2
+else
+    go test -run '^$' -bench . -benchtime 1x -benchmem ./...
+fi
 
 echo "==> graphrun smoke (genmat R-MAT -> MCL clustering)"
 smoke_dir=$(mktemp -d)

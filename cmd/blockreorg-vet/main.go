@@ -2,19 +2,26 @@
 // module containing the working directory. It encodes the structural
 // invariants of the Block Reorganizer that go vet cannot see: sparse
 // storage encapsulation, nnz arithmetic width, kernel validation gates,
-// and seeded randomness. See the internal/analysis package documentation
-// for the rule catalogue.
+// seeded randomness, and the CFG-based concurrency rules (lock-hold
+// regions, context flow, goroutine joins, span pairing, arena
+// lifetimes). See the internal/analysis package documentation for the
+// rule catalogue.
 //
 // Usage:
 //
-//	blockreorg-vet [-only rule[,rule]] [-list] [packages]
+//	blockreorg-vet [-only rule[,rule]] [-json] [-list] [packages]
 //
-// Packages default to ./... relative to the module root. The exit status
-// is 1 when any finding is reported, so the command slots directly into
-// CI (see ci.sh).
+// Packages default to ./... relative to the module root. With -json the
+// findings are emitted to stdout as a JSON array of
+// {file, line, col, rule, message} objects — file paths relative to the
+// module root — for CI annotation and allowlist diffing; an empty run
+// emits []. Sites silenced by //vet:ignore directives are counted in
+// the stderr summary either way. The exit status is 1 when any finding
+// is reported, so the command slots directly into CI (see ci.sh).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,11 +35,21 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonFinding is the machine-readable diagnostic shape.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
 func run(argv []string, stdout, stderr *os.File) int {
 	flags := flag.NewFlagSet("blockreorg-vet", flag.ContinueOnError)
 	flags.SetOutput(stderr)
 	list := flags.Bool("list", false, "list the analyzers and exit")
 	only := flags.String("only", "", "comma-separated analyzer names to run (default all)")
+	asJSON := flags.Bool("json", false, "emit findings as a JSON array on stdout")
 	if err := flags.Parse(argv); err != nil {
 		return 2
 	}
@@ -44,7 +61,9 @@ func run(argv []string, stdout, stderr *os.File) int {
 	}
 	enabled := map[string]bool{}
 	if *only != "" {
-		known := map[string]bool{}
+		// "vetignore" is the pseudo-analyzer reporting malformed
+		// suppression directives; it is selectable like any rule.
+		known := map[string]bool{"vetignore": true}
 		for _, a := range analysis.All() {
 			known[a.Name] = true
 		}
@@ -71,15 +90,46 @@ func run(argv []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "blockreorg-vet: %v\n", err)
 		return 2
 	}
-	findings := analysis.RunAll(passes, enabled)
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	res := analysis.RunAllResult(passes, enabled)
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(res.Findings))
+		for _, f := range res.Findings {
+			out = append(out, jsonFinding{
+				File:    moduleRel(root, f.Pos.Filename),
+				Line:    f.Pos.Line,
+				Col:     f.Pos.Column,
+				Rule:    f.Analyzer,
+				Message: f.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "blockreorg-vet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range res.Findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(stderr, "blockreorg-vet: %d finding(s)\n", len(findings))
+	if len(res.Findings) > 0 || len(res.Suppressed) > 0 {
+		fmt.Fprintf(stderr, "blockreorg-vet: %d finding(s), %d suppressed\n",
+			len(res.Findings), len(res.Suppressed))
+	}
+	if len(res.Findings) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// moduleRel renders a finding path relative to the module root, so the
+// JSON output is stable across checkouts.
+func moduleRel(root, filename string) string {
+	if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
 }
 
 // findModuleRoot walks upward from the working directory to the nearest

@@ -27,6 +27,10 @@ type Pass struct {
 	PkgName string
 	Pkg     *types.Package
 	Info    *types.Info
+
+	// facts caches the per-function CFG/mutex/call tables shared by the
+	// path-sensitive rules; built lazily by Facts().
+	facts *Facts
 }
 
 // position resolves a node's source position.
@@ -53,23 +57,57 @@ func All() []*Analyzer {
 		SeededRandAnalyzer(),
 		ScratchMakeAnalyzer(),
 		PkgDocAnalyzer(),
+		LockHeldAnalyzer(),
+		CtxFlowAnalyzer(),
+		GoroLeakAnalyzer(),
+		SpanPairAnalyzer(),
+		PoolReturnAnalyzer(),
 	}
 }
 
+// Result is the full outcome of a run: the findings to report, and the
+// findings a //vet:ignore directive suppressed (kept so drivers can
+// report a suppression count instead of silently dropping them).
+type Result struct {
+	Findings   []Finding
+	Suppressed []Finding
+}
+
 // RunAll applies every analyzer (or the named subset) to every pass and
-// returns the findings in source order.
+// returns the unsuppressed findings in source order. Wrapper around
+// RunAllResult for callers that don't report suppression counts.
 func RunAll(passes []*Pass, only map[string]bool) []Finding {
-	var out []Finding
+	return RunAllResult(passes, only).Findings
+}
+
+// RunAllResult applies every analyzer (or the named subset) to every
+// pass, honors //vet:ignore directives, and returns both lists in
+// source order. Malformed directives surface as "vetignore" findings.
+func RunAllResult(passes []*Pass, only map[string]bool) Result {
+	var raw []Finding
 	for _, a := range All() {
 		if len(only) > 0 && !only[a.Name] {
 			continue
 		}
 		for _, p := range passes {
-			out = append(out, a.Run(p)...)
+			raw = append(raw, a.Run(p)...)
 		}
 	}
-	sortFindings(out)
-	return out
+	var dirs []*directive
+	var bad []Finding
+	for _, p := range passes {
+		d, b := p.directives()
+		dirs = append(dirs, d...)
+		// Malformed directives are findings of the "vetignore"
+		// pseudo-analyzer and honor the subset filter like any rule.
+		if len(only) == 0 || only["vetignore"] {
+			bad = append(bad, b...)
+		}
+	}
+	kept, suppressed := applySuppressions(raw, dirs, bad)
+	sortFindings(kept)
+	sortFindings(suppressed)
+	return Result{Findings: kept, Suppressed: suppressed}
 }
 
 // sortFindings orders findings by file, line, column, analyzer.

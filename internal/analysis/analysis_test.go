@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -62,6 +64,16 @@ func TestAnalyzers(t *testing.T) {
 		{"pkgdoc", "pkgdocbad", 1, "no package documentation"},
 		{"pkgdoc", "pkgdocprefix", 1, "godoc convention"},
 		{"pkgdoc", "pkgdocok", 0, ""},
+		{"lockheld", "lockheldbad", 4, "held across"},
+		{"lockheld", "lockheldok", 0, ""},
+		{"ctxflow", "ctxflowbad", 4, "discards the caller's context"},
+		{"ctxflow", "ctxflowok", 0, ""},
+		{"goroleak", "goroleakbad", 3, "without signaling"},
+		{"goroleak", "goroleakok", 0, ""},
+		{"spanpair", "spanpairbad", 3, "never closed"},
+		{"spanpair", "spanpairok", 0, ""},
+		{"poolreturn", "poolreturnbad", 3, "not released"},
+		{"poolreturn", "poolreturnok", 0, ""},
 	}
 	for _, c := range cases {
 		got := findingsFor(all, c.analyzer, c.pkgDir)
@@ -141,6 +153,74 @@ func TestFindingsSorted(t *testing.T) {
 			t.Fatalf("findings out of order at %d: %v before %v", i, fs[i-1], fs[i])
 		}
 	}
+}
+
+// TestSuppression checks the //vet:ignore contract: covered findings
+// move to the suppressed list, and malformed directives are themselves
+// findings.
+func TestSuppression(t *testing.T) {
+	passes := loadFixture(t)
+	res := RunAllResult(passes, nil)
+	for _, rule := range []string{"poolreturn", "goroleak"} {
+		if got := findingsFor(res.Findings, rule, "suppressok"); len(got) != 0 {
+			t.Errorf("%s finding reported despite directive: %v", rule, got)
+		}
+	}
+	sup := 0
+	for _, f := range res.Suppressed {
+		if strings.Contains(filepath.ToSlash(f.Pos.Filename), "/suppressok/") {
+			sup++
+		}
+	}
+	if sup != 2 {
+		t.Errorf("want 2 suppressed findings in suppressok, got %d: %v", sup, res.Suppressed)
+	}
+	if got := findingsFor(res.Findings, "vetignore", "suppressbad"); len(got) != 2 {
+		t.Errorf("want 2 malformed-directive findings in suppressbad, got %d: %v", len(got), got)
+	}
+	// The compatibility wrapper drops the suppressed findings too.
+	for _, f := range RunAll(passes, nil) {
+		if strings.Contains(filepath.ToSlash(f.Pos.Filename), "/suppressok/") {
+			t.Errorf("RunAll leaked a suppressed finding: %v", f)
+		}
+	}
+}
+
+// TestFindingsGolden pins the full fixture run — every finding, in the
+// deterministic file:line:col order — against a committed golden. Run
+// with UPDATE_GOLDEN=1 to regenerate after intentional rule changes.
+func TestFindingsGolden(t *testing.T) {
+	passes := loadFixture(t)
+	res := RunAllResult(passes, nil)
+	var b strings.Builder
+	for _, f := range res.Findings {
+		fmt.Fprintf(&b, "%s:%d:%d: [%s] %s\n",
+			vetmodRel(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	}
+	got := b.String()
+	golden := filepath.Join("testdata", "findings_golden.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("findings diverge from golden (UPDATE_GOLDEN=1 regenerates):\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// vetmodRel strips everything up to the fixture module root, so the
+// golden is machine-independent.
+func vetmodRel(filename string) string {
+	s := filepath.ToSlash(filename)
+	if i := strings.Index(s, "testdata/vetmod/"); i >= 0 {
+		return s[i+len("testdata/vetmod/"):]
+	}
+	return s
 }
 
 // TestPatternSelection checks Load's package pattern matching.

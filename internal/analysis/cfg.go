@@ -1,0 +1,446 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A CFG is a lightweight statement-level control-flow graph for one
+// function body. Every executable statement becomes one Node; compound
+// statements (if, for, switch, select) contribute a header node whose
+// successors are the entries of their branches, and their nested bodies
+// contribute their own nodes. The graph is intraprocedural: function
+// literals nested in the body are separate functions with separate CFGs
+// (see Facts), and their statements never appear here.
+//
+// The builder handles the full statement grammar the project uses:
+// if/else chains, for and range loops (including labeled break and
+// continue), switch, type switch, select (each comm clause is a node, so
+// rules can see sends and receives chosen by a select), defer, and early
+// returns. Statements that cannot complete — panic, os.Exit, log.Fatal*,
+// runtime.Goexit — get no successors, so paths through them never reach
+// Exit and "on all paths to exit" rules ignore them. goto is treated the
+// same way (the project bans it stylistically; no rule depends on it).
+type CFG struct {
+	// Entry is the first executable node (Exit for an empty body).
+	Entry *Node
+	// Exit is the single synthetic exit node (Stmt == nil). Falling off
+	// the end of the body, and every return statement, leads here.
+	Exit *Node
+	// Nodes lists every node except Exit, in construction order.
+	Nodes []*Node
+}
+
+// Node is one statement in a CFG.
+type Node struct {
+	// Stmt is the statement this node executes: the header only, for
+	// compound statements (an *ast.IfStmt node evaluates Init and Cond;
+	// its branches are separate nodes). Nil exactly for CFG.Exit. Clause
+	// nodes carry the *ast.CaseClause / *ast.CommClause itself.
+	Stmt ast.Stmt
+	// Succs are the possible successors.
+	Succs []*Node
+}
+
+// Pos returns the node's source position anchor.
+func (n *Node) Pos() token.Pos { return n.Stmt.Pos() }
+
+// buildCFG constructs the CFG of one function body.
+func buildCFG(body *ast.BlockStmt) *CFG {
+	g := &CFG{Exit: &Node{}}
+	b := &cfgBuilder{g: g, labels: map[string]*loopTargets{}}
+	g.Entry = b.stmts(body.List, g.Exit)
+	return g
+}
+
+// loopTargets records where break and continue jump for one enclosing
+// loop, switch or select (continueTo is nil for the latter two).
+type loopTargets struct {
+	breakTo    *Node
+	continueTo *Node
+}
+
+type cfgBuilder struct {
+	g *CFG
+	// loops is the stack of enclosing break/continue scopes, innermost
+	// last. labels maps label names to their statement's scope.
+	loops  []*loopTargets
+	labels map[string]*loopTargets
+	// pendingLabel is the label naming the next loop/switch built, so a
+	// labeled break or continue can find it.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) node(s ast.Stmt) *Node {
+	n := &Node{Stmt: s}
+	b.g.Nodes = append(b.g.Nodes, n)
+	return n
+}
+
+// stmts builds the list back to front so each statement knows its
+// successor, returning the entry node of the list (succ when empty).
+func (b *cfgBuilder) stmts(list []ast.Stmt, succ *Node) *Node {
+	for i := len(list) - 1; i >= 0; i-- {
+		succ = b.stmt(list[i], succ)
+	}
+	return succ
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, succ *Node) *Node {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, succ)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		entry := b.stmt(s.Stmt, succ)
+		b.pendingLabel = ""
+		return entry
+
+	case *ast.IfStmt:
+		n := b.node(s)
+		n.Succs = append(n.Succs, b.stmts(s.Body.List, succ))
+		if s.Else != nil {
+			n.Succs = append(n.Succs, b.stmt(s.Else, succ))
+		} else {
+			n.Succs = append(n.Succs, succ)
+		}
+		return n
+
+	case *ast.ForStmt:
+		n := b.node(s)
+		lt := &loopTargets{breakTo: succ, continueTo: n}
+		b.pushScope(lt)
+		body := b.stmts(s.Body.List, n)
+		b.popScope()
+		n.Succs = append(n.Succs, body)
+		if s.Cond != nil {
+			// A conditional loop can be skipped entirely.
+			n.Succs = append(n.Succs, succ)
+		}
+		return n
+
+	case *ast.RangeStmt:
+		n := b.node(s)
+		lt := &loopTargets{breakTo: succ, continueTo: n}
+		b.pushScope(lt)
+		body := b.stmts(s.Body.List, n)
+		b.popScope()
+		n.Succs = append(n.Succs, body, succ)
+		return n
+
+	case *ast.SwitchStmt:
+		return b.switchLike(s, caseClauses(s.Body), true, succ)
+
+	case *ast.TypeSwitchStmt:
+		return b.switchLike(s, caseClauses(s.Body), false, succ)
+
+	case *ast.SelectStmt:
+		n := b.node(s)
+		lt := &loopTargets{breakTo: succ}
+		b.pushScope(lt)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			cn := b.node(cc)
+			cn.Succs = append(cn.Succs, b.stmts(cc.Body, succ))
+			n.Succs = append(n.Succs, cn)
+		}
+		b.popScope()
+		if len(n.Succs) == 0 {
+			// select{} blocks forever; no successors.
+			n.Succs = nil
+		}
+		return n
+
+	case *ast.ReturnStmt:
+		n := b.node(s)
+		n.Succs = append(n.Succs, b.g.Exit)
+		return n
+
+	case *ast.BranchStmt:
+		n := b.node(s)
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.target(s.Label); t != nil && t.breakTo != nil {
+				n.Succs = append(n.Succs, t.breakTo)
+			}
+		case token.CONTINUE:
+			if t := b.target(s.Label); t != nil && t.continueTo != nil {
+				n.Succs = append(n.Succs, t.continueTo)
+			}
+		case token.FALLTHROUGH:
+			// Resolved by switchLike, which rewires fallthrough nodes to
+			// the next clause once all clauses exist.
+		case token.GOTO:
+			// Treated as terminating (see the type comment).
+		}
+		return n
+
+	default:
+		// Simple statements: expr, assign, decl, send, inc/dec, defer,
+		// go, empty. A statement that provably never returns terminates
+		// its path.
+		n := b.node(s)
+		if !isTerminalStmt(s) {
+			n.Succs = append(n.Succs, succ)
+		}
+		return n
+	}
+}
+
+// switchLike builds a switch or type switch: the header node branches to
+// each clause node, clause nodes enter their bodies, bodies flow to succ.
+// A switch without a default clause can fall through to succ directly.
+func (b *cfgBuilder) switchLike(header ast.Stmt, clauses []*ast.CaseClause, allowFallthrough bool, succ *Node) *Node {
+	n := b.node(header)
+	lt := &loopTargets{breakTo: succ}
+	b.pushScope(lt)
+	hasDefault := false
+	// Build back to front so fallthrough can target the next clause's
+	// body entry.
+	entries := make([]*Node, len(clauses))
+	bodies := make([]*Node, len(clauses))
+	for i := len(clauses) - 1; i >= 0; i-- {
+		cc := clauses[i]
+		if cc.List == nil {
+			hasDefault = true
+		}
+		cn := b.node(cc)
+		body := b.stmts(cc.Body, succ)
+		cn.Succs = append(cn.Succs, body)
+		entries[i] = cn
+		bodies[i] = body
+	}
+	if allowFallthrough {
+		for i, cc := range clauses {
+			if i+1 < len(clauses) {
+				rewireFallthrough(b.g, cc, bodies[i+1])
+			}
+		}
+	}
+	b.popScope()
+	for _, e := range entries {
+		n.Succs = append(n.Succs, e)
+	}
+	if !hasDefault {
+		n.Succs = append(n.Succs, succ)
+	}
+	return n
+}
+
+// rewireFallthrough points the clause's trailing fallthrough node (if
+// any) at the next clause's body entry.
+func rewireFallthrough(g *CFG, cc *ast.CaseClause, next *Node) {
+	if len(cc.Body) == 0 {
+		return
+	}
+	last, ok := cc.Body[len(cc.Body)-1].(*ast.BranchStmt)
+	if !ok || last.Tok != token.FALLTHROUGH {
+		return
+	}
+	for _, n := range g.Nodes {
+		if n.Stmt == ast.Stmt(last) {
+			n.Succs = append(n.Succs, next)
+			return
+		}
+	}
+}
+
+func caseClauses(body *ast.BlockStmt) []*ast.CaseClause {
+	out := make([]*ast.CaseClause, 0, len(body.List))
+	for _, s := range body.List {
+		if cc, ok := s.(*ast.CaseClause); ok {
+			out = append(out, cc)
+		}
+	}
+	return out
+}
+
+func (b *cfgBuilder) pushScope(lt *loopTargets) {
+	b.loops = append(b.loops, lt)
+	if b.pendingLabel != "" {
+		b.labels[b.pendingLabel] = lt
+		b.pendingLabel = ""
+	}
+}
+
+func (b *cfgBuilder) popScope() { b.loops = b.loops[:len(b.loops)-1] }
+
+// target resolves a break/continue label (nil label = innermost scope).
+func (b *cfgBuilder) target(label *ast.Ident) *loopTargets {
+	if label != nil {
+		return b.labels[label.Name]
+	}
+	if len(b.loops) == 0 {
+		return nil
+	}
+	// continue skips non-loop scopes (switch/select inside a loop).
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		return b.loops[i]
+	}
+	return nil
+}
+
+// isTerminalStmt reports whether the statement provably never returns:
+// a direct call to panic, os.Exit, runtime.Goexit, or log.Fatal*.
+func isTerminalStmt(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fn.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case pkg.Name == "os" && fn.Sel.Name == "Exit":
+			return true
+		case pkg.Name == "runtime" && fn.Sel.Name == "Goexit":
+			return true
+		case pkg.Name == "log" && (fn.Sel.Name == "Fatal" || fn.Sel.Name == "Fatalf" || fn.Sel.Name == "Fatalln"):
+			return true
+		}
+	}
+	return false
+}
+
+// --- reachability queries ---
+
+// exitReachableFrom reports whether Exit is reachable from start's
+// successors without passing through a node satisfying absorb. start
+// itself is not tested — rules use this to ask "after acquiring here,
+// is there a path to the end of the function that skips the release?".
+func (g *CFG) exitReachableFrom(start *Node, absorb func(*Node) bool) bool {
+	seen := map[*Node]bool{start: true}
+	var dfs func(*Node) bool
+	dfs = func(n *Node) bool {
+		if n == g.Exit {
+			return true
+		}
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+		if absorb(n) {
+			return false
+		}
+		for _, s := range n.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range start.Succs {
+		if dfs(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// exitReachable is exitReachableFrom starting at (and testing) Entry —
+// the whole-function form used for goroutine bodies.
+func (g *CFG) exitReachable(absorb func(*Node) bool) bool {
+	if g.Entry == g.Exit {
+		return true // empty body: exit without ever absorbing
+	}
+	pre := &Node{Succs: []*Node{g.Entry}}
+	return g.exitReachableFrom(pre, absorb)
+}
+
+// visitReachable walks every node reachable from start's successors,
+// calling visit on each, without crossing nodes satisfying stop (stop
+// nodes are neither visited nor traversed past). Rules use this to scan
+// a mutex's held region.
+func (g *CFG) visitReachable(start *Node, stop func(*Node) bool, visit func(*Node)) {
+	seen := map[*Node]bool{start: true}
+	var dfs func(*Node)
+	dfs = func(n *Node) {
+		if n == g.Exit || seen[n] {
+			return
+		}
+		seen[n] = true
+		if stop(n) {
+			return
+		}
+		visit(n)
+		for _, s := range n.Succs {
+			dfs(s)
+		}
+	}
+	for _, s := range start.Succs {
+		dfs(s)
+	}
+}
+
+// nodeFor returns the node whose Stmt is s, or nil.
+func (g *CFG) nodeFor(s ast.Stmt) *Node {
+	for _, n := range g.Nodes {
+		if n.Stmt == s {
+			return n
+		}
+	}
+	return nil
+}
+
+// shallowInspect walks the AST evaluated at the node's own statement —
+// the header expressions of compound statements, the whole statement for
+// simple ones — pruning nested statement bodies (they have their own
+// nodes) and function literals (they are separate functions).
+func shallowInspect(s ast.Stmt, f func(ast.Node) bool) {
+	walk := func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			switch n.(type) {
+			case *ast.FuncLit, *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+				return false
+			}
+			return f(n)
+		})
+	}
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		walk(s.Init)
+		walk(s.Cond)
+	case *ast.ForStmt:
+		walk(s.Init)
+		walk(s.Cond)
+		walk(s.Post)
+	case *ast.RangeStmt:
+		walk(s.Key)
+		walk(s.Value)
+		walk(s.X)
+	case *ast.SwitchStmt:
+		walk(s.Init)
+		walk(s.Tag)
+	case *ast.TypeSwitchStmt:
+		walk(s.Init)
+		walk(s.Assign)
+	case *ast.SelectStmt:
+		// Pure control; the comm clauses are their own nodes.
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			walk(e)
+		}
+	case *ast.CommClause:
+		walk(s.Comm)
+	case *ast.LabeledStmt:
+		// The inner statement has its own node.
+	default:
+		walk(s)
+	}
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseFuncBody parses a source fragment and returns the CFG of its
+// first function.
+func parseFuncBody(t *testing.T, src string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return buildCFG(fd.Body)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// callsIdent reports whether the node's own statement calls the named
+// function.
+func callsIdent(n *Node, name string) bool {
+	found := false
+	shallowInspect(n.Stmt, func(x ast.Node) bool {
+		if call, ok := x.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func findCall(t *testing.T, g *CFG, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if callsIdent(n, name) {
+			return n
+		}
+	}
+	t.Fatalf("no node calls %s", name)
+	return nil
+}
+
+// TestCFGEarlyReturn checks the core leak-detection query: an early
+// return between acquire and release is a path to exit that skips the
+// release.
+func TestCFGEarlyReturn(t *testing.T) {
+	g := parseFuncBody(t, `package p
+func f(fail bool) {
+	acquire()
+	if fail {
+		return
+	}
+	release()
+}`)
+	acq := findCall(t, g, "acquire")
+	rel := func(n *Node) bool { return callsIdent(n, "release") }
+	if !g.exitReachableFrom(acq, rel) {
+		t.Fatal("early-return path that skips release() not found")
+	}
+}
+
+// TestCFGBalanced checks the negative: when every path releases, exit
+// is unreachable without passing the release.
+func TestCFGBalanced(t *testing.T) {
+	g := parseFuncBody(t, `package p
+func f(fail bool) {
+	acquire()
+	if fail {
+		release()
+		return
+	}
+	for i := 0; i < 3; i++ {
+		step()
+	}
+	release()
+}`)
+	acq := findCall(t, g, "acquire")
+	rel := func(n *Node) bool { return callsIdent(n, "release") }
+	if g.exitReachableFrom(acq, rel) {
+		t.Fatal("found a path skipping release() in a balanced function")
+	}
+}
+
+// TestCFGLabeledBreak checks that a labeled break jumps past the outer
+// loop, not just the inner one — the shape the work-stealing executor's
+// spawn loop uses.
+func TestCFGLabeledBreak(t *testing.T) {
+	g := parseFuncBody(t, `package p
+func f() {
+	acquire()
+outer:
+	for i := 0; i < 3; i++ {
+		for {
+			break outer
+		}
+	}
+	release()
+}`)
+	var brk *Node
+	for _, n := range g.Nodes {
+		if bs, ok := n.Stmt.(*ast.BranchStmt); ok && bs.Label != nil {
+			brk = n
+		}
+	}
+	if brk == nil {
+		t.Fatal("no labeled break node")
+	}
+	if len(brk.Succs) != 1 || !callsIdent(brk.Succs[0], "release") {
+		t.Fatalf("break outer should jump to release(), got %v", brk.Succs)
+	}
+	acq := findCall(t, g, "acquire")
+	rel := func(n *Node) bool { return callsIdent(n, "release") }
+	if g.exitReachableFrom(acq, rel) {
+		t.Fatal("exit reachable without release despite all paths passing it")
+	}
+}
+
+// TestCFGTerminalCalls checks that panic and os.Exit end their paths:
+// a function whose only non-release path panics is balanced.
+func TestCFGTerminalCalls(t *testing.T) {
+	g := parseFuncBody(t, `package p
+func f(bad bool) {
+	acquire()
+	if bad {
+		panic("bad")
+	}
+	release()
+}`)
+	acq := findCall(t, g, "acquire")
+	rel := func(n *Node) bool { return callsIdent(n, "release") }
+	if g.exitReachableFrom(acq, rel) {
+		t.Fatal("panic path should not count as reaching exit")
+	}
+}
+
+// TestCFGSwitchFallthrough checks clause wiring: the fallthrough path
+// must flow into the next clause's body.
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := parseFuncBody(t, `package p
+func f(v int) {
+	acquire()
+	switch v {
+	case 1:
+		fallthrough
+	case 2:
+		release()
+	default:
+		release()
+	}
+}`)
+	acq := findCall(t, g, "acquire")
+	rel := func(n *Node) bool { return callsIdent(n, "release") }
+	if g.exitReachableFrom(acq, rel) {
+		t.Fatal("every switch path releases; none should reach exit without it")
+	}
+}

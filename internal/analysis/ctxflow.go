@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// CtxFlowAnalyzer flags functions that receive a context.Context and
+// then sever it. Two shapes are reported:
+//
+//  1. A function (or a literal nested in one) with a ctx parameter that
+//     calls context.Background() or context.TODO() — the fresh root
+//     context silently drops the caller's deadline and cancellation.
+//     The one legitimate shape, rebinding a nil parameter in place
+//     (`if ctx == nil { ctx = context.Background() }`), is exempt: a
+//     direct assignment of the fresh context to the parameter itself.
+//  2. A named, non-underscore ctx parameter that is never mentioned in
+//     the body: the work runs with the deadline ignored. Parameters an
+//     interface forces on an implementation should be named _ to state
+//     the intent.
+func CtxFlowAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc:  "context.Context parameter dropped or its deadline ignored",
+		Run:  runCtxFlow,
+	}
+}
+
+func runCtxFlow(p *Pass) []Finding {
+	var out []Finding
+	for _, ff := range p.Facts().Funcs {
+		names := map[string]bool{}
+		for f := ff; f != nil; f = f.Parent {
+			for _, n := range ctxParamNames(f) {
+				names[n] = true
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		// Shape 1: fresh root contexts inside a ctx-receiving function.
+		for _, cs := range ff.Calls {
+			if cs.Callee != "context.Background" && cs.Callee != "context.TODO" {
+				continue
+			}
+			if rebindsParam(cs, names) {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:      p.position(cs.Call),
+				Analyzer: "ctxflow",
+				Message:  fmt.Sprintf("%s() discards the caller's context; thread the ctx parameter instead", cs.Callee),
+			})
+		}
+		// Shape 2: own parameters never used anywhere in the body
+		// (nested literals included — capturing is using).
+		for _, name := range ctxParamNames(ff) {
+			if name == "_" || identUsed(ff, name) {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:      p.position(ff.Type()),
+				Analyzer: "ctxflow",
+				Message:  fmt.Sprintf("context parameter %q is never used; its deadline and cancellation are ignored (name it _ if intentional)", name),
+			})
+		}
+	}
+	return out
+}
+
+// ctxParamNames returns the names of the function's context.Context
+// parameters (by syntax: the loader stubs the stdlib, so the type is
+// matched as the rendered expression "context.Context").
+func ctxParamNames(ff *FuncFacts) []string {
+	var names []string
+	params := ff.Type().Params
+	if params == nil {
+		return nil
+	}
+	for _, field := range params.List {
+		if renderExpr(field.Type) != "context.Context" {
+			continue
+		}
+		for _, n := range field.Names {
+			names = append(names, n.Name)
+		}
+	}
+	return names
+}
+
+// rebindsParam reports whether the call's enclosing statement directly
+// assigns the call's result to one of the ctx parameter names — the
+// nil-guard idiom. A fresh context merely derived from (WithTimeout,
+// WithCancel) does not qualify: there the Background call is nested
+// inside another call, not a direct right-hand side.
+func rebindsParam(cs CallSite, names map[string]bool) bool {
+	as, ok := cs.Node.Stmt.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != len(as.Rhs) {
+		return false
+	}
+	for i, rhs := range as.Rhs {
+		if rhs != ast.Expr(cs.Call) {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && names[id.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+// identUsed reports whether an identifier with the given name appears
+// in the function body outside its own parameter declaration.
+func identUsed(ff *FuncFacts, name string) bool {
+	used := false
+	ast.Inspect(ff.Body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}

@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Facts is the shared per-package fact table the multi-pass framework
+// computes once and hands to every CFG-based rule: one FuncFacts per
+// function body in the package (declared functions, methods, and every
+// function literal, each with its own control-flow graph). Rules that
+// only need syntax keep using plain ast.Inspect; rules that reason about
+// paths — lock intervals, arena lifetimes, span pairing — share this
+// table instead of each rebuilding it.
+type Facts struct {
+	// Funcs lists every function body in the package in source order.
+	// Function literals follow their enclosing function and carry a
+	// Parent link to it.
+	Funcs []*FuncFacts
+}
+
+// FuncFacts is everything the rules know about one function body.
+type FuncFacts struct {
+	// Decl is the declaration, nil for function literals.
+	Decl *ast.FuncDecl
+	// Lit is the literal, nil for declared functions.
+	Lit *ast.FuncLit
+	// Name is the declared name, or "<enclosing>.func" for literals.
+	Name string
+	// Body is the function body (never nil; bodyless declarations get no
+	// FuncFacts).
+	Body *ast.BlockStmt
+	// Graph is the function's control-flow graph.
+	Graph *CFG
+	// Mutex lists every sync.Mutex/RWMutex-shaped Lock/Unlock call in
+	// the body, in source order.
+	Mutex []MutexOp
+	// Calls lists every call expression in the body (excluding those
+	// inside nested literals), in source order, with a rendered callee.
+	Calls []CallSite
+	// Parent is the enclosing function's facts for literals, nil for
+	// declared functions.
+	Parent *FuncFacts
+	// File is the file the function lives in (for suppression lookup).
+	File *ast.File
+}
+
+// Type returns the function's signature type expression.
+func (f *FuncFacts) Type() *ast.FuncType {
+	if f.Decl != nil {
+		return f.Decl.Type
+	}
+	return f.Lit.Type
+}
+
+// MutexOp is one Lock/Unlock-family call on a mutex-shaped receiver.
+type MutexOp struct {
+	// Call is the call expression itself.
+	Call *ast.CallExpr
+	// Node is the CFG node of the statement executing the call. For a
+	// deferred unlock this is the defer statement's node.
+	Node *Node
+	// Recv renders the receiver expression ("s.mu", "d.mu") so lock and
+	// unlock calls on the same variable can be matched textually.
+	Recv string
+	// Method is "Lock", "Unlock", "RLock", "RUnlock", or "TryLock".
+	Method string
+	// Deferred marks ops performed via defer.
+	Deferred bool
+}
+
+// Write reports whether the op takes or releases the write half.
+func (m MutexOp) Write() bool {
+	return m.Method == "Lock" || m.Method == "Unlock" || m.Method == "TryLock"
+}
+
+// Acquire reports whether the op takes the lock.
+func (m MutexOp) Acquire() bool {
+	return m.Method == "Lock" || m.Method == "RLock" || m.Method == "TryLock"
+}
+
+// CallSite is one call expression with a best-effort rendered callee
+// ("wg.Wait", "parallel.PutInts", "close", "done").
+type CallSite struct {
+	Call *ast.CallExpr
+	// Node is the CFG node of the statement performing the call.
+	Node *Node
+	// Callee is the rendered callee: "pkg.Fn"/"recv.Method" for
+	// selector calls, the identifier for direct calls, "" otherwise.
+	Callee string
+	// Deferred marks calls performed via defer.
+	Deferred bool
+}
+
+// Facts computes (once) and returns the package's fact table.
+func (p *Pass) Facts() *Facts {
+	if p.facts != nil {
+		return p.facts
+	}
+	f := &Facts{}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ff := &FuncFacts{
+				Decl: fd,
+				Name: fd.Name.Name,
+				Body: fd.Body,
+				File: file,
+			}
+			f.add(p, ff)
+		}
+	}
+	p.facts = f
+	return f
+}
+
+// add completes one function's facts and recurses into its literals.
+func (f *Facts) add(p *Pass, ff *FuncFacts) {
+	ff.Graph = buildCFG(ff.Body)
+	f.collectOps(p, ff)
+	f.Funcs = append(f.Funcs, ff)
+	// Nested literals become their own functions. Walk the body once,
+	// pruning literals inside literals (the recursion handles those).
+	var lits []*ast.FuncLit
+	ast.Inspect(ff.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+			return false
+		}
+		return true
+	})
+	for _, lit := range lits {
+		child := &FuncFacts{
+			Lit:    lit,
+			Name:   ff.Name + ".func",
+			Body:   lit.Body,
+			Parent: ff,
+			File:   ff.File,
+		}
+		f.add(p, child)
+	}
+}
+
+// collectOps fills ff.Mutex and ff.Calls by scanning each CFG node's own
+// statement (nested literals excluded — they get their own facts).
+func (f *Facts) collectOps(p *Pass, ff *FuncFacts) {
+	for _, node := range ff.Graph.Nodes {
+		node := node
+		deferred := false
+		if _, ok := node.Stmt.(*ast.DeferStmt); ok {
+			deferred = true
+		}
+		shallowInspect(node.Stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			cs := CallSite{Call: call, Node: node, Callee: renderCallee(call), Deferred: deferred}
+			ff.Calls = append(ff.Calls, cs)
+			if op, ok := p.mutexOp(call); ok {
+				op.Node = node
+				op.Deferred = deferred
+				ff.Mutex = append(ff.Mutex, op)
+			}
+			return true
+		})
+	}
+}
+
+// renderCallee flattens a callee expression to "a.b.c" / "f" form.
+func renderCallee(call *ast.CallExpr) string {
+	return renderExpr(call.Fun)
+}
+
+// renderExpr renders simple ident/selector chains; anything else is "".
+func renderExpr(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := renderExpr(e.X)
+		if base == "" {
+			return e.Sel.Name
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return renderExpr(e.X)
+	case *ast.IndexExpr:
+		return renderExpr(e.X)
+	case *ast.CallExpr:
+		return renderExpr(e.Fun) + "()"
+	}
+	return ""
+}
+
+// mutexOp recognizes Lock-family calls on mutex-shaped receivers. When
+// type information resolves the receiver it must be a sync.Mutex or
+// sync.RWMutex (possibly embedded); when the type is unknown (stubbed
+// imports in fixtures) a receiver whose rendered name mentions "mu" or
+// "lock" is accepted, mirroring the project's naming convention.
+func (p *Pass) mutexOp(call *ast.CallExpr) (MutexOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return MutexOp{}, false
+	}
+	method := sel.Sel.Name
+	switch method {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock":
+	default:
+		return MutexOp{}, false
+	}
+	recv := renderExpr(sel.X)
+	if recv == "" {
+		return MutexOp{}, false
+	}
+	if t := p.Info.TypeOf(sel.X); t != nil && !isInvalid(t) {
+		if !isMutexType(t) {
+			return MutexOp{}, false
+		}
+	} else if !looksLikeMutexName(recv) {
+		return MutexOp{}, false
+	}
+	return MutexOp{Call: call, Recv: recv, Method: method}, true
+}
+
+// isMutexType reports whether t is (a pointer to) a type from package
+// sync named Mutex or RWMutex, or a named type embedding one.
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+		}
+		t = named.Underlying()
+	}
+	if st, ok := t.(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			if fld.Embedded() && isMutexType(fld.Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// looksLikeMutexName is the syntactic fallback when types are stubbed.
+func looksLikeMutexName(recv string) bool {
+	last := recv
+	if i := lastDot(recv); i >= 0 {
+		last = recv[i+1:]
+	}
+	switch last {
+	case "mu", "mtx", "lock", "rw", "rwmu":
+		return true
+	}
+	return false
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GoroLeakAnalyzer flags goroutines launched without a join. A goroutine
+// whose body can reach its end without signaling anyone — no
+// WaitGroup.Done, no channel send, no close — finishes invisibly, so
+// nothing can wait for it: Shutdown drains early, tests pass before the
+// work runs, panics vanish. The rule checks every `go func(){...}()`
+// body's CFG: if some path reaches the exit without passing a signal
+// statement, the launch is reported. Deferred signals count at their
+// defer statement (a path that returns before registering the defer is
+// still a leak), and a body that never terminates (a worker loop with no
+// way out) is fine — it has no exit to miss. For `go name()` launches
+// the body is out of reach, so the launch is reported only when the
+// enclosing function shows no join machinery (no .Add or .Wait call) at
+// all.
+func GoroLeakAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "goroleak",
+		Doc:  "goroutine without a WaitGroup/done-channel join on all paths",
+		Run:  runGoroLeak,
+	}
+}
+
+func runGoroLeak(p *Pass) []Finding {
+	var out []Finding
+	facts := p.Facts()
+	for _, ff := range facts.Funcs {
+		for _, node := range ff.Graph.Nodes {
+			gs, ok := node.Stmt.(*ast.GoStmt)
+			if !ok {
+				continue
+			}
+			if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+				body := facts.funcFor(lit)
+				if body == nil || !body.Graph.exitReachable(isJoinSignal) {
+					continue
+				}
+				out = append(out, Finding{
+					Pos:      p.position(gs),
+					Analyzer: "goroleak",
+					Message:  "goroutine can finish without signaling (no Done, send, or close on some path); nothing can join it",
+				})
+				continue
+			}
+			// Named launch: body unavailable. Require join machinery in
+			// the launching function.
+			if hasJoinMachinery(ff) {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:      p.position(gs),
+				Analyzer: "goroleak",
+				Message:  "goroutine launched with no visible join (no WaitGroup Add/Wait in the launching function)",
+			})
+		}
+	}
+	return out
+}
+
+// funcFor finds the facts of a function literal.
+func (f *Facts) funcFor(lit *ast.FuncLit) *FuncFacts {
+	for _, ff := range f.Funcs {
+		if ff.Lit == lit {
+			return ff
+		}
+	}
+	return nil
+}
+
+// isJoinSignal reports whether the node signals completion to another
+// goroutine: a channel send (bare or in a select clause), a close, or a
+// Done-family call. Deferred forms count here too — the node is the
+// defer statement, so only paths that register the defer are absorbed.
+func isJoinSignal(n *Node) bool {
+	if _, ok := n.Stmt.(*ast.SendStmt); ok {
+		return true
+	}
+	found := false
+	shallowInspect(n.Stmt, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.SendStmt:
+			found = true
+			return false
+		case *ast.CallExpr:
+			callee := renderCallee(x)
+			if callee == "close" || strings.HasSuffix(callee, ".Done") || strings.HasSuffix(callee, ".Signal") || strings.HasSuffix(callee, ".Broadcast") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasJoinMachinery reports whether the function calls .Add or .Wait —
+// the WaitGroup bookkeeping that pairs a named goroutine launch with a
+// join the rule cannot see into.
+func hasJoinMachinery(ff *FuncFacts) bool {
+	for _, cs := range ff.Calls {
+		if strings.HasSuffix(cs.Callee, ".Add") || strings.HasSuffix(cs.Callee, ".Wait") {
+			return true
+		}
+	}
+	return false
+}

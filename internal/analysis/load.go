@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/parser"
 	"go/token"
 	"go/types"
@@ -10,6 +11,7 @@ import (
 	"path"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -149,6 +151,9 @@ func parsePackage(fset *token.FileSet, root, modPath, dir string) (*parsedPkg, e
 		if err != nil {
 			return nil, err
 		}
+		if excludedByBuildTags(f) {
+			continue
+		}
 		p.files = append(p.files, f)
 		if p.name == "" {
 			p.name = f.Name.Name
@@ -168,6 +173,45 @@ func parsePackage(fset *token.FileSet, root, modPath, dir string) (*parsedPkg, e
 		return nil, nil
 	}
 	return p, nil
+}
+
+// excludedByBuildTags reports whether the file's build constraints (in
+// either //go:build or legacy // +build form) exclude it from the host
+// configuration. Generator files tagged `ignore` and platform files for
+// other systems used to fail the whole load with their unresolvable
+// references; now they are simply skipped, the way the go tool skips
+// them.
+func excludedByBuildTags(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		// Constraints only count before the package clause.
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			if !expr.Eval(hostTagOK) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hostTagOK evaluates one build tag for the loading host: the host OS
+// and architecture, the "unix" alias, and every go1.x version gate hold;
+// custom tags (including the conventional "ignore") do not.
+func hostTagOK(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "unix", "cgo", "gc":
+		return true
+	}
+	return strings.HasPrefix(tag, "go1.")
 }
 
 // sortByDeps orders packages so every module-internal import precedes its

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVendorSkipped checks the loader never descends into vendor trees:
+// the vendored fixture package carries a deliberate pkgdoc violation
+// that must not surface.
+func TestVendorSkipped(t *testing.T) {
+	passes := loadFixture(t)
+	for _, p := range passes {
+		if strings.Contains(p.PkgPath, "vendor") {
+			t.Fatalf("vendored package loaded: %s", p.PkgPath)
+		}
+	}
+	for _, f := range RunAll(passes, nil) {
+		if strings.Contains(filepath.ToSlash(f.Pos.Filename), "/vendor/") {
+			t.Fatalf("finding from vendored code: %v", f)
+		}
+	}
+}
+
+// TestBuildTagExcluded checks files ruled out by build constraints are
+// skipped instead of failing (or polluting) the load: the excluded
+// fixture files hold arena leaks that must never be reported.
+func TestBuildTagExcluded(t *testing.T) {
+	passes := loadFixture(t)
+	found := false
+	for _, p := range passes {
+		if p.PkgPath != "example.com/vetmod/buildtagok" {
+			continue
+		}
+		found = true
+		if len(p.Files) != 1 {
+			t.Errorf("buildtagok should load exactly 1 file, got %d", len(p.Files))
+		}
+		for _, f := range p.Files {
+			name := filepath.Base(p.Fset.Position(f.Pos()).Filename)
+			if strings.HasPrefix(name, "excluded_") {
+				t.Errorf("build-tag-excluded file loaded: %s", name)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("buildtagok fixture package not loaded at all")
+	}
+	if got := findingsFor(RunAll(passes, nil), "poolreturn", "buildtagok"); len(got) != 0 {
+		t.Fatalf("findings leaked from excluded files: %v", got)
+	}
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SpanPairAnalyzer keeps trace spans balanced. Span and SpanItems return
+// a closer; a path that opens a span and returns without invoking the
+// closer corrupts the profile's sums-to-wall invariant (the phase
+// accumulates wall time it never spent, or the span is simply lost).
+// Three shapes are reported:
+//
+//   - the closer is discarded outright (`rec.Span(x)` as a statement);
+//   - `defer rec.Span(x)` — the span opens at function exit and its
+//     closer is dropped; the author meant `defer rec.Span(x)()`;
+//   - the closer is bound to a variable but some CFG path reaches a
+//     return without calling it (directly or via defer).
+//
+// Returning the closer, or storing it in a struct, transfers ownership
+// and is not reported.
+func SpanPairAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "spanpair",
+		Doc:  "trace span opened but not closed on some path",
+		Run:  runSpanPair,
+	}
+}
+
+func runSpanPair(p *Pass) []Finding {
+	var out []Finding
+	for _, ff := range p.Facts().Funcs {
+		// Calls used as callees of other calls are immediately invoked
+		// (`defer rec.Span(x)()`): balanced by construction.
+		invoked := map[ast.Expr]bool{}
+		for _, cs := range ff.Calls {
+			invoked[cs.Call.Fun] = true
+		}
+		for _, cs := range ff.Calls {
+			if !p.isSpanOpen(cs.Call) || invoked[ast.Expr(cs.Call)] {
+				continue
+			}
+			switch s := cs.Node.Stmt.(type) {
+			case *ast.ExprStmt:
+				if s.X == ast.Expr(cs.Call) {
+					out = append(out, Finding{
+						Pos:      p.position(cs.Call),
+						Analyzer: "spanpair",
+						Message:  fmt.Sprintf("closer returned by %s is discarded; the span is never closed", cs.Callee),
+					})
+				}
+			case *ast.DeferStmt:
+				if s.Call == cs.Call {
+					out = append(out, Finding{
+						Pos:      p.position(cs.Call),
+						Analyzer: "spanpair",
+						Message:  fmt.Sprintf("defer %s(...) opens the span at function exit and drops the closer; write defer %s(...)()", cs.Callee, cs.Callee),
+					})
+				}
+			case *ast.AssignStmt:
+				name, ok := closerVar(s, cs.Call)
+				if !ok {
+					continue
+				}
+				closes := func(n *Node) bool { return closesSpan(n, name) }
+				if ff.Graph.exitReachableFrom(cs.Node, closes) {
+					out = append(out, Finding{
+						Pos:      p.position(cs.Call),
+						Analyzer: "spanpair",
+						Message:  fmt.Sprintf("span closer %q is not invoked on every path to return; close it before early returns", name),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isSpanOpen recognizes Span/SpanItems calls on a trace recorder. With
+// type information the receiver must be the trace package's Recorder
+// (or the root package's Trace alias of it); without, a receiver named
+// rec is accepted.
+func (p *Pass) isSpanOpen(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Span" && sel.Sel.Name != "SpanItems") {
+		return false
+	}
+	if t := p.Info.TypeOf(sel.X); t != nil && !isInvalid(t) {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		if obj == nil || obj.Pkg() == nil {
+			return false
+		}
+		name, pkg := obj.Name(), obj.Pkg()
+		return (name == "Recorder" || name == "Trace") &&
+			(pkg.Name() == "trace" || strings.HasSuffix(pkg.Path(), "/trace"))
+	}
+	recv := renderExpr(sel.X)
+	if i := lastDot(recv); i >= 0 {
+		recv = recv[i+1:]
+	}
+	return recv == "rec" || recv == "tracer"
+}
+
+// closerVar extracts the variable the closer is bound to, when the
+// assignment binds the call's result to a plain identifier. A blank or
+// non-identifier left side transfers ownership out of the function's
+// view and is not tracked.
+func closerVar(as *ast.AssignStmt, call *ast.CallExpr) (string, bool) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return "", false
+	}
+	for i, rhs := range as.Rhs {
+		if rhs != ast.Expr(call) {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+			return id.Name, true
+		}
+	}
+	return "", false
+}
+
+// closesSpan reports whether the node invokes (or defers, or returns —
+// ownership transfer) the named closer. Only returning the closer
+// itself transfers; a return merely computed from it does not.
+func closesSpan(n *Node, name string) bool {
+	if ret, ok := n.Stmt.(*ast.ReturnStmt); ok {
+		for _, r := range ret.Results {
+			if id, ok := r.(*ast.Ident); ok && id.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	found := false
+	shallowInspect(n.Stmt, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := x.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsIdent reports whether the expression mentions the identifier.
+func mentionsIdent(e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression comments let a human overrule a rule at one site, with an
+// enforced audit trail:
+//
+//	//vet:ignore lockheld -- metrics channel is buffered and never full
+//
+// The directive names one or more rules (comma-separated, or "all") and
+// must carry a reason after " -- "; a reasonless directive is itself
+// reported as a "vetignore" finding, so suppressions cannot silently
+// accumulate. A directive covers findings on its own line (trailing
+// comment) and on the line directly below it (comment-above style).
+// Suppressed findings are not dropped: RunAllResult returns them
+// separately so drivers can surface a count.
+
+const ignorePrefix = "//vet:ignore"
+
+// directive is one parsed //vet:ignore comment.
+type directive struct {
+	pos   token.Position
+	rules map[string]bool // nil means malformed
+	all   bool
+}
+
+// covers reports whether the directive applies to the finding.
+func (d *directive) covers(f Finding) bool {
+	if d.pos.Filename != f.Pos.Filename {
+		return false
+	}
+	if f.Pos.Line != d.pos.Line && f.Pos.Line != d.pos.Line+1 {
+		return false
+	}
+	return d.all || d.rules[f.Analyzer]
+}
+
+// directives parses every //vet:ignore comment in the pass, returning
+// the well-formed directives and a finding per malformed one.
+func (p *Pass) directives() ([]*directive, []Finding) {
+	var dirs []*directive
+	var bad []Finding
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				d, ok := parseDirective(c, pos)
+				if !ok {
+					bad = append(bad, Finding{
+						Pos:      pos,
+						Analyzer: "vetignore",
+						Message:  `malformed //vet:ignore: want "//vet:ignore rule[,rule] -- reason"`,
+					})
+					continue
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// parseDirective splits "//vet:ignore rule,rule -- reason". Both the
+// rule list and a non-empty reason are required.
+func parseDirective(c *ast.Comment, pos token.Position) (*directive, bool) {
+	rest := strings.TrimPrefix(c.Text, ignorePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false // "//vet:ignoreX" is not a directive we accept
+	}
+	rulesPart, reason, found := strings.Cut(rest, " -- ")
+	if !found || strings.TrimSpace(reason) == "" {
+		return nil, false
+	}
+	d := &directive{pos: pos, rules: map[string]bool{}}
+	for _, r := range strings.Split(rulesPart, ",") {
+		r = strings.TrimSpace(r)
+		if r == "" {
+			return nil, false
+		}
+		if r == "all" {
+			d.all = true
+			continue
+		}
+		d.rules[r] = true
+	}
+	if !d.all && len(d.rules) == 0 {
+		return nil, false
+	}
+	return d, true
+}
+
+// applySuppressions splits findings into kept and suppressed according
+// to the directives, appending any malformed-directive findings to kept.
+func applySuppressions(findings []Finding, dirs []*directive, bad []Finding) (kept, suppressed []Finding) {
+	kept = append(kept, bad...)
+	for _, f := range findings {
+		hit := false
+		for _, d := range dirs {
+			if d.covers(f) {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			suppressed = append(suppressed, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	return kept, suppressed
+}

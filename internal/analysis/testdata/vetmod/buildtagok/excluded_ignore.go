@@ -1,0 +1,15 @@
+//go:build ignore
+
+// Generator-style file excluded by the conventional ignore tag. The
+// arena leak below must never be reported: the loader skips this file
+// the way the go tool does.
+package buildtagok
+
+import "example.com/vetmod/parallel"
+
+// LeakyGenerator would trip poolreturn if this file were loaded.
+func LeakyGenerator(n int) int {
+	buf := parallel.GetInts(n)
+	count := len(buf)
+	return count
+}

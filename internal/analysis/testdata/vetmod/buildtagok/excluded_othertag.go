@@ -1,0 +1,17 @@
+//go:build someundefinedtag && !windows
+
+// Platform-gated file whose tag never holds on the loading host; the
+// legacy-style leak below must stay invisible.
+package buildtagok
+
+import "example.com/vetmod/parallel"
+
+// LeakyPlatform would trip poolreturn if this file were loaded.
+func LeakyPlatform(n int) float64 {
+	acc := parallel.GetFloats(n)
+	total := 0.0
+	for _, v := range acc {
+		total += v
+	}
+	return total
+}

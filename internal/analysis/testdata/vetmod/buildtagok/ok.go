@@ -1,0 +1,13 @@
+// Package buildtagok is a fixture for build-constraint handling in the
+// loader: this file is ordinary, while its excluded siblings carry
+// violations that must never load.
+package buildtagok
+
+// Sum is plain, violation-free code.
+func Sum(vs []int) int {
+	total := 0
+	for _, v := range vs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,40 @@
+// Package ctxflowbad is a fixture for the ctxflow analyzer: contexts
+// dropped or ignored on the way to the work.
+package ctxflowbad
+
+import "context"
+
+// RunDetached receives ctx but hands the work a fresh root context,
+// severing the caller's deadline.
+func RunDetached(ctx context.Context, work func(context.Context)) {
+	work(context.Background())
+	_ = ctx
+}
+
+// IgnoredDeadline takes ctx and never consults it.
+func IgnoredDeadline(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// TODOInLiteral severs the context inside a nested closure; capturing
+// scope still has the parameter.
+func TODOInLiteral(ctx context.Context, work func(context.Context)) {
+	run := func() {
+		work(context.TODO())
+	}
+	run()
+	_ = ctx
+}
+
+// DerivedFromFresh rebinds the parameter from a Background-derived
+// context — the nil-guard exemption must not cover indirection through
+// WithCancel.
+func DerivedFromFresh(ctx context.Context, work func(context.Context)) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	work(ctx)
+}

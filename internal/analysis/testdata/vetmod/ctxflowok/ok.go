@@ -1,0 +1,35 @@
+// Package ctxflowok is the negative fixture for the ctxflow analyzer:
+// contexts threaded, the nil-guard rebind, and declared-intent ignores.
+package ctxflowok
+
+import "context"
+
+// Threaded passes the caller's context straight through.
+func Threaded(ctx context.Context, work func(context.Context)) {
+	work(ctx)
+}
+
+// NilGuard rebinds a nil parameter in place — the one legitimate
+// Background call in a ctx-receiving function.
+func NilGuard(ctx context.Context, work func(context.Context)) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	work(ctx)
+}
+
+// Root has no context parameter: creating the root context is its job.
+func Root(work func(context.Context)) {
+	work(context.Background())
+}
+
+// Forced names the interface-imposed parameter _ to declare the intent.
+func Forced(_ context.Context, n int) int {
+	return n * 2
+}
+
+// UsedInLiteral consumes the context inside a closure; capture counts
+// as use.
+func UsedInLiteral(ctx context.Context, work func(context.Context)) func() {
+	return func() { work(ctx) }
+}

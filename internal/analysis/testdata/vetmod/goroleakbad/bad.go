@@ -1,0 +1,34 @@
+// Package goroleakbad is a fixture for the goroleak analyzer:
+// goroutines that can finish without anything to join them.
+package goroleakbad
+
+import "sync"
+
+// LaunchForgotten fires a goroutine that signals nobody.
+func LaunchForgotten(work func()) {
+	go func() {
+		work()
+	}()
+}
+
+// EarlyReturnSkipsDone registers the Done only after a conditional
+// return, so the quick path finishes unjoined and Wait hangs.
+func EarlyReturnSkipsDone(wg *sync.WaitGroup, quick bool, work func()) {
+	wg.Add(1)
+	go func() {
+		if quick {
+			return
+		}
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// NamedNoJoin launches a named worker with no join machinery in the
+// launching function at all.
+func NamedNoJoin() {
+	go background()
+}
+
+func background() {}

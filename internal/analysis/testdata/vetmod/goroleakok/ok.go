@@ -1,0 +1,51 @@
+// Package goroleakok is the negative fixture for the goroleak analyzer:
+// every goroutine either signals completion on all paths or never
+// completes at all.
+package goroleakok
+
+import "sync"
+
+// DeferredDone signals through the WaitGroup on every path.
+func DeferredDone(wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// DoneChannel closes a done channel when the work finishes.
+func DoneChannel(work func()) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	return done
+}
+
+// ResultSend delivers the result over a channel; the send is the join.
+func ResultSend(compute func() int) <-chan int {
+	out := make(chan int, 1)
+	go func() { out <- compute() }()
+	return out
+}
+
+// Forever never terminates, so there is no completion to miss.
+func Forever(tick func()) {
+	go func() {
+		for {
+			tick()
+		}
+	}()
+}
+
+// NamedJoined pairs a named launch with visible Add/Wait bookkeeping.
+func NamedJoined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go worker(wg)
+	wg.Wait()
+}
+
+func worker(wg *sync.WaitGroup) { defer wg.Done() }

@@ -1,0 +1,42 @@
+// Package lockheldok is the negative fixture for the lockheld analyzer:
+// locks released before blocking, and non-blocking selects under lock.
+package lockheldok
+
+import "sync"
+
+var mu sync.Mutex
+
+var ch = make(chan int, 1)
+
+// SendAfterUnlock releases the lock before sending.
+func SendAfterUnlock(v int) {
+	mu.Lock()
+	v++
+	mu.Unlock()
+	ch <- v
+}
+
+// TrySend keeps the lock but the select has a default clause, so it
+// cannot block.
+func TrySend(v int) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// BranchRelease unlocks on the sending branch before the send; the CFG
+// walk must stop at that unlock.
+func BranchRelease(v int, urgent bool) {
+	mu.Lock()
+	if urgent {
+		mu.Unlock()
+		ch <- v
+		return
+	}
+	mu.Unlock()
+}

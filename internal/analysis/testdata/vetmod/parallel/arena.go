@@ -1,0 +1,24 @@
+// Package parallel is a fixture stand-in for the real scratch arenas:
+// the Get/Put surface the poolreturn analyzer pairs up.
+package parallel
+
+// GetFloats leases a float buffer; pair with PutFloats.
+func GetFloats(n int) []float64 { return make([]float64, n) }
+
+// PutFloats returns a GetFloats buffer.
+func PutFloats([]float64) {}
+
+// GetInts leases an int buffer; pair with PutInts.
+func GetInts(n int) []int { return make([]int, n) }
+
+// GetIntsZeroed is GetInts with guaranteed zeroing; pair with PutInts.
+func GetIntsZeroed(n int) []int { return make([]int, n) }
+
+// PutInts returns a GetInts or GetIntsZeroed buffer.
+func PutInts([]int) {}
+
+// GetInt64s leases an int64 buffer; pair with PutInt64s.
+func GetInt64s(n int) []int64 { return make([]int64, n) }
+
+// PutInt64s returns a GetInt64s buffer.
+func PutInt64s([]int64) {}

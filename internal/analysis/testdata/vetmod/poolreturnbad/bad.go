@@ -1,0 +1,50 @@
+// Package poolreturnbad is a fixture for the poolreturn analyzer: arena
+// buffers leaked on some path out of the function.
+package poolreturnbad
+
+import (
+	"errors"
+
+	"example.com/vetmod/parallel"
+)
+
+var errBad = errors.New("bad input")
+
+// LeakOnError drops the buffer on the early error return.
+func LeakOnError(n int, fail bool) (float64, error) {
+	acc := parallel.GetFloats(n)
+	if fail {
+		return 0, errBad
+	}
+	total := 0.0
+	for _, v := range acc {
+		total += v
+	}
+	parallel.PutFloats(acc)
+	return total, nil
+}
+
+// ForgottenEntirely never returns the buffer at all.
+func ForgottenEntirely(n int) int {
+	marker := parallel.GetIntsZeroed(n)
+	count := 0
+	for _, v := range marker {
+		if v == 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// ResliceLeak leaks through the [:0] acquisition idiom; computing the
+// return value from the buffer is not a handoff.
+func ResliceLeak(n int, vs []int) int {
+	touched := parallel.GetInts(n)[:0]
+	for _, v := range vs {
+		if v > 0 {
+			touched = append(touched, v)
+		}
+	}
+	count := len(touched)
+	return count
+}

@@ -1,0 +1,62 @@
+// Package poolreturnok is the negative fixture for the poolreturn
+// analyzer: buffers released on every path, deferred puts, handoffs,
+// and escapes into containers.
+package poolreturnok
+
+import (
+	"errors"
+
+	"example.com/vetmod/parallel"
+)
+
+var errBad = errors.New("bad input")
+
+// BalancedPaths puts the buffer back on the error path and the main
+// path alike.
+func BalancedPaths(n int, fail bool) (float64, error) {
+	acc := parallel.GetFloats(n)
+	if fail {
+		parallel.PutFloats(acc)
+		return 0, errBad
+	}
+	total := 0.0
+	for _, v := range acc {
+		total += v
+	}
+	parallel.PutFloats(acc)
+	return total, nil
+}
+
+// DeferredPut releases at function exit whatever path runs.
+func DeferredPut(n int, fail bool) (int, error) {
+	work := parallel.GetInt64s(n)
+	defer parallel.PutInt64s(work)
+	if fail {
+		return 0, errBad
+	}
+	return len(work), nil
+}
+
+// HandedOff returns the buffer itself; ownership moves to the caller.
+func HandedOff(n int) []int {
+	buf := parallel.GetInts(n)
+	return buf
+}
+
+// ResliceBalanced appends into the [:0] view and still puts it back.
+func ResliceBalanced(n int, vs []int) int {
+	touched := parallel.GetInts(n)[:0]
+	for _, v := range vs {
+		touched = append(touched, v)
+	}
+	count := len(touched)
+	parallel.PutInts(touched)
+	return count
+}
+
+// Stored escapes into a struct field; the container owns the lifetime.
+type cache struct{ buf []float64 }
+
+func (c *cache) fill(n int) {
+	c.buf = parallel.GetFloats(n)
+}

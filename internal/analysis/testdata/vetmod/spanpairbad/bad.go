@@ -1,0 +1,41 @@
+// Package spanpairbad is a fixture for the spanpair analyzer: spans
+// opened but not closed on some path.
+package spanpairbad
+
+import (
+	"errors"
+
+	"example.com/vetmod/trace"
+)
+
+var errNegative = errors.New("negative item")
+
+// DiscardedCloser drops the closer on the floor; the span never closes.
+func DiscardedCloser(rec *trace.Recorder, n int) int {
+	rec.Span("expand")
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// DeferredOpen defers the open instead of the close.
+func DeferredOpen(rec *trace.Recorder, work func()) {
+	defer rec.Span("merge")
+	work()
+}
+
+// EarlyReturnLeavesOpen skips the closer on the error path.
+func EarlyReturnLeavesOpen(rec *trace.Recorder, items []int) (int, error) {
+	end := rec.SpanItems("scatter", int64(len(items)))
+	total := 0
+	for _, v := range items {
+		if v < 0 {
+			return 0, errNegative
+		}
+		total += v
+	}
+	end()
+	return total, nil
+}

@@ -1,0 +1,45 @@
+// Package spanpairok is the negative fixture for the spanpair analyzer:
+// spans closed on every path, deferred closes, and ownership handoffs.
+package spanpairok
+
+import (
+	"errors"
+
+	"example.com/vetmod/trace"
+)
+
+var errNegative = errors.New("negative item")
+
+// DeferClose is the canonical balanced form.
+func DeferClose(rec *trace.Recorder, work func()) {
+	defer rec.Span("expand")()
+	work()
+}
+
+// CloseBeforeEveryReturn invokes the closer on the error path too.
+func CloseBeforeEveryReturn(rec *trace.Recorder, items []int) (int, error) {
+	end := rec.SpanItems("scatter", int64(len(items)))
+	total := 0
+	for _, v := range items {
+		if v < 0 {
+			end()
+			return 0, errNegative
+		}
+		total += v
+	}
+	end()
+	return total, nil
+}
+
+// HandedOff returns the closer; the span is now the caller's to close.
+func HandedOff(rec *trace.Recorder) func() {
+	end := rec.Span("merge")
+	return end
+}
+
+// DeferredVariable closes through a deferred variable call.
+func DeferredVariable(rec *trace.Recorder, work func()) {
+	done := rec.Span("merge")
+	defer done()
+	work()
+}

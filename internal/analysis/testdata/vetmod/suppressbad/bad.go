@@ -1,0 +1,15 @@
+// Package suppressbad is a fixture for malformed //vet:ignore
+// directives: a missing reason or a missing rule list is itself a
+// reported finding, so suppressions cannot silently accumulate.
+package suppressbad
+
+//vet:ignore poolreturn
+func reasonless() {}
+
+//vet:ignore -- a reason with no rule list
+func ruleless() {}
+
+func init() {
+	reasonless()
+	ruleless()
+}

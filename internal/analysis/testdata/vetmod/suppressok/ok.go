@@ -1,0 +1,20 @@
+// Package suppressok is a fixture for //vet:ignore: real violations,
+// each suppressed by a reasoned directive — the run must report none of
+// them and count both as suppressed.
+package suppressok
+
+import "example.com/vetmod/parallel"
+
+// LeakForPoison deliberately keeps the buffer out of the pool; the
+// directive on the line above the acquisition covers it.
+func LeakForPoison(n int) int {
+	//vet:ignore poolreturn -- poison-check harness keeps the buffer live on purpose
+	acc := parallel.GetFloats(n)
+	return len(acc)
+}
+
+// FireAndForget is a deliberately detached goroutine; the trailing
+// directive on the launch line covers it.
+func FireAndForget(work func()) {
+	go func() { work() }() //vet:ignore goroleak -- best-effort flush, detaching is the point
+}

@@ -1,0 +1,19 @@
+// Package trace is a fixture stand-in for the real phase recorder: just
+// enough surface — Span and SpanItems returning closers — for the
+// spanpair analyzer's type-based receiver matching.
+package trace
+
+// Recorder mirrors the real recorder's span surface.
+type Recorder struct{ open int }
+
+// Span opens a span and returns its closer.
+func (r *Recorder) Span(phase string) func() {
+	r.open++
+	return func() { r.open-- }
+}
+
+// SpanItems is Span with an item count attached.
+func (r *Recorder) SpanItems(phase string, items int64) func() {
+	r.open++
+	return func() { r.open-- }
+}

@@ -1,0 +1,12 @@
+package vendored
+
+// Undocumented vendored code: if the loader ever descended into vendor
+// trees, the missing package doc above would surface as a pkgdoc
+// finding and the regression test would catch it.
+func Touch(vs []int) int {
+	total := 0
+	for _, v := range vs {
+		total += v
+	}
+	return total
+}

@@ -79,6 +79,12 @@ func (p *Plan) ExecuteTraced(ex *parallel.Executor, maxIntermediate int64, rec *
 	blockPart[nBlocks] = pi
 	blockOff[nBlocks] = total
 	if int64(total) != p.Cls.TotalWork {
+		parallel.PutInts(partPair)
+		parallel.PutInts(partLo)
+		parallel.PutInts(partHi)
+		parallel.PutInts(blockPart)
+		parallel.PutInts(blockOff)
+		parallel.PutInt64s(weights)
 		return nil, fmt.Errorf("core: plan launches %d products, classified %d", total, p.Cls.TotalWork)
 	}
 
@@ -129,7 +135,11 @@ func (p *Plan) ExecuteTraced(ex *parallel.Executor, maxIntermediate int64, rec *
 		ptr[i+1] = ptr[i] + int(p.Limit.RowWork[i])
 	}
 	if ptr[rows] != total {
-		defer parallel.PutInts(ptr)
+		parallel.PutInts(ptr)
+		parallel.PutInts(strmI)
+		parallel.PutInts(strmJ)
+		parallel.PutFloats(strmV)
+		endScat()
 		return nil, fmt.Errorf("core: row work sums to %d products, stream has %d", ptr[rows], total)
 	}
 	scatIdx := parallel.GetInts(total)
