@@ -28,6 +28,12 @@
 #   8. graphrun smoke — genmat generates a small R-MAT network and graphrun
 #                      clusters it end to end, so the CLI wiring from file
 #                      input through the pipeline engine stays exercised
+#   9. spgemmload smoke — a tiny workload spec drives an in-process spgemmd
+#                      for under a second, records the request trace, replays
+#                      it virtually, and validates the fitness report against
+#                      the committed schema golden, so the serving loop
+#                      (admission, queue-wait accounting, trace record/replay,
+#                      SLO scoring) stays exercised end to end
 #
 # Run from the repository root. Exits non-zero on the first failure.
 set -eu
@@ -60,7 +66,7 @@ fi
 rm -f "$vet_json"
 
 echo "==> go test -race (paranoid)"
-BLOCKREORG_PARANOID=1 go test -race . ./internal/core/... ./internal/gpusim/... ./internal/trace/... ./sparse/... ./server/... ./pipeline/...
+BLOCKREORG_PARANOID=1 go test -race . ./internal/core/... ./internal/gpusim/... ./internal/trace/... ./sparse/... ./server/... ./pipeline/... ./workload/...
 
 echo "==> examples (godoc Examples + example programs)"
 go test -run Example ./...
@@ -83,5 +89,42 @@ smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
 go run ./cmd/genmat -kind rmat -n 256 -nnz 1024 -seed 7 -o "$smoke_dir/net.mtx"
 go run ./cmd/graphrun -workload mcl -in "$smoke_dir/net.mtx" -symmetrize -profile
+
+echo "==> spgemmload smoke (spec -> live run -> trace -> replay -> schema check)"
+cat >"$smoke_dir/wl.json" <<'EOF'
+{
+  "name": "ci-smoke",
+  "seed": 7,
+  "duration_seconds": 0.8,
+  "classes": [
+    {
+      "name": "interactive",
+      "arrival": {"process": "poisson", "rate": 15},
+      "matrix": {"kind": "rmat", "n": 96, "nnz": 600},
+      "structure_pool": 2,
+      "slo": {"p95_ms": 2000}
+    },
+    {
+      "name": "batch",
+      "arrival": {"process": "gamma", "rate": 6, "cv": 2},
+      "matrix": {"kind": "powerlaw", "n": 128, "nnz": 900},
+      "structure_churn": 0.5,
+      "weight": 2
+    }
+  ]
+}
+EOF
+go run ./cmd/spgemmload run -spec "$smoke_dir/wl.json" -self \
+    -trace "$smoke_dir/wl.jsonl" -o "$smoke_dir/live.json"
+go run ./cmd/spgemmload replay -trace "$smoke_dir/wl.jsonl" -spec "$smoke_dir/wl.json" \
+    -workers 2 -speed 2 -o "$smoke_dir/replay1.json"
+go run ./cmd/spgemmload replay -trace "$smoke_dir/wl.jsonl" -spec "$smoke_dir/wl.json" \
+    -workers 2 -speed 2 -o "$smoke_dir/replay2.json"
+if ! cmp -s "$smoke_dir/replay1.json" "$smoke_dir/replay2.json"; then
+    echo "spgemmload replay is not deterministic" >&2
+    exit 1
+fi
+go run ./cmd/spgemmload check -report "$smoke_dir/live.json" -schema workload/testdata/fitness_schema.json
+go run ./cmd/spgemmload check -report "$smoke_dir/replay1.json" -schema workload/testdata/fitness_schema.json
 
 echo "ci.sh: all gates passed"

@@ -1,14 +1,16 @@
 // Command genmat generates synthetic sparse matrices — R-MAT, power-law,
 // FEM-style mesh, or uniform random — and writes them as Matrix Market
-// files.
+// files. `-o -` streams the file to stdout for piping.
 //
 //	genmat -kind rmat -n 65536 -nnz 1048576 -o graph.mtx
 //	genmat -kind powerlaw -n 100000 -nnz 2000000 -alpha 2.1 -o net.mtx
 //	genmat -kind mesh -n 50000 -rownnz 26 -o fem.mtx
 //	genmat -dataset loc-gowalla -scale 8 -o gowalla.mtx
+//	genmat -kind rmat -n 1024 -nnz 8192 -o - | inspect -in /dev/stdin
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -16,7 +18,6 @@ import (
 	"github.com/blockreorg/blockreorg/internal/datasets"
 	"github.com/blockreorg/blockreorg/internal/tableio"
 	"github.com/blockreorg/blockreorg/sparse"
-	"github.com/blockreorg/blockreorg/sparse/rmat"
 )
 
 func main() {
@@ -34,49 +35,46 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "generator seed")
 		dataset = flag.String("dataset", "", "generate a Table II stand-in instead")
 		scale   = flag.Int("scale", 8, "dataset scale divisor (with -dataset)")
-		out     = flag.String("o", "", "output Matrix Market file (required)")
+		out     = flag.String("o", "", "output Matrix Market file, or - for stdout (required)")
 	)
 	flag.Parse()
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "genmat: -o FILE is required")
+		fmt.Fprintln(os.Stderr, "genmat: -o FILE is required (- for stdout)")
 		os.Exit(2)
 	}
-	m, err := generate(*kind, *n, *nnz, *alpha, *rownnz, *band, rmat.Params{A: *pa, B: *pb, C: *pc, D: *pd}, *seed, *dataset, *scale)
+	spec := datasets.GenSpec{
+		Kind: *kind, N: *n, NNZ: *nnz, Alpha: *alpha,
+		RowNNZ: *rownnz, HalfBand: *band,
+		PA: *pa, PB: *pb, PC: *pc, PD: *pd,
+		Seed: *seed,
+	}
+	if *dataset != "" {
+		spec = datasets.GenSpec{Kind: "dataset", Dataset: *dataset, Scale: *scale}
+	}
+	m, err := datasets.Synthesize(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "genmat:", err)
 		os.Exit(1)
 	}
-	if err := sparse.WriteMatrixMarketFile(*out, m); err != nil {
+	if err := write(*out, m); err != nil {
 		fmt.Fprintln(os.Stderr, "genmat:", err)
 		os.Exit(1)
 	}
 	st := sparse.ComputeStats(m)
-	fmt.Printf("%s: %dx%d, nnz=%s, gini=%.2f, max row=%s, mean row=%.1f\n",
+	fmt.Fprintf(os.Stderr, "%s: %dx%d, nnz=%s, gini=%.2f, max row=%s, mean row=%.1f\n",
 		*out, m.Rows, m.Cols, tableio.Count(int64(m.NNZ())), st.Gini,
 		tableio.Count(int64(st.MaxRowNNZ)), st.MeanRowNNZ)
 }
 
-func generate(kind string, n, nnz int, alpha float64, rownnz, band int, params rmat.Params, seed uint64, dataset string, scale int) (*sparse.CSR, error) {
-	if dataset != "" {
-		spec, err := datasets.ByName(dataset)
-		if err != nil {
-			return nil, err
-		}
-		return spec.Generate(scale)
+// write emits the matrix to the named file, or to stdout for "-" so genmat
+// composes in pipelines without touching disk.
+func write(out string, m *sparse.CSR) error {
+	if out != "-" {
+		return sparse.WriteMatrixMarketFile(out, m)
 	}
-	switch kind {
-	case "rmat":
-		return rmat.Generate(n, nnz, params, seed)
-	case "powerlaw":
-		return rmat.PowerLaw(n, nnz, alpha, seed)
-	case "mesh":
-		if band == 0 {
-			band = 3 * rownnz
-		}
-		return rmat.Mesh(n, rownnz, band, seed)
-	case "uniform":
-		return rmat.UniformRandom(n, n, nnz, seed)
-	default:
-		return nil, fmt.Errorf("unknown kind %q", kind)
+	bw := bufio.NewWriter(os.Stdout)
+	if err := sparse.WriteMatrixMarket(bw, m); err != nil {
+		return err
 	}
+	return bw.Flush()
 }

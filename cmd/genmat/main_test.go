@@ -1,52 +1,67 @@
 package main
 
 import (
+	"path/filepath"
 	"testing"
 
+	"github.com/blockreorg/blockreorg/internal/datasets"
 	"github.com/blockreorg/blockreorg/sparse"
-	"github.com/blockreorg/blockreorg/sparse/rmat"
 )
 
-func TestGenerateKinds(t *testing.T) {
-	params := rmat.Params{A: 0.45, B: 0.15, C: 0.15, D: 0.25}
-	cases := []struct {
-		kind string
-		rows int
-	}{
-		{"rmat", 500},
-		{"powerlaw", 500},
-		{"mesh", 500},
-		{"uniform", 500},
-	}
-	for _, c := range cases {
-		m, err := generate(c.kind, c.rows, 2000, 2.1, 8, 0, params, 7, "", 8)
-		if err != nil {
-			t.Fatalf("%s: %v", c.kind, err)
+func TestSynthesizeKinds(t *testing.T) {
+	for _, kind := range []string{"rmat", "powerlaw", "mesh", "uniform"} {
+		spec := datasets.GenSpec{Kind: kind, N: 500, NNZ: 2000, Alpha: 2.1, RowNNZ: 8, Seed: 7}
+		if kind == "rmat" {
+			spec.PA, spec.PB, spec.PC, spec.PD = 0.45, 0.15, 0.15, 0.25
 		}
-		if m.Rows != c.rows {
-			t.Fatalf("%s: %d rows", c.kind, m.Rows)
+		m, err := datasets.Synthesize(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if m.Rows != 500 {
+			t.Fatalf("%s: %d rows", kind, m.Rows)
 		}
 		if err := m.Validate(); err != nil {
-			t.Fatalf("%s: %v", c.kind, err)
+			t.Fatalf("%s: %v", kind, err)
 		}
 	}
 }
 
-func TestGenerateDataset(t *testing.T) {
-	m, err := generate("", 0, 0, 0, 0, 0, rmat.Params{}, 0, "harbor", 32)
+func TestSynthesizeDataset(t *testing.T) {
+	m, err := datasets.Synthesize(datasets.GenSpec{Kind: "dataset", Dataset: "harbor", Scale: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s := sparse.ComputeStats(m); s.IsSkewed() {
 		t.Fatal("harbor stand-in skewed")
 	}
-	if _, err := generate("", 0, 0, 0, 0, 0, rmat.Params{}, 0, "nosuch", 32); err == nil {
+	if _, err := datasets.Synthesize(datasets.GenSpec{Kind: "dataset", Dataset: "nosuch"}); err == nil {
 		t.Fatal("unknown dataset accepted")
 	}
 }
 
-func TestGenerateRejectsUnknownKind(t *testing.T) {
-	if _, err := generate("fractal", 10, 10, 2, 2, 0, rmat.Params{A: 0.25, B: 0.25, C: 0.25, D: 0.25}, 1, "", 1); err == nil {
+func TestSynthesizeRejectsUnknownKind(t *testing.T) {
+	if _, err := datasets.Synthesize(datasets.GenSpec{Kind: "fractal", N: 10, NNZ: 10, Seed: 1}); err == nil {
 		t.Fatal("unknown kind accepted")
+	}
+}
+
+// TestWriteRoundTrip exercises the file path of write; the "-" stdout path
+// shares the same encoder.
+func TestWriteRoundTrip(t *testing.T) {
+	m, err := datasets.Synthesize(datasets.GenSpec{Kind: "uniform", N: 64, NNZ: 256, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.mtx")
+	if err := write(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := sparse.ReadMatrixMarketFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != m.Rows || back.NNZ() != m.NNZ() {
+		t.Fatalf("round trip changed shape: %dx%d nnz=%d", back.Rows, back.Cols, back.NNZ())
 	}
 }

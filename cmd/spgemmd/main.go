@@ -40,6 +40,7 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", 2*time.Minute, "ceiling on client-requested deadlines")
 		drainWait  = flag.Duration("drain", time.Minute, "how long shutdown waits for in-flight jobs")
 		paranoid   = flag.Bool("paranoid", false, "run every job with the deep sanitizer layer")
+		traceOut   = flag.String("trace-out", "", "append a JSONL request trace to this file (replayable with spgemmload)")
 	)
 	flag.Parse()
 
@@ -51,6 +52,15 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		Paranoid:       *paranoid,
+	}
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spgemmd: opening trace file: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.RequestTrace = f
 	}
 	if err := run(cfg, *addr, *dataDir, *demo, *drainWait); err != nil {
 		fmt.Fprintf(os.Stderr, "spgemmd: %v\n", err)

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/blockreorg/blockreorg/workload"
+)
+
+const testSpecJSON = `{
+  "name": "smoke",
+  "seed": 7,
+  "duration_seconds": 0.8,
+  "classes": [
+    {
+      "name": "interactive",
+      "arrival": {"process": "poisson", "rate": 20},
+      "matrix": {"kind": "rmat", "n": 96, "nnz": 600},
+      "structure_pool": 2,
+      "slo": {"p95_ms": 2000}
+    },
+    {
+      "name": "batch",
+      "arrival": {"process": "gamma", "rate": 8, "cv": 2},
+      "matrix": {"kind": "powerlaw", "n": 128, "nnz": 900},
+      "structure_churn": 0.5,
+      "weight": 2
+    }
+  ]
+}`
+
+// TestHarnessEndToEnd walks the whole loop the ci.sh smoke gate scripts:
+// gen → run -self (recording a trace) → replay twice (byte-identical) →
+// score → calibrate → check against the committed schema golden.
+func TestHarnessEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a live in-process server")
+	}
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, []byte(testSpecJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// gen: the compiled stream dumps and is non-empty.
+	genOut := filepath.Join(dir, "stream.json")
+	if err := cmdGen([]string{"-spec", specPath, "-o", genOut}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if data, err := os.ReadFile(genOut); err != nil || !bytes.Contains(data, []byte(`"requests"`)) {
+		t.Fatalf("gen output: %v", err)
+	}
+
+	// run -self: live in-process traffic, trace recorded.
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	liveReport := filepath.Join(dir, "live.json")
+	if err := cmdRun([]string{"-spec", specPath, "-self", "-trace", tracePath, "-o", liveReport}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := workload.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("live run recorded no requests")
+	}
+	done := 0
+	for _, r := range recs {
+		if r.Outcome == workload.OutcomeDone {
+			done++
+			if r.PredictedSeconds <= 0 {
+				t.Fatalf("completed record carries no prediction: %+v", r)
+			}
+		}
+	}
+	if done == 0 {
+		t.Fatal("no request completed")
+	}
+
+	// replay twice: byte-identical reports.
+	repA := filepath.Join(dir, "replay-a.json")
+	repB := filepath.Join(dir, "replay-b.json")
+	replayArgs := func(out string) []string {
+		return []string{"-trace", tracePath, "-spec", specPath,
+			"-workers", "2", "-speed", "2", "-jitter", "0.1", "-seed", "42", "-o", out}
+	}
+	if err := cmdReplay(replayArgs(repA)); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if err := cmdReplay(replayArgs(repB)); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	a, err := os.ReadFile(repA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(repB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same trace + seed replayed to different reports")
+	}
+
+	// score: trace as-recorded.
+	scoreOut := filepath.Join(dir, "score.json")
+	if err := cmdScore([]string{"-trace", tracePath, "-spec", specPath, "-o", scoreOut}); err != nil {
+		t.Fatalf("score: %v", err)
+	}
+
+	// calibrate: MAPE and Pearson-r present.
+	calOut := filepath.Join(dir, "cal.json")
+	if err := cmdCalibrate([]string{"-trace", tracePath, "-o", calOut}); err != nil {
+		t.Fatalf("calibrate: %v", err)
+	}
+	cal, err := os.ReadFile(calOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"mape"`, `"pearson_r"`, `"fitted_mape"`} {
+		if !bytes.Contains(cal, []byte(key)) {
+			t.Fatalf("calibration report misses %s:\n%s", key, cal)
+		}
+	}
+
+	// check: every produced report conforms to the committed schema golden.
+	schema := filepath.Join("..", "..", "workload", "testdata", "fitness_schema.json")
+	for _, rep := range []string{liveReport, repA, scoreOut} {
+		if err := cmdCheck([]string{"-report", rep, "-schema", schema}); err != nil {
+			t.Fatalf("check %s: %v", rep, err)
+		}
+	}
+}
+
+func TestVerbErrors(t *testing.T) {
+	if err := cmdGen([]string{}); err == nil {
+		t.Fatal("gen without -spec accepted")
+	}
+	if err := cmdScore([]string{}); err == nil {
+		t.Fatal("score without -trace accepted")
+	}
+	if err := cmdRun([]string{"-spec", "x.json"}); err == nil {
+		t.Fatal("run without -self/-target accepted")
+	}
+	if err := cmdCheck([]string{"-report", "r.json"}); err == nil {
+		t.Fatal("check without -schema accepted")
+	}
+}

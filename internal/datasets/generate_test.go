@@ -1,0 +1,63 @@
+package datasets
+
+import (
+	"testing"
+)
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	spec := GenSpec{Kind: "powerlaw", N: 300, NNZ: 1500, Alpha: 2.2, Seed: 11}
+	a, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.StructureFingerprint() != b.StructureFingerprint() {
+		t.Fatal("same spec produced different structures")
+	}
+	spec.Seed = 12
+	c, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.StructureFingerprint() == c.StructureFingerprint() {
+		t.Fatal("different seeds produced the same structure")
+	}
+}
+
+func TestGenSpecDefaults(t *testing.T) {
+	// All-zero R-MAT probabilities select the Graph500 defaults.
+	m, err := Synthesize(GenSpec{Kind: "rmat", N: 128, NNZ: 512, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 128 {
+		t.Fatalf("rows = %d", m.Rows)
+	}
+	// Mesh defaults: rownnz 26, halfband 3x.
+	if _, err := Synthesize(GenSpec{Kind: "mesh", N: 128, NNZ: 1, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenSpecValidate(t *testing.T) {
+	bad := []GenSpec{
+		{},
+		{Kind: "rmat", N: 0, NNZ: 10, Seed: 1},
+		{Kind: "rmat", N: 10, NNZ: 10, PA: 0.9, PB: 0.9, PC: 0.1, PD: 0.1},
+		{Kind: "powerlaw", N: 10, NNZ: 10, Alpha: 0.5},
+		{Kind: "dataset"},
+		{Kind: "dataset", Dataset: "nosuch"},
+		{Kind: "fractal", N: 10, NNZ: 10},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Fatalf("case %d: invalid spec accepted: %+v", i, g)
+		}
+	}
+	if err := (GenSpec{Kind: "uniform", N: 16, NNZ: 32, Seed: 9}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -84,6 +84,10 @@ type MultiplyRequest struct {
 	A Operand  `json:"a"`
 	B *Operand `json:"b,omitempty"` // omitted: B = A, computing A²
 
+	// Class is an opaque client-chosen label (an SLO class) echoed into
+	// the request trace; the server does not interpret it.
+	Class string `json:"class,omitempty"`
+
 	Algorithm string `json:"algorithm,omitempty"` // default Block-Reorganizer
 	GPU       string `json:"gpu,omitempty"`       // default: the worker's device
 
@@ -128,6 +132,9 @@ type JobResult struct {
 	Plan *blockreorg.PlanSummary `json:"plan,omitempty"`
 	// WallSeconds is the host-side service time (queue excluded).
 	WallSeconds float64 `json:"wall_seconds"`
+	// QueueWaitSeconds is the time the job spent queued before a worker
+	// picked it up — the other half of the client-observed latency.
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
 	// Profile is the host-side phase breakdown, present when the request
 	// set "profile": true.
 	Profile *trace.Profile `json:"profile,omitempty"`
@@ -172,12 +179,13 @@ type JobStatus struct {
 // nil, req populated) or a pipeline run (preq set, b nil); both flow
 // through the same queue, worker pool and lifecycle.
 type job struct {
-	id       string
-	a, b     *sparse.CSR
-	fpA, fpB uint64
-	req      MultiplyRequest
-	preq     *PipelineRequest
-	deadline time.Time
+	id        string
+	a, b      *sparse.CSR
+	fpA, fpB  uint64
+	req       MultiplyRequest
+	preq      *PipelineRequest
+	deadline  time.Time
+	submitted time.Time // admission time, for queue-wait accounting
 
 	state     string
 	errKind   string
@@ -206,6 +214,7 @@ func (s *jobStore) add(a, b *sparse.CSR, fpA, fpB uint64, req MultiplyRequest, d
 		id: fmt.Sprintf("j-%d", s.next),
 		a:  a, b: b, fpA: fpA, fpB: fpB,
 		req: req, deadline: deadline,
+		submitted: time.Now(),
 		state:     StateQueued,
 		completed: make(chan struct{}),
 	}
@@ -222,6 +231,7 @@ func (s *jobStore) addPipeline(a *sparse.CSR, fpA uint64, preq *PipelineRequest,
 		id: fmt.Sprintf("j-%d", s.next),
 		a:  a, fpA: fpA,
 		preq: preq, deadline: deadline,
+		submitted: time.Now(),
 		state:     StateQueued,
 		completed: make(chan struct{}),
 	}

@@ -41,6 +41,11 @@ func (h *latencyHist) observe(v float64) {
 // Phases are finer-grained than whole jobs, so the grid starts at 100µs.
 var phaseBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
 
+// queueWaitBuckets are the upper bounds (seconds) of the admission-queue
+// wait histogram. An uncontended dequeue is microseconds; the tail covers
+// saturated-queue waits up to the default job timeout.
+var queueWaitBuckets = []float64{0.00001, 0.0001, 0.001, 0.01, 0.05, 0.1, 0.5, 1, 5, 30}
+
 // iterationBuckets are the upper bounds of the per-workload iteration
 // count histogram: convergent pipelines usually stop within a handful of
 // iterations, runaway ones pile into the tail.
@@ -62,6 +67,9 @@ type metrics struct {
 	byWorkload       map[string]*latencyHist
 	pipelinePlanHits uint64
 	pipelinePlanMiss uint64
+	// queueWait tracks time from admission to dequeue across all jobs —
+	// the latency component the per-algorithm service histograms exclude.
+	queueWait *latencyHist
 }
 
 func newMetrics() *metrics {
@@ -69,7 +77,15 @@ func newMetrics() *metrics {
 		byAlg:      make(map[string]*latencyHist),
 		byPhase:    make(map[string]*latencyHist),
 		byWorkload: make(map[string]*latencyHist),
+		queueWait:  newHist(queueWaitBuckets),
 	}
+}
+
+// addQueueWait records one job's admission-to-dequeue wait.
+func (m *metrics) addQueueWait(seconds float64) {
+	m.mu.Lock()
+	m.queueWait.observe(seconds)
+	m.mu.Unlock()
 }
 
 func (m *metrics) addSubmitted() { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
@@ -146,6 +162,9 @@ func (m *metrics) write(w io.Writer, cache CacheStats, queueDepth, queueCap int)
 	fmt.Fprintf(w, "# TYPE spgemmd_queue_capacity gauge\n")
 	fmt.Fprintf(w, "spgemmd_queue_capacity %d\n", queueCap)
 
+	fmt.Fprintf(w, "# TYPE spgemmd_queue_wait_seconds histogram\n")
+	writePlainHist(w, "spgemmd_queue_wait_seconds", m.queueWait)
+
 	fmt.Fprintf(w, "# TYPE spgemmd_plancache_hits_total counter\n")
 	fmt.Fprintf(w, "spgemmd_plancache_hits_total %d\n", cache.Hits)
 	fmt.Fprintf(w, "# TYPE spgemmd_plancache_misses_total counter\n")
@@ -209,6 +228,17 @@ func (m *metrics) write(w io.Writer, cache CacheStats, queueDepth, queueCap int)
 	for _, ph := range phases {
 		writeHist(w, "spgemmd_phase_seconds", "phase", ph, m.byPhase[ph])
 	}
+}
+
+// writePlainHist renders one unlabelled cumulative histogram in Prometheus
+// text exposition format.
+func writePlainHist(w io.Writer, name string, h *latencyHist) {
+	for i, ub := range h.buckets {
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, ub, h.counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
 }
 
 // writeHist renders one labelled cumulative histogram in Prometheus text

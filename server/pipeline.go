@@ -27,6 +27,9 @@ type PipelineRequest struct {
 	A Operand `json:"a"`
 	// Workload is "power", "mcl" or "similarity".
 	Workload string `json:"workload"`
+	// Class is an opaque client-chosen label (an SLO class) echoed into
+	// the request trace; the server does not interpret it.
+	Class string `json:"class,omitempty"`
 
 	// Power options: K is the exponent (default 2); Collapse projects onto
 	// the boolean semiring after every multiply; SelfLoops adds the
@@ -161,6 +164,7 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.metrics.addRejected()
+		s.traceRejected(j)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "queue is full (%d jobs)", s.cfg.QueueDepth)
 		return
@@ -179,9 +183,12 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 // drain never waits on a dead run's full workload.
 func (s *Server) runPipelineJob(j *job, workerGPU string) {
 	start := time.Now()
-	if !time.Now().Before(j.deadline) {
+	queueWait := start.Sub(j.submitted)
+	s.metrics.addQueueWait(queueWait.Seconds())
+	if !start.Before(j.deadline) {
 		s.jobs.fail(j, FailTimeout, "deadline expired while queued")
 		s.metrics.addFailed()
+		s.traceFailed(j, FailTimeout, queueWait)
 		return
 	}
 	s.jobs.setRunning(j)
@@ -243,16 +250,20 @@ func (s *Server) runPipelineJob(j *job, workerGPU string) {
 	}
 	if err != nil {
 		s.metrics.addFailed()
+		kind := FailInternal
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
+			kind = FailTimeout
 			s.jobs.fail(j, FailTimeout, fmt.Sprintf("deadline exceeded after %s", time.Since(start).Round(time.Millisecond)))
 		case errors.Is(err, blockreorg.ErrDimensionMismatch),
 			errors.Is(err, blockreorg.ErrUnknownAlgorithm),
 			errors.Is(err, blockreorg.ErrInvalidOptions):
+			kind = FailClient
 			s.jobs.fail(j, FailClient, err.Error())
 		default:
 			s.jobs.fail(j, FailInternal, err.Error())
 		}
+		s.traceFailed(j, kind, queueWait)
 		return
 	}
 
@@ -261,12 +272,13 @@ func (s *Server) runPipelineJob(j *job, workerGPU string) {
 	s.metrics.addPhases(profile)
 	s.metrics.addPipeline(req.Workload, res.Iterations, res.PlanHits, res.PlanMisses)
 	out := &JobResult{
-		Algorithm:   algorithm,
-		Device:      gpu,
-		Rows:        res.M.Rows,
-		Cols:        res.M.Cols,
-		NNZC:        int64(res.M.NNZ()),
-		WallSeconds: wall.Seconds(),
+		Algorithm:        algorithm,
+		Device:           gpu,
+		Rows:             res.M.Rows,
+		Cols:             res.M.Cols,
+		NNZC:             int64(res.M.NNZ()),
+		WallSeconds:      wall.Seconds(),
+		QueueWaitSeconds: queueWait.Seconds(),
 		Pipeline: &PipelineResult{
 			Workload:    req.Workload,
 			Iterations:  res.Iterations,
@@ -287,4 +299,7 @@ func (s *Server) runPipelineJob(j *job, workerGPU string) {
 	}
 	s.jobs.finish(j, out)
 	s.metrics.addCompleted("pipeline/"+req.Workload, wall.Seconds())
+	// A pipeline run spans many multiplies, so there is no single gpusim
+	// prediction to calibrate against; the record carries 0.
+	s.traceDone(j, out, profile, algorithm, gpu, 0)
 }

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/blockreorg/blockreorg/internal/trace"
+	"github.com/blockreorg/blockreorg/workload"
+)
+
+// The request-trace recorder. When Config.RequestTrace is set, the server
+// appends one workload.Record per terminal request — completed, failed, or
+// rejected at admission — as JSONL. The trace feeds `spgemmload replay`,
+// `score` and `calibrate`: arrival offsets are measured from the server's
+// construction, so a recorded burst replays with its original spacing.
+
+// traceRecord appends one record and flushes, so a crash or kill loses at
+// most the record being written. Append errors are sticky inside the writer
+// and deliberately not fatal to serving: losing trace lines must never fail
+// requests.
+func (s *Server) traceRecord(rec workload.Record) {
+	if s.reqTrace == nil {
+		return
+	}
+	rec.ArrivalSeconds = workloadRound(rec.ArrivalSeconds)
+	_ = s.reqTrace.Append(rec)
+	_ = s.reqTrace.Flush()
+}
+
+// workloadRound rounds trace times to microsecond precision, matching the
+// report layer's rounding.
+func workloadRound(v float64) float64 {
+	r := math.Round(v*1e6) / 1e6
+	if r == 0 {
+		return 0
+	}
+	return r
+}
+
+// traceBase builds the fields shared by every outcome of a job-shaped
+// request: arrival offset, class, kind, operand identity and shape.
+func (s *Server) traceBase(submitted time.Time, class, kind string, fpA, fpB uint64, rows, cols, nnz int, twoOperands bool) workload.Record {
+	rec := workload.Record{
+		ArrivalSeconds: submitted.Sub(s.traceStart).Seconds(),
+		Class:          class,
+		Kind:           kind,
+		FpA:            fmt.Sprintf("%016x", fpA),
+		Rows:           rows,
+		Cols:           cols,
+		NNZ:            nnz,
+	}
+	if twoOperands {
+		rec.FpB = fmt.Sprintf("%016x", fpB)
+	}
+	return rec
+}
+
+// traceJob derives the base record for an admitted job.
+func (s *Server) traceJob(j *job) workload.Record {
+	kind := "multiply"
+	class := j.req.Class
+	twoOperands := j.req.B != nil
+	if j.preq != nil {
+		kind = "pipeline/" + j.preq.Workload
+		class = j.preq.Class
+		twoOperands = false
+	}
+	return s.traceBase(j.submitted, class, kind, j.fpA, j.fpB, j.a.Rows, j.a.Cols, j.a.NNZ(), twoOperands)
+}
+
+// traceFailed records a terminal failure.
+func (s *Server) traceFailed(j *job, kind string, queueWait time.Duration) {
+	if s.reqTrace == nil {
+		return
+	}
+	rec := s.traceJob(j)
+	rec.Outcome = workload.FailedOutcome(kind)
+	rec.QueueWaitSeconds = workloadRound(queueWait.Seconds())
+	s.traceRecord(rec)
+}
+
+// traceDone records a completed job with its timing evidence: queue wait,
+// execution wall, the gpusim prediction, and the host phase breakdown.
+func (s *Server) traceDone(j *job, out *JobResult, profile *trace.Profile, alg, gpu string, predicted float64) {
+	if s.reqTrace == nil {
+		return
+	}
+	rec := s.traceJob(j)
+	rec.Outcome = workload.OutcomeDone
+	rec.Algorithm = alg
+	rec.GPU = gpu
+	rec.QueueWaitSeconds = workloadRound(out.QueueWaitSeconds)
+	rec.ExecSeconds = workloadRound(out.WallSeconds)
+	rec.PredictedSeconds = predicted
+	rec.PlanCacheHit = out.PlanCacheHit
+	if profile != nil && len(profile.Phases) > 0 {
+		rec.Phases = make(map[string]float64, len(profile.Phases))
+		for _, p := range profile.Phases {
+			rec.Phases[p.Phase] += p.Seconds
+		}
+	}
+	s.traceRecord(rec)
+}
+
+// traceRejected records an admission-queue rejection (429). The request
+// never became a job, so the record is built from the handler's resolved
+// operands.
+func (s *Server) traceRejected(j *job) {
+	if s.reqTrace == nil {
+		return
+	}
+	rec := s.traceJob(j)
+	rec.Outcome = workload.OutcomeRejected
+	s.traceRecord(rec)
+}

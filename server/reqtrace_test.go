@@ -1,0 +1,166 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/blockreorg/blockreorg/workload"
+)
+
+// syncBuffer guards a bytes.Buffer: the trace writer flushes from worker
+// goroutines while the test reads the accumulated bytes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+// TestRequestTraceAndQueueWait covers the recorder end to end: completed
+// jobs land in the trace with class, fingerprints, queue-wait/execute split
+// and phase seconds, the job response carries queue_wait_seconds, and the
+// queue-wait histogram shows up in /metrics.
+func TestRequestTraceAndQueueWait(t *testing.T) {
+	a := testNetwork(t, 300, 4000, 11)
+	var buf syncBuffer
+	s, ts := newTestServer(t, Config{Workers: 1, RequestTrace: &buf}, nil)
+	if _, err := s.Registry().Register("net", a); err != nil {
+		t.Fatal(err)
+	}
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		ids = append(ids, submit(t, ts.URL, MultiplyRequest{
+			A:     Operand{Name: "net"},
+			Class: "gold",
+		}))
+	}
+	for _, id := range ids {
+		st := pollDone(t, ts.URL, id)
+		if st.State != StateDone {
+			t.Fatalf("job %s: %s (%s)", id, st.State, st.Error)
+		}
+		if st.Result.QueueWaitSeconds < 0 {
+			t.Fatalf("job %s: negative queue wait %g", id, st.Result.QueueWaitSeconds)
+		}
+		if st.Result.WallSeconds <= 0 {
+			t.Fatalf("job %s: wall %g", id, st.Result.WallSeconds)
+		}
+	}
+
+	recs, err := workload.ReadTrace(bytes.NewReader(buf.bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("trace holds %d records, want 3", len(recs))
+	}
+	for _, r := range recs {
+		if r.Outcome != workload.OutcomeDone {
+			t.Fatalf("outcome = %s", r.Outcome)
+		}
+		if r.Class != "gold" || r.Kind != "multiply" {
+			t.Fatalf("record = %+v", r)
+		}
+		if r.FpA == "" || r.FpB != "" { // A²: B rides on A's fingerprint
+			t.Fatalf("fingerprints = %q / %q", r.FpA, r.FpB)
+		}
+		if r.Rows != a.Rows || r.NNZ != a.NNZ() {
+			t.Fatalf("shape = %dx%d nnz %d", r.Rows, r.Cols, r.NNZ)
+		}
+		if r.ExecSeconds <= 0 || r.QueueWaitSeconds < 0 {
+			t.Fatalf("timing = %g / %g", r.QueueWaitSeconds, r.ExecSeconds)
+		}
+		if r.PredictedSeconds <= 0 {
+			t.Fatalf("predicted = %g", r.PredictedSeconds)
+		}
+		if len(r.Phases) == 0 {
+			t.Fatal("record carries no phase breakdown")
+		}
+		if r.Algorithm == "" || r.GPU == "" {
+			t.Fatalf("resolved request missing: alg %q gpu %q", r.Algorithm, r.GPU)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(data)
+	if !strings.Contains(metrics, "spgemmd_queue_wait_seconds_count 3") {
+		t.Fatalf("queue-wait histogram missing or wrong count:\n%s", grepLines(metrics, "queue_wait"))
+	}
+	if !strings.Contains(metrics, `spgemmd_queue_wait_seconds_bucket{le="+Inf"} 3`) {
+		t.Fatalf("queue-wait +Inf bucket missing:\n%s", grepLines(metrics, "queue_wait"))
+	}
+}
+
+// grepLines filters metric output for failure messages.
+func grepLines(s, substr string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestRequestTraceRecordsRejections pins that admission-queue rejections
+// land in the trace. The worker pool is never started, so the queue (depth
+// 1) fills and the second submission bounces with 429.
+func TestRequestTraceRecordsRejections(t *testing.T) {
+	a := testNetwork(t, 100, 800, 5)
+	var buf syncBuffer
+	s, err := New(Config{Workers: 1, QueueDepth: 1, RequestTrace: &buf}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Registry().Register("net", a); err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(s.Handler())
+	t.Cleanup(front.Close)
+
+	req := MultiplyRequest{A: Operand{Name: "net"}, Class: "burst"}
+	submit(t, front.URL, req)
+	resp := postJSON(t, front.URL+"/v1/multiply", req, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit: status %d, want 429", resp.StatusCode)
+	}
+
+	recs, err := workload.ReadTrace(bytes.NewReader(buf.bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("trace holds %d records, want 1 (the rejection)", len(recs))
+	}
+	r := recs[0]
+	if r.Outcome != workload.OutcomeRejected || r.Class != "burst" {
+		t.Fatalf("record = %+v", r)
+	}
+	if r.ExecSeconds != 0 || r.QueueWaitSeconds != 0 {
+		t.Fatalf("rejection carries timing: %+v", r)
+	}
+}

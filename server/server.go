@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"sync"
 	"time"
 
 	"github.com/blockreorg/blockreorg"
+	"github.com/blockreorg/blockreorg/workload"
 )
 
 // Config tunes the serving layer. Zero values select the defaults noted on
@@ -36,6 +38,13 @@ type Config struct {
 	MaxBodyBytes int64
 	// Paranoid runs every multiplication with the deep sanitizer layer.
 	Paranoid bool
+	// RequestTrace, when set, receives an append-only JSONL request trace
+	// (one workload.Record per terminal request: completed, failed, or
+	// rejected at admission). Arrival offsets are measured from server
+	// construction. Typically an append-opened file; spgemmd wires its
+	// -trace-out flag here. The trace feeds `spgemmload replay/score/
+	// calibrate`.
+	RequestTrace io.Writer
 }
 
 // withDefaults fills the zero fields and validates the device names.
@@ -99,6 +108,11 @@ type Server struct {
 	queue   chan *job
 	mux     *http.ServeMux
 
+	// reqTrace is the request-trace recorder (nil when Config.RequestTrace
+	// is unset); traceStart anchors its arrival offsets.
+	reqTrace   *workload.TraceWriter
+	traceStart time.Time
+
 	wg        sync.WaitGroup
 	startOnce sync.Once
 	mu        sync.Mutex // guards draining and the queue close
@@ -117,12 +131,16 @@ func New(cfg Config, reg *Registry) (*Server, error) {
 		reg = NewRegistry()
 	}
 	s := &Server{
-		cfg:     cfg,
-		reg:     reg,
-		cache:   NewPlanCache(cfg.PlanCacheSize),
-		jobs:    newJobStore(),
-		metrics: newMetrics(),
-		queue:   make(chan *job, cfg.QueueDepth),
+		cfg:        cfg,
+		reg:        reg,
+		cache:      NewPlanCache(cfg.PlanCacheSize),
+		jobs:       newJobStore(),
+		metrics:    newMetrics(),
+		queue:      make(chan *job, cfg.QueueDepth),
+		traceStart: time.Now(),
+	}
+	if cfg.RequestTrace != nil {
+		s.reqTrace = workload.NewTraceWriter(cfg.RequestTrace)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -230,9 +248,12 @@ func (s *Server) runJob(j *job, workerGPU string) {
 		return
 	}
 	start := time.Now()
-	if !time.Now().Before(j.deadline) {
+	queueWait := start.Sub(j.submitted)
+	s.metrics.addQueueWait(queueWait.Seconds())
+	if !start.Before(j.deadline) {
 		s.jobs.fail(j, FailTimeout, "deadline expired while queued")
 		s.metrics.addFailed()
+		s.traceFailed(j, FailTimeout, queueWait)
 		return
 	}
 	s.jobs.setRunning(j)
@@ -289,16 +310,20 @@ func (s *Server) runJob(j *job, workerGPU string) {
 	res, err := blockreorg.MultiplyContext(ctx, j.a, j.b, opts)
 	if err != nil {
 		s.metrics.addFailed()
+		kind := FailInternal
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
+			kind = FailTimeout
 			s.jobs.fail(j, FailTimeout, fmt.Sprintf("deadline exceeded after %s", time.Since(start).Round(time.Millisecond)))
 		case errors.Is(err, blockreorg.ErrDimensionMismatch),
 			errors.Is(err, blockreorg.ErrUnknownAlgorithm),
 			errors.Is(err, blockreorg.ErrInvalidOptions):
+			kind = FailClient
 			s.jobs.fail(j, FailClient, err.Error())
 		default:
 			s.jobs.fail(j, FailInternal, err.Error())
 		}
+		s.traceFailed(j, kind, queueWait)
 		return
 	}
 	if cacheable && !hit && res.ReusablePlan() != nil {
@@ -323,6 +348,7 @@ func (s *Server) runJob(j *job, workerGPU string) {
 		PlanCacheHit:     res.PlanReused,
 		Plan:             res.Plan,
 		WallSeconds:      wall.Seconds(),
+		QueueWaitSeconds: queueWait.Seconds(),
 	}
 	if j.req.Profile {
 		out.Profile = profile
@@ -332,6 +358,7 @@ func (s *Server) runJob(j *job, workerGPU string) {
 	}
 	s.jobs.finish(j, out)
 	s.metrics.addCompleted(string(res.Algorithm), wall.Seconds())
+	s.traceDone(j, out, profile, string(res.Algorithm), res.Device, res.TotalSeconds)
 }
 
 // --- HTTP handlers ---
@@ -478,6 +505,7 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.metrics.addRejected()
+		s.traceRejected(j)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "queue is full (%d jobs)", s.cfg.QueueDepth)
 		return

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"strings"
+)
+
+// interarrival samples successive inter-arrival gaps (seconds) of one
+// class's arrival process. Implementations are deterministic given their
+// rand source.
+type interarrival interface {
+	next() float64
+}
+
+// newInterarrival builds the sampler for a validated ArrivalSpec.
+func newInterarrival(a ArrivalSpec, rng *rand.Rand) (interarrival, error) {
+	mean := 1 / a.Rate
+	switch strings.ToLower(a.Process) {
+	case ArrivalPoisson:
+		return &expSampler{mean: mean, rng: rng}, nil
+	case ArrivalGamma:
+		// Mean m and coefficient of variation c fix the gamma parameters:
+		// shape k = 1/c², scale θ = m·c².
+		k := 1 / (a.CV * a.CV)
+		return &gammaSampler{shape: k, scale: mean / k, rng: rng}, nil
+	case ArrivalWeibull:
+		k, err := weibullShapeFromCV(a.CV)
+		if err != nil {
+			return nil, err
+		}
+		return &weibullSampler{shape: k, scale: mean / math.Gamma(1+1/k), rng: rng}, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown arrival process %q", a.Process)
+	}
+}
+
+// expSampler draws exponential gaps (the Poisson process).
+type expSampler struct {
+	mean float64
+	rng  *rand.Rand
+}
+
+func (s *expSampler) next() float64 { return s.rng.ExpFloat64() * s.mean }
+
+// gammaSampler draws gamma gaps via Marsaglia–Tsang squeeze (shape ≥ 1)
+// with the standard power boost for shape < 1.
+type gammaSampler struct {
+	shape, scale float64
+	rng          *rand.Rand
+}
+
+func (s *gammaSampler) next() float64 {
+	return sampleGamma(s.shape, s.rng) * s.scale
+}
+
+// sampleGamma draws from Gamma(shape, 1).
+func sampleGamma(shape float64, rng *rand.Rand) float64 {
+	if shape < 1 {
+		// Boost: Gamma(k) = Gamma(k+1) · U^(1/k).
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return sampleGamma(shape+1, rng) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// weibullSampler draws Weibull gaps by inverse transform.
+type weibullSampler struct {
+	shape, scale float64
+	rng          *rand.Rand
+}
+
+func (s *weibullSampler) next() float64 {
+	u := s.rng.Float64()
+	for u == 0 {
+		u = s.rng.Float64()
+	}
+	return s.scale * math.Pow(-math.Log(u), 1/s.shape)
+}
+
+// weibullCV is the coefficient of variation of a Weibull with shape k:
+// sqrt(Γ(1+2/k)/Γ(1+1/k)² − 1). It decreases monotonically in k.
+func weibullCV(k float64) float64 {
+	g1 := math.Gamma(1 + 1/k)
+	g2 := math.Gamma(1 + 2/k)
+	v := g2/(g1*g1) - 1
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// weibullShapeFromCV inverts weibullCV by bisection over the shape range
+// covering CV ∈ [0.05, 10] (ArrivalSpec.Validate bounds the request).
+func weibullShapeFromCV(cv float64) (float64, error) {
+	lo, hi := 0.15, 40.0 // CV(0.15) ≈ 34, CV(40) ≈ 0.032
+	if cv > weibullCV(lo) || cv < weibullCV(hi) {
+		return 0, fmt.Errorf("workload: weibull cv %g out of invertible range", cv)
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if weibullCV(mid) > cv {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

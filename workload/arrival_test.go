@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// sampleStats draws n gaps and returns their mean and coefficient of
+// variation.
+func sampleStats(t *testing.T, spec ArrivalSpec, seed uint64, n int) (mean, cv float64) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 1))
+	s, err := newInterarrival(spec, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.next()
+		if v < 0 {
+			t.Fatalf("negative gap %g", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean = sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance) / mean
+}
+
+// TestArrivalMoments pins each process's mean and CV under a fixed seed:
+// 40k draws keep the sample error well under the tolerances.
+func TestArrivalMoments(t *testing.T) {
+	cases := []struct {
+		name   string
+		spec   ArrivalSpec
+		wantCV float64
+	}{
+		{"poisson", ArrivalSpec{Process: ArrivalPoisson, Rate: 50}, 1},
+		{"gamma-smooth", ArrivalSpec{Process: ArrivalGamma, Rate: 50, CV: 0.4}, 0.4},
+		{"gamma-bursty", ArrivalSpec{Process: ArrivalGamma, Rate: 50, CV: 2.5}, 2.5},
+		{"weibull-smooth", ArrivalSpec{Process: ArrivalWeibull, Rate: 50, CV: 0.5}, 0.5},
+		{"weibull-bursty", ArrivalSpec{Process: ArrivalWeibull, Rate: 50, CV: 2}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mean, cv := sampleStats(t, c.spec, 42, 40_000)
+			wantMean := 1 / c.spec.Rate
+			if math.Abs(mean-wantMean)/wantMean > 0.05 {
+				t.Errorf("mean = %g, want %g ±5%%", mean, wantMean)
+			}
+			if math.Abs(cv-c.wantCV)/c.wantCV > 0.08 {
+				t.Errorf("cv = %g, want %g ±8%%", cv, c.wantCV)
+			}
+		})
+	}
+}
+
+// TestArrivalDeterministic pins that the same seed reproduces the same
+// gaps exactly.
+func TestArrivalDeterministic(t *testing.T) {
+	for _, spec := range []ArrivalSpec{
+		{Process: ArrivalPoisson, Rate: 10},
+		{Process: ArrivalGamma, Rate: 10, CV: 1.7},
+		{Process: ArrivalWeibull, Rate: 10, CV: 0.8},
+	} {
+		a, err := newInterarrival(spec, rand.New(rand.NewPCG(7, 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := newInterarrival(spec, rand.New(rand.NewPCG(7, 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			if x, y := a.next(), b.next(); x != y {
+				t.Fatalf("%s: draw %d diverged: %g vs %g", spec.Process, i, x, y)
+			}
+		}
+	}
+}
+
+// TestWeibullShapeInversion checks the CV→shape bisection round-trips.
+func TestWeibullShapeInversion(t *testing.T) {
+	for _, cv := range []float64{0.05, 0.2, 0.5, 1, 2, 5, 10} {
+		k, err := weibullShapeFromCV(cv)
+		if err != nil {
+			t.Fatalf("cv %g: %v", cv, err)
+		}
+		if got := weibullCV(k); math.Abs(got-cv)/cv > 1e-6 {
+			t.Errorf("cv %g: shape %g gives cv %g", cv, k, got)
+		}
+	}
+	// Weibull with CV 1 is the exponential (shape 1).
+	k, err := weibullShapeFromCV(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k-1) > 1e-6 {
+		t.Errorf("cv 1 should invert to shape 1, got %g", k)
+	}
+}
+
+func TestArrivalValidate(t *testing.T) {
+	bad := []ArrivalSpec{
+		{},
+		{Process: "pareto", Rate: 1},
+		{Process: ArrivalPoisson, Rate: 0},
+		{Process: ArrivalPoisson, Rate: 1, CV: 2},
+		{Process: ArrivalGamma, Rate: 1},
+		{Process: ArrivalGamma, Rate: 1, CV: 20},
+		{Process: ArrivalWeibull, Rate: 1, CV: 0.01},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, a)
+		}
+	}
+	good := []ArrivalSpec{
+		{Process: ArrivalPoisson, Rate: 100},
+		{Process: ArrivalPoisson, Rate: 1, CV: 1},
+		{Process: ArrivalGamma, Rate: 0.5, CV: 3},
+		{Process: ArrivalWeibull, Rate: 2, CV: 0.3},
+	}
+	for i, a := range good {
+		if err := a.Validate(); err != nil {
+			t.Errorf("case %d rejected: %v", i, err)
+		}
+	}
+}

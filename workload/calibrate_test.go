@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCalibratePairsProportional(t *testing.T) {
+	// predicted = 2 × measured: perfectly correlated, off by a unit factor.
+	meas := []float64{0.1, 0.2, 0.3, 0.4}
+	pred := make([]float64, len(meas))
+	for i, m := range meas {
+		pred[i] = 2 * m
+	}
+	row := calibratePairs("x", pred, meas)
+	if row.Count != 4 {
+		t.Fatalf("count = %d", row.Count)
+	}
+	// MAPE = mean |2m − m| / m = 1.
+	if math.Abs(row.MAPE-1) > 1e-9 {
+		t.Fatalf("MAPE = %g", row.MAPE)
+	}
+	// Least-squares ratio s minimizing Σ(m − s·p)² is 0.5; after rescaling
+	// the fit is exact.
+	if math.Abs(row.Ratio-0.5) > 1e-9 {
+		t.Fatalf("ratio = %g", row.Ratio)
+	}
+	if row.FittedMAPE != 0 {
+		t.Fatalf("fitted MAPE = %g", row.FittedMAPE)
+	}
+	if row.PearsonR != 1 {
+		t.Fatalf("pearson = %g", row.PearsonR)
+	}
+}
+
+func TestCalibratePairsKnownValues(t *testing.T) {
+	// Hand-computed: pred {1, 2}, meas {2, 2}.
+	// MAPE = (|1−2|/2 + |2−2|/2)/2 = 0.25.
+	// Ratio = ΣPM/ΣPP = (2+4)/(1+4) = 1.2.
+	// FittedMAPE = (|1.2−2|/2 + |2.4−2|/2)/2 = (0.4 + 0.2)/2 = 0.3.
+	// PearsonR undefined (meas has zero variance) → 0.
+	row := calibratePairs("x", []float64{1, 2}, []float64{2, 2})
+	if math.Abs(row.MAPE-0.25) > 1e-9 {
+		t.Fatalf("MAPE = %g", row.MAPE)
+	}
+	if math.Abs(row.Ratio-1.2) > 1e-9 {
+		t.Fatalf("ratio = %g", row.Ratio)
+	}
+	if math.Abs(row.FittedMAPE-0.3) > 1e-9 {
+		t.Fatalf("fitted MAPE = %g", row.FittedMAPE)
+	}
+	if row.PearsonR != 0 {
+		t.Fatalf("pearson = %g", row.PearsonR)
+	}
+
+	// Anti-correlated: pred {1, 2, 3}, meas {3, 2, 1} → r = −1.
+	row = calibratePairs("x", []float64{1, 2, 3}, []float64{3, 2, 1})
+	if math.Abs(row.PearsonR+1) > 1e-9 {
+		t.Fatalf("anti-correlated pearson = %g", row.PearsonR)
+	}
+
+	// Degenerate: empty and singleton.
+	if row := calibratePairs("x", nil, nil); row.Count != 0 || row.MAPE != 0 {
+		t.Fatalf("empty row = %+v", row)
+	}
+	if row := calibratePairs("x", []float64{1}, []float64{2}); row.PearsonR != 0 {
+		t.Fatalf("singleton pearson = %g", row.PearsonR)
+	}
+}
+
+func TestMeasuredSeconds(t *testing.T) {
+	// Phase sum excludes the unattributed "other" bucket.
+	r := &Record{ExecSeconds: 0.5, Phases: map[string]float64{
+		"expansion": 0.1, "merge": 0.2, "other": 0.15,
+	}}
+	if got := measuredSeconds(r); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("measured = %g", got)
+	}
+	// No phases: fall back to exec wall.
+	if got := measuredSeconds(&Record{ExecSeconds: 0.5}); got != 0.5 {
+		t.Fatalf("fallback measured = %g", got)
+	}
+	// Only an "other" bucket: still fall back.
+	r = &Record{ExecSeconds: 0.5, Phases: map[string]float64{"other": 0.4}}
+	if got := measuredSeconds(r); got != 0.5 {
+		t.Fatalf("other-only measured = %g", got)
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	recs := []Record{
+		{Class: "a", Outcome: OutcomeDone, ExecSeconds: 0.2, PredictedSeconds: 0.1},
+		{Class: "a", Outcome: OutcomeDone, ExecSeconds: 0.4, PredictedSeconds: 0.2},
+		{Class: "b", Outcome: OutcomeDone, ExecSeconds: 0.6, PredictedSeconds: 0.3},
+		// Ignored: failed, rejected, and prediction-free records.
+		{Class: "a", Outcome: FailedOutcome("timeout"), PredictedSeconds: 0.1},
+		{Class: "a", Outcome: OutcomeRejected},
+		{Class: "b", Outcome: OutcomeDone, ExecSeconds: 0.5},
+	}
+	cal := Calibrate(recs)
+	if cal == nil {
+		t.Fatal("nil calibration")
+	}
+	if cal.Overall.Count != 3 {
+		t.Fatalf("overall count = %d", cal.Overall.Count)
+	}
+	// All three pairs sit on measured = 2 × predicted.
+	if cal.Overall.Ratio != 2 || cal.Overall.PearsonR != 1 || cal.Overall.FittedMAPE != 0 {
+		t.Fatalf("overall = %+v", cal.Overall)
+	}
+	if len(cal.Classes) != 2 || cal.Classes[0].Class != "a" || cal.Classes[1].Class != "b" {
+		t.Fatalf("classes = %+v", cal.Classes)
+	}
+	if cal.Classes[0].Count != 2 || cal.Classes[1].Count != 1 {
+		t.Fatalf("class counts = %d, %d", cal.Classes[0].Count, cal.Classes[1].Count)
+	}
+
+	// Single-class traces skip the per-class rows.
+	cal = Calibrate(recs[:2])
+	if cal == nil || cal.Classes != nil {
+		t.Fatalf("single-class calibration = %+v", cal)
+	}
+
+	// No predictions → no calibration section.
+	if cal := Calibrate([]Record{{Outcome: OutcomeDone, ExecSeconds: 0.1}}); cal != nil {
+		t.Fatalf("prediction-free calibration = %+v", cal)
+	}
+}

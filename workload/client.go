@@ -1,0 +1,318 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/blockreorg/blockreorg/internal/datasets"
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+// Client drives a live spgemmd over its HTTP API. The wire structs are
+// local mirrors of the server's JSON schema — the server package imports
+// this one for the trace Record, so the dependency cannot point back.
+type Client struct {
+	// Base is the server root, e.g. "http://localhost:8447".
+	Base string
+	// HTTP is the transport (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// errRejected marks a 429/503 admission refusal.
+type errRejected struct{ status int }
+
+func (e *errRejected) Error() string { return fmt.Sprintf("rejected with status %d", e.status) }
+
+// postJSON posts v and decodes the response into out (when non-nil).
+func (c *Client) postJSON(ctx context.Context, path string, v, out any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<28))
+	if err != nil {
+		return err
+	}
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		return &errRejected{status: resp.StatusCode}
+	case resp.StatusCode >= 300:
+		return fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Register uploads m under name. A name conflict is treated as success:
+// workload matrix names encode their synthesis spec, so an existing entry
+// is the same matrix (registered by an earlier run or replay).
+func (c *Client) Register(ctx context.Context, name string, m *sparse.CSR) error {
+	coo := m.ToCOO()
+	body := map[string]any{
+		"name": name,
+		"coo": map[string]any{
+			"rows": coo.Rows, "cols": coo.Cols,
+			"i": coo.I, "j": coo.J, "v": coo.V,
+		},
+	}
+	err := c.postJSON(ctx, "/v1/matrices", body, nil)
+	if err != nil && strings.Contains(err.Error(), "already registered") {
+		return nil
+	}
+	return err
+}
+
+// multiplyBody mirrors server.MultiplyRequest (the fields the runner uses).
+type multiplyBody struct {
+	A struct {
+		Name string `json:"name"`
+	} `json:"a"`
+	Class     string `json:"class,omitempty"`
+	Algorithm string `json:"algorithm,omitempty"`
+	GPU       string `json:"gpu,omitempty"`
+	Profile   bool   `json:"profile"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// jobStatus mirrors server.JobStatus.
+type jobStatus struct {
+	State     string     `json:"state"`
+	ErrorKind string     `json:"error_kind"`
+	Error     string     `json:"error"`
+	Result    *jobResult `json:"result"`
+}
+
+// jobResult mirrors the slice of server.JobResult the runner records.
+type jobResult struct {
+	Algorithm        string      `json:"algorithm"`
+	Device           string      `json:"device"`
+	TotalSeconds     float64     `json:"total_seconds"`
+	WallSeconds      float64     `json:"wall_seconds"`
+	QueueWaitSeconds float64     `json:"queue_wait_seconds"`
+	PlanCacheHit     bool        `json:"plan_cache_hit"`
+	Profile          *jobProfile `json:"profile"`
+}
+
+type jobProfile struct {
+	Phases []struct {
+		Phase   string  `json:"phase"`
+		Seconds float64 `json:"seconds"`
+	} `json:"phases"`
+}
+
+// RunOptions configures a live load run.
+type RunOptions struct {
+	// Speed compresses the compiled arrival timeline (2 = twice the
+	// arrival rate). Default 1.
+	Speed float64
+	// PollInterval is the job-status polling cadence (default 5ms).
+	PollInterval time.Duration
+	// RequestTimeout is the per-request timeout_ms sent to the server
+	// (0: server default).
+	RequestTimeout time.Duration
+	// OnProgress, when set, receives each completed record (unordered,
+	// from issuing goroutines — it must be cheap and is serialized by the
+	// runner).
+	OnProgress func(Record)
+}
+
+// Run issues a compiled request stream against a live server and returns
+// one Record per request, in arrival order. It synthesizes and registers
+// every distinct operand first, then fires each request at its scheduled
+// offset from its own goroutine, polling the job to completion. Records
+// carry the operand's GenSpec, so a recorded live run can be re-registered
+// and re-issued later.
+func Run(ctx context.Context, client *Client, reqs []Request, opts RunOptions) ([]Record, error) {
+	if opts.Speed == 0 {
+		opts.Speed = 1
+	}
+	if opts.Speed < 0 {
+		return nil, fmt.Errorf("workload: negative speed %g", opts.Speed)
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 5 * time.Millisecond
+	}
+
+	// Materialize and register the distinct operands up front — synthesis
+	// must not perturb the arrival timeline.
+	specs, err := Materialize(reqs)
+	if err != nil {
+		return nil, err
+	}
+	mats := make(map[string]*sparse.CSR, len(specs))
+	names := make([]string, 0, len(specs))
+	for name := range specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m, err := datasets.Synthesize(*specs[name])
+		if err != nil {
+			return nil, fmt.Errorf("workload: synthesizing %s: %w", name, err)
+		}
+		if err := client.Register(ctx, name, m); err != nil {
+			return nil, fmt.Errorf("workload: registering %s: %w", name, err)
+		}
+		mats[name] = m
+	}
+
+	var (
+		mu      sync.Mutex
+		records []Record
+		wg      sync.WaitGroup
+	)
+	start := time.Now()
+	for i := range reqs {
+		req := reqs[i]
+		at := time.Duration(float64(time.Second) * req.AtSeconds / opts.Speed)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(time.Until(start.Add(at))):
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := issueRequest(ctx, client, &req, mats[req.MatrixName], time.Since(start).Seconds(), opts)
+			mu.Lock()
+			records = append(records, rec)
+			if opts.OnProgress != nil {
+				opts.OnProgress(rec)
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	sortRecords(records)
+	for i := range records {
+		records[i].Seq = i
+	}
+	return records, nil
+}
+
+// issueRequest submits one request, polls it to a terminal state, and builds
+// its record.
+func issueRequest(ctx context.Context, client *Client, req *Request, m *sparse.CSR, arrival float64, opts RunOptions) Record {
+	gen := req.Gen
+	rec := Record{
+		ArrivalSeconds: round6(arrival),
+		Class:          req.Class,
+		Kind:           "multiply",
+		Algorithm:      req.Algorithm,
+		GPU:            req.GPU,
+		Gen:            &gen,
+	}
+	if m != nil {
+		rec.FpA = fmt.Sprintf("%016x", m.StructureFingerprint())
+		rec.Rows, rec.Cols, rec.NNZ = m.Rows, m.Cols, m.NNZ()
+	}
+	var body multiplyBody
+	body.A.Name = req.MatrixName
+	body.Class = req.Class
+	body.Algorithm = req.Algorithm
+	body.GPU = req.GPU
+	body.Profile = true
+	if opts.RequestTimeout > 0 {
+		body.TimeoutMS = opts.RequestTimeout.Milliseconds()
+	}
+	var accepted struct {
+		URL string `json:"url"`
+	}
+	if err := client.postJSON(ctx, "/v1/multiply", &body, &accepted); err != nil {
+		if _, ok := err.(*errRejected); ok {
+			rec.Outcome = OutcomeRejected
+		} else {
+			rec.Outcome = FailedOutcome("client")
+		}
+		return rec
+	}
+	st, err := client.waitJob(ctx, accepted.URL, opts.PollInterval)
+	if err != nil {
+		rec.Outcome = FailedOutcome("internal")
+		return rec
+	}
+	if st.State != "done" || st.Result == nil {
+		kind := st.ErrorKind
+		if kind == "" {
+			kind = "internal"
+		}
+		rec.Outcome = FailedOutcome(kind)
+		return rec
+	}
+	res := st.Result
+	rec.Outcome = OutcomeDone
+	rec.Algorithm = res.Algorithm
+	rec.GPU = res.Device
+	rec.QueueWaitSeconds = round6(res.QueueWaitSeconds)
+	rec.ExecSeconds = round6(res.WallSeconds)
+	rec.PredictedSeconds = res.TotalSeconds
+	rec.PlanCacheHit = res.PlanCacheHit
+	if res.Profile != nil && len(res.Profile.Phases) > 0 {
+		rec.Phases = make(map[string]float64, len(res.Profile.Phases))
+		for _, p := range res.Profile.Phases {
+			rec.Phases[p.Phase] += p.Seconds
+		}
+	}
+	return rec
+}
+
+// waitJob polls a job URL until the job leaves the queue/running states.
+func (c *Client) waitJob(ctx context.Context, url string, interval time.Duration) (*jobStatus, error) {
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+url, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return nil, err
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<28))
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode >= 300 {
+			return nil, fmt.Errorf("job poll: status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+		}
+		var st jobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			return nil, err
+		}
+		if st.State == "done" || st.State == "failed" {
+			return &st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the schema golden")
+
+const schemaGolden = "testdata/fitness_schema.json"
+
+// maximalReport builds a report exercising every optional section: SLO
+// verdicts with violations, replay options with all knobs, and per-class
+// calibration rows. Its rendered key paths ARE the schema.
+func maximalReport(t *testing.T) []byte {
+	t.Helper()
+	spec := testSpec()
+	// Tighten the SLO so the replay violates it — the violations array and
+	// the error-budget target must appear in the schema.
+	spec.Classes[0].SLO = SLOSpec{P50Millis: 1, P95Millis: 2, P99Millis: 3, MaxErrorRate: 0.001}
+	rep, err := ReplayScore(syntheticTrace(), ReplayOptions{
+		Workers: 1, Speed: 2, QueueDepth: 4, ServiceJitter: 0.1, Seed: 7,
+	}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Calibration == nil || len(rep.Calibration.Classes) < 2 {
+		t.Fatal("maximal report misses per-class calibration")
+	}
+	violated := false
+	for _, c := range rep.Classes {
+		if c.SLO != nil && len(c.SLO.Violations) > 0 {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Fatal("maximal report misses an SLO violation")
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReportSchemaGolden pins the report's JSON field set against the
+// committed golden that `spgemmload check` and the ci.sh smoke gate consume.
+// Regenerate with: go test ./workload -run TestReportSchemaGolden -update
+func TestReportSchemaGolden(t *testing.T) {
+	paths, err := SchemaPaths(maximalReport(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		data, err := json.MarshalIndent(paths, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(schemaGolden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(schemaGolden, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(schemaGolden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	var want []string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != len(want) {
+		t.Fatalf("schema drift: %d paths, golden has %d (run with -update after a deliberate change)", len(paths), len(want))
+	}
+	for i := range paths {
+		if paths[i] != want[i] {
+			t.Fatalf("schema drift at %q (golden %q)", paths[i], want[i])
+		}
+	}
+}
+
+func TestCheckSchema(t *testing.T) {
+	full := maximalReport(t)
+	allowed, err := SchemaPaths(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full report validates against its own schema.
+	if err := CheckSchema(full, allowed); err != nil {
+		t.Fatal(err)
+	}
+	// A sparser report — optional sections omitted — still validates.
+	sparse := Score(syntheticTrace()[:3], nil, "trace")
+	var buf bytes.Buffer
+	if err := sparse.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSchema(buf.Bytes(), allowed); err != nil {
+		t.Fatalf("sparse report rejected: %v", err)
+	}
+	// A new field fails with its path.
+	invented := strings.Replace(string(full), `"source"`, `"invented_field": 1, "source"`, 1)
+	err = CheckSchema([]byte(invented), allowed)
+	if err == nil || !strings.Contains(err.Error(), "invented_field") {
+		t.Fatalf("invented field error = %v", err)
+	}
+}
+
+func TestReadReportRoundTrip(t *testing.T) {
+	data := maximalReport(t)
+	rep, err := ReadReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, buf.Bytes()) {
+		t.Fatal("report did not survive a decode/encode round trip")
+	}
+}

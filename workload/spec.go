@@ -1,0 +1,225 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/blockreorg/blockreorg/internal/datasets"
+)
+
+// Arrival process names.
+const (
+	ArrivalPoisson = "poisson"
+	ArrivalGamma   = "gamma"
+	ArrivalWeibull = "weibull"
+)
+
+// ArrivalSpec declares a class's arrival process. Rate is the mean request
+// rate in requests per second; CV is the coefficient of variation of the
+// inter-arrival times for the gamma and weibull processes (CV < 1 is
+// smoother than Poisson, CV > 1 is burstier; Poisson is fixed at CV 1).
+type ArrivalSpec struct {
+	Process string  `json:"process"`
+	Rate    float64 `json:"rate"`
+	CV      float64 `json:"cv,omitempty"`
+}
+
+// Validate checks the arrival declaration.
+func (a ArrivalSpec) Validate() error {
+	switch strings.ToLower(a.Process) {
+	case ArrivalPoisson:
+		if a.CV != 0 && a.CV != 1 {
+			return fmt.Errorf("workload: poisson arrivals have cv 1, got %g", a.CV)
+		}
+	case ArrivalGamma, ArrivalWeibull:
+		if a.CV <= 0 {
+			return fmt.Errorf("workload: %s arrivals need cv > 0, got %g", a.Process, a.CV)
+		}
+		if a.CV < 0.05 || a.CV > 10 {
+			return fmt.Errorf("workload: cv %g outside the supported [0.05, 10]", a.CV)
+		}
+	case "":
+		return fmt.Errorf("workload: missing arrival process")
+	default:
+		return fmt.Errorf("workload: unknown arrival process %q", a.Process)
+	}
+	if a.Rate <= 0 {
+		return fmt.Errorf("workload: arrival rate %g must be positive", a.Rate)
+	}
+	return nil
+}
+
+// SLOSpec declares a class's latency and reliability targets. Zero fields
+// are unset (not scored). Latency targets apply to the end-to-end request
+// latency: queue wait plus execution.
+type SLOSpec struct {
+	P50Millis    float64 `json:"p50_ms,omitempty"`
+	P95Millis    float64 `json:"p95_ms,omitempty"`
+	P99Millis    float64 `json:"p99_ms,omitempty"`
+	MaxErrorRate float64 `json:"max_error_rate,omitempty"`
+}
+
+// Validate checks the SLO declaration.
+func (s SLOSpec) Validate() error {
+	if s.P50Millis < 0 || s.P95Millis < 0 || s.P99Millis < 0 {
+		return fmt.Errorf("workload: negative SLO latency target")
+	}
+	if s.P50Millis > 0 && s.P95Millis > 0 && s.P95Millis < s.P50Millis {
+		return fmt.Errorf("workload: p95 target %gms below p50 target %gms", s.P95Millis, s.P50Millis)
+	}
+	if s.P95Millis > 0 && s.P99Millis > 0 && s.P99Millis < s.P95Millis {
+		return fmt.Errorf("workload: p99 target %gms below p95 target %gms", s.P99Millis, s.P95Millis)
+	}
+	if s.MaxErrorRate < 0 || s.MaxErrorRate > 1 {
+		return fmt.Errorf("workload: max_error_rate %g outside [0, 1]", s.MaxErrorRate)
+	}
+	return nil
+}
+
+// empty reports whether no target is set.
+func (s SLOSpec) empty() bool {
+	return s.P50Millis == 0 && s.P95Millis == 0 && s.P99Millis == 0 && s.MaxErrorRate == 0
+}
+
+// ClassSpec declares one request class: who arrives, what they multiply,
+// how often the structure changes, and what latency they are owed. Every
+// request of a class computes A² of a synthesized operand — the paper's
+// primary workload.
+type ClassSpec struct {
+	Name    string      `json:"name"`
+	Arrival ArrivalSpec `json:"arrival"`
+	// Matrix is the operand synthesis template; its Seed field is ignored
+	// (the stream derives per-structure seeds from the spec seed).
+	Matrix datasets.GenSpec `json:"matrix"`
+	// SizeJitter scales each structure's n and nnz by a factor drawn
+	// uniformly from [1-SizeJitter, 1+SizeJitter], so a class covers a
+	// size band instead of one point. 0 disables; must stay below 1.
+	SizeJitter float64 `json:"size_jitter,omitempty"`
+	// StructurePool is how many distinct operand structures the class
+	// cycles through (default 4). Requests draw uniformly from the pool,
+	// so a pool of 1 is a pure plan-cache-friendly workload.
+	StructurePool int `json:"structure_pool,omitempty"`
+	// StructureChurn is the per-request probability that the drawn pool
+	// slot is replaced by a brand-new structure first — the knob that
+	// decides how often the serving layer sees cold fingerprints. 0 means
+	// the pool is fixed; 1 means every request is cold.
+	StructureChurn float64 `json:"structure_churn,omitempty"`
+	// Algorithm and GPU override the server defaults per class.
+	Algorithm string `json:"algorithm,omitempty"`
+	GPU       string `json:"gpu,omitempty"`
+	// SLO is the class's latency/reliability contract.
+	SLO SLOSpec `json:"slo,omitempty"`
+	// Weight is the class's share of the overall fitness score
+	// (default 1).
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// Validate checks the class declaration.
+func (c ClassSpec) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("workload: class with empty name")
+	}
+	if strings.ContainsAny(c.Name, " \t\n") {
+		return fmt.Errorf("workload: class name %q contains whitespace", c.Name)
+	}
+	if err := c.Arrival.Validate(); err != nil {
+		return fmt.Errorf("class %q: %w", c.Name, err)
+	}
+	if err := c.Matrix.Validate(); err != nil {
+		return fmt.Errorf("class %q: %w", c.Name, err)
+	}
+	if c.Matrix.Kind == "dataset" && c.SizeJitter != 0 {
+		return fmt.Errorf("class %q: size_jitter does not apply to dataset stand-ins", c.Name)
+	}
+	if c.SizeJitter < 0 || c.SizeJitter >= 1 {
+		return fmt.Errorf("class %q: size_jitter %g outside [0, 1)", c.Name, c.SizeJitter)
+	}
+	if c.StructurePool < 0 {
+		return fmt.Errorf("class %q: negative structure_pool", c.Name)
+	}
+	if c.StructureChurn < 0 || c.StructureChurn > 1 {
+		return fmt.Errorf("class %q: structure_churn %g outside [0, 1]", c.Name, c.StructureChurn)
+	}
+	if err := c.SLO.Validate(); err != nil {
+		return fmt.Errorf("class %q: %w", c.Name, err)
+	}
+	if c.Weight < 0 {
+		return fmt.Errorf("class %q: negative weight", c.Name)
+	}
+	return nil
+}
+
+// Spec is a complete workload declaration: a seeded, bounded-duration mix
+// of request classes. The JSON schema is documented in docs/CLI.md.
+type Spec struct {
+	Name string `json:"name"`
+	// Seed drives every random draw of the compiled stream.
+	Seed uint64 `json:"seed"`
+	// DurationSeconds bounds the stream's arrival window.
+	DurationSeconds float64     `json:"duration_seconds"`
+	Classes         []ClassSpec `json:"classes"`
+}
+
+// Validate checks the whole spec.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("workload: spec needs a name")
+	}
+	if s.DurationSeconds <= 0 {
+		return fmt.Errorf("workload: duration_seconds %g must be positive", s.DurationSeconds)
+	}
+	if len(s.Classes) == 0 {
+		return fmt.Errorf("workload: spec declares no classes")
+	}
+	seen := make(map[string]bool, len(s.Classes))
+	for _, c := range s.Classes {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("workload: duplicate class %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return nil
+}
+
+// Class returns the named class spec, or nil when the spec doesn't declare
+// it (e.g. scoring a trace recorded under a different spec).
+func (s *Spec) Class(name string) *ClassSpec {
+	if s == nil {
+		return nil
+	}
+	for i := range s.Classes {
+		if s.Classes[i].Name == name {
+			return &s.Classes[i]
+		}
+	}
+	return nil
+}
+
+// ParseSpec decodes and validates a JSON spec, rejecting unknown fields so
+// schema typos fail loudly.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("workload: parsing spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadSpec reads and parses a spec file.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseSpec(data)
+}

@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+	"sort"
+
+	"github.com/blockreorg/blockreorg/internal/datasets"
+)
+
+// Request is one compiled entry of a workload stream: a class-tagged A²
+// multiplication arriving at a fixed offset with a fully resolved operand
+// synthesis spec. Streams are JSON-serializable so `spgemmload gen` can
+// persist them for inspection.
+type Request struct {
+	// Seq is the stream-wide arrival index (0-based, arrival order).
+	Seq int `json:"seq"`
+	// AtSeconds is the arrival offset from stream start.
+	AtSeconds float64 `json:"at_s"`
+	// Class names the request class.
+	Class string `json:"class"`
+	// Gen synthesizes the operand; identical Gen values across requests
+	// mean identical structures (the plan-cache-hit case).
+	Gen datasets.GenSpec `json:"gen"`
+	// MatrixName is the deterministic registry name of the operand.
+	MatrixName string `json:"matrix"`
+	// Algorithm and GPU are the class overrides (may be empty).
+	Algorithm string `json:"algorithm,omitempty"`
+	GPU       string `json:"gpu,omitempty"`
+}
+
+// classSeed derives a per-class PCG stream tag from the class name, so
+// adding a class never perturbs the others' draws.
+func classSeed(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// Compile turns the spec into its deterministic request stream: per-class
+// arrival sequences drawn from the class's process, merged in arrival
+// order. The same spec always compiles to the same stream — arrival times,
+// structure seeds, operand names, everything.
+func Compile(spec *Spec) ([]Request, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	var out []Request
+	for _, c := range spec.Classes {
+		reqs, err := compileClass(spec, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, reqs...)
+	}
+	// Merge in arrival order; ties break by class name so the order is
+	// total and reproducible.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].AtSeconds != out[j].AtSeconds {
+			return out[i].AtSeconds < out[j].AtSeconds
+		}
+		return out[i].Class < out[j].Class
+	})
+	for i := range out {
+		out[i].Seq = i
+	}
+	return out, nil
+}
+
+// compileClass draws one class's arrivals and operand structures.
+func compileClass(spec *Spec, c ClassSpec) ([]Request, error) {
+	rng := rand.New(rand.NewPCG(spec.Seed, classSeed(c.Name)))
+	sampler, err := newInterarrival(c.Arrival, rng)
+	if err != nil {
+		return nil, err
+	}
+	poolSize := c.StructurePool
+	if poolSize == 0 {
+		poolSize = 4
+	}
+	// The structure pool: per-slot seeds, refreshed on churn. Seeds are
+	// drawn from the class rng, so pool contents are deterministic too.
+	pool := make([]uint64, poolSize)
+	for i := range pool {
+		pool[i] = rng.Uint64()
+	}
+	var reqs []Request
+	for t := sampler.next(); t < spec.DurationSeconds; t += sampler.next() {
+		slot := rng.IntN(poolSize)
+		if c.StructureChurn > 0 && rng.Float64() < c.StructureChurn {
+			pool[slot] = rng.Uint64() // cold structure replaces the slot
+		}
+		gen := c.Matrix
+		gen.Seed = pool[slot]
+		if c.SizeJitter > 0 {
+			// The jitter factor is part of the structure, so it must be
+			// derived from the structure seed, not the stream position:
+			// re-drawing a pooled seed must reproduce the same operand.
+			jrng := rand.New(rand.NewPCG(gen.Seed, classSeed("size-jitter")))
+			f := 1 + c.SizeJitter*(2*jrng.Float64()-1)
+			gen.N = int(float64(gen.N) * f)
+			gen.NNZ = int(float64(gen.NNZ) * f)
+			if gen.N < 8 {
+				gen.N = 8
+			}
+			if gen.NNZ < gen.N {
+				gen.NNZ = gen.N
+			}
+		}
+		reqs = append(reqs, Request{
+			AtSeconds:  t,
+			Class:      c.Name,
+			Gen:        gen,
+			MatrixName: matrixName(c.Name, gen.Seed),
+			Algorithm:  c.Algorithm,
+			GPU:        c.GPU,
+		})
+	}
+	return reqs, nil
+}
+
+// matrixName is the deterministic registry name of a class structure.
+func matrixName(class string, seed uint64) string {
+	return fmt.Sprintf("wl-%s-%016x", class, seed)
+}
+
+// Materialize synthesizes every distinct operand of the stream, keyed by
+// registry name. Identical names share one matrix, so a plan-cache-friendly
+// stream costs one synthesis per structure, not per request.
+func Materialize(reqs []Request) (map[string]*datasets.GenSpec, error) {
+	out := make(map[string]*datasets.GenSpec)
+	for i := range reqs {
+		r := &reqs[i]
+		if prev, ok := out[r.MatrixName]; ok {
+			if *prev != r.Gen {
+				return nil, fmt.Errorf("workload: matrix %q compiled with two different specs", r.MatrixName)
+			}
+			continue
+		}
+		g := r.Gen
+		out[r.MatrixName] = &g
+	}
+	return out, nil
+}

@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/blockreorg/blockreorg/internal/datasets"
+)
+
+func testSpec() *Spec {
+	return &Spec{
+		Name:            "unit",
+		Seed:            11,
+		DurationSeconds: 20,
+		Classes: []ClassSpec{
+			{
+				Name:    "interactive",
+				Arrival: ArrivalSpec{Process: ArrivalPoisson, Rate: 5},
+				Matrix:  datasets.GenSpec{Kind: "rmat", N: 256, NNZ: 2048},
+				SLO:     SLOSpec{P95Millis: 50},
+			},
+			{
+				Name:           "batch",
+				Arrival:        ArrivalSpec{Process: ArrivalGamma, Rate: 2, CV: 2},
+				Matrix:         datasets.GenSpec{Kind: "powerlaw", N: 512, NNZ: 4096},
+				StructurePool:  2,
+				StructureChurn: 0.5,
+				Weight:         2,
+			},
+		},
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	a, err := Compile(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty stream")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same spec compiled to different streams")
+	}
+}
+
+func TestCompileOrdering(t *testing.T) {
+	reqs, err := Compile(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reqs {
+		if r.Seq != i {
+			t.Fatalf("request %d has seq %d", i, r.Seq)
+		}
+		if i > 0 && r.AtSeconds < reqs[i-1].AtSeconds {
+			t.Fatalf("arrivals out of order at %d: %g after %g", i, r.AtSeconds, reqs[i-1].AtSeconds)
+		}
+		if r.AtSeconds < 0 || r.AtSeconds >= 20 {
+			t.Fatalf("arrival %g outside [0, duration)", r.AtSeconds)
+		}
+		if r.MatrixName == "" {
+			t.Fatalf("request %d has no matrix name", i)
+		}
+	}
+}
+
+// TestCompileAdditive pins that adding a class does not perturb the other
+// classes' arrivals or structures (per-class PCG stream tags).
+func TestCompileAdditive(t *testing.T) {
+	one := testSpec()
+	one.Classes = one.Classes[:1]
+	a, err := Compile(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Request
+	for _, r := range b {
+		if r.Class == "interactive" {
+			r.Seq = 0
+			got = append(got, r)
+		}
+	}
+	for i := range a {
+		a[i].Seq = 0
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Fatal("adding a class perturbed an existing class's stream")
+	}
+}
+
+func distinctMatrices(reqs []Request, class string) map[string]bool {
+	names := make(map[string]bool)
+	for _, r := range reqs {
+		if r.Class == class {
+			names[r.MatrixName] = true
+		}
+	}
+	return names
+}
+
+func TestStructureChurn(t *testing.T) {
+	spec := testSpec()
+	// Zero churn: the pool never changes, so distinct structures are
+	// bounded by the pool size.
+	spec.Classes[1].StructureChurn = 0
+	reqs, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(distinctMatrices(reqs, "batch")); n > 2 {
+		t.Fatalf("churn 0 pool 2 produced %d distinct structures", n)
+	}
+
+	// Full churn: every request replaces its slot, so nearly every request
+	// is a cold structure.
+	spec.Classes[1].StructureChurn = 1
+	reqs, err = Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, r := range reqs {
+		if r.Class == "batch" {
+			total++
+		}
+	}
+	if n := len(distinctMatrices(reqs, "batch")); n != total {
+		t.Fatalf("churn 1 produced %d distinct structures over %d requests", n, total)
+	}
+}
+
+// TestSizeJitterTiedToSeed pins that requests sharing a structure seed get
+// identical operands even with jitter on.
+func TestSizeJitterTiedToSeed(t *testing.T) {
+	spec := testSpec()
+	spec.Classes[0].SizeJitter = 0.3
+	spec.Classes[0].StructurePool = 1
+	reqs, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first *Request
+	jittered := false
+	for i := range reqs {
+		r := &reqs[i]
+		if r.Class != "interactive" {
+			continue
+		}
+		if first == nil {
+			first = r
+			continue
+		}
+		if r.MatrixName != first.MatrixName || r.Gen != first.Gen {
+			t.Fatalf("pool-of-1 class produced divergent operands: %+v vs %+v", first.Gen, r.Gen)
+		}
+		if r.Gen.N != 256 {
+			jittered = true
+		}
+	}
+	if first == nil {
+		t.Fatal("no interactive requests")
+	}
+	if !jittered && first.Gen.N == 256 {
+		// The single pooled structure may legitimately land on a no-op
+		// jitter, but the factor must at least have been applied (N and NNZ
+		// still valid).
+		if first.Gen.N < 8 || first.Gen.NNZ < first.Gen.N {
+			t.Fatalf("jitter floors violated: %+v", first.Gen)
+		}
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	reqs, err := Compile(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := Materialize(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs {
+		g, ok := specs[r.MatrixName]
+		if !ok {
+			t.Fatalf("matrix %s missing from materialization", r.MatrixName)
+		}
+		if *g != r.Gen {
+			t.Fatalf("matrix %s spec mismatch", r.MatrixName)
+		}
+	}
+
+	// A name collision with different specs must fail loudly.
+	bad := []Request{
+		{MatrixName: "m", Gen: datasets.GenSpec{Kind: "rmat", N: 8, NNZ: 16}},
+		{MatrixName: "m", Gen: datasets.GenSpec{Kind: "rmat", N: 16, NNZ: 32}},
+	}
+	if _, err := Materialize(bad); err == nil {
+		t.Fatal("conflicting specs under one name accepted")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	s := testSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dup := testSpec()
+	dup.Classes = append(dup.Classes, dup.Classes[0])
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate class accepted")
+	}
+	if _, err := ParseSpec([]byte(`{"name":"x","seed":1,"duration_seconds":1,"classes":[],"bogus":true}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf)
+	recs := []Record{
+		{ArrivalSeconds: 0.5, Class: "a", Kind: "multiply", FpA: "00000000deadbeef",
+			Rows: 64, Cols: 64, NNZ: 512, Algorithm: "blocked", GPU: "gtx970",
+			Outcome: OutcomeDone, QueueWaitSeconds: 0.001, ExecSeconds: 0.02,
+			PredictedSeconds: 0.015, PlanCacheHit: true,
+			Phases: map[string]float64{"expansion": 0.01, "merge": 0.008}},
+		{ArrivalSeconds: 0.25, Class: "b", Kind: "multiply", Outcome: OutcomeRejected},
+		{ArrivalSeconds: 0.75, Kind: "multiply", Outcome: FailedOutcome("timeout")},
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d records", len(got))
+	}
+	// ReadTrace sorts by arrival.
+	if got[0].Class != "b" || got[1].Class != "a" || got[2].Outcome != FailedOutcome("timeout") {
+		t.Fatalf("unexpected order: %+v", got)
+	}
+	if got[1].Phases["expansion"] != 0.01 || !got[1].PlanCacheHit {
+		t.Fatalf("record fields lost: %+v", got[1])
+	}
+	if got[1].Latency() != 0.021 {
+		t.Fatalf("latency = %g", got[1].Latency())
+	}
+}
+
+func TestTraceWriterAssignsSeq(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf)
+	for i := 0; i < 5; i++ {
+		// Caller-provided Seq is overwritten by append order.
+		if err := w.Append(Record{Seq: 99, ArrivalSeconds: float64(i), Outcome: OutcomeDone}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recs {
+		if r.Seq != i {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+	}
+}
+
+func TestTraceWriterConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = w.Append(Record{Kind: "multiply", Outcome: OutcomeDone})
+			}
+		}()
+	}
+	wg.Wait()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 400 {
+		t.Fatalf("read %d records, want 400", len(recs))
+	}
+}
+
+func TestReadTraceSkipsBlanksAndReportsLine(t *testing.T) {
+	in := `{"seq":0,"arrival_s":0,"kind":"multiply","outcome":"done","queue_wait_s":0,"exec_s":0.1}
+
+{"seq":1,"arrival_s":1,"kind":"multiply","outcome":"done","queue_wait_s":0,"exec_s":0.2}
+`
+	recs, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("read %d records", len(recs))
+	}
+
+	_, err = ReadTrace(strings.NewReader("{\"seq\":0}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("malformed line error = %v", err)
+	}
+}
