@@ -69,6 +69,15 @@ type Options struct {
 	// environment variable enables the same checks globally — including
 	// for Compare and the EXPERIMENTS pipeline — without code changes.
 	Paranoid bool
+	// Accumulator selects the merge strategy of the numeric product and of
+	// the Gustavson-merge timing models: "auto" (or empty, the default)
+	// picks per row from the symbolic upper bounds, "dense", "hash" and
+	// "sort" force one strategy everywhere. The result is bit-identical
+	// for every setting — the knob trades merge time, never values. Any
+	// other string is ErrInvalidOptions. The fixed-strategy library
+	// baselines (cuSPARSE, CUSP, bhSPARSE, MKL) keep their published
+	// timing models regardless.
+	Accumulator string
 	// Workers bounds the host-side executor this run's numeric phases use:
 	// 0 shares the process-wide work-stealing executor (sized to
 	// GOMAXPROCS), 1 forces sequential execution, and n > 1 runs a
@@ -214,11 +223,16 @@ func resolveOptions(a, b *sparse.CSR, opts *Options) (kernels.Algorithm, kernels
 	if opts.Workers < 0 {
 		return nil, kopts, fmt.Errorf("%w: negative worker count %d", ErrInvalidOptions, opts.Workers)
 	}
+	accum, err := sparse.ParseAccumulator(opts.Accumulator)
+	if err != nil {
+		return nil, kopts, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+	}
 	kopts = kernels.Options{
-		Device:     dev,
-		SkipValues: opts.SkipValues,
-		Paranoid:   opts.Paranoid,
-		Trace:      opts.Trace,
+		Device:      dev,
+		SkipValues:  opts.SkipValues,
+		Paranoid:    opts.Paranoid,
+		Trace:       opts.Trace,
+		Accumulator: accum,
 		Core: core.Params{
 			Alpha:               opts.Alpha,
 			AutoAlpha:           opts.AutoTune,

@@ -21,10 +21,12 @@
 #   7. bench smoke    — every benchmark once with -benchmem, so a change
 #                      that breaks a measured path (or its setup) fails
 #                      here instead of silently disappearing from the
-#                      perf record. Skipped with a loud warning on hosts
-#                      with fewer than 4 CPUs: a 1-CPU "speedup" is noise
-#                      that poisons the perf record (see EXPERIMENTS.md,
-#                      "Hardware baseline")
+#                      perf record, plus a dense-vs-auto accumulator run
+#                      of the spgemm CLI whose products must compare
+#                      byte-identical. Skipped with a loud warning on
+#                      hosts with fewer than 4 CPUs: a 1-CPU "speedup" is
+#                      noise that poisons the perf record (see
+#                      EXPERIMENTS.md, "Hardware baseline")
 #   8. graphrun smoke — genmat generates a small R-MAT network and graphrun
 #                      clusters it end to end, so the CLI wiring from file
 #                      input through the pipeline engine stays exercised
@@ -66,13 +68,16 @@ fi
 rm -f "$vet_json"
 
 echo "==> go test -race (paranoid)"
-BLOCKREORG_PARANOID=1 go test -race . ./internal/core/... ./internal/gpusim/... ./internal/trace/... ./sparse/... ./server/... ./pipeline/... ./workload/...
+BLOCKREORG_PARANOID=1 go test -race . ./internal/core/... ./internal/gpusim/... ./internal/kernels/... ./internal/trace/... ./sparse/... ./server/... ./pipeline/... ./workload/...
 
 echo "==> examples (godoc Examples + example programs)"
 go test -run Example ./...
 for ex in ./examples/*/; do
     go build -o /dev/null "$ex"
 done
+
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
 
 echo "==> bench smoke (every benchmark once)"
 cores=${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}
@@ -82,11 +87,16 @@ if [ "$cores" -lt 4 ]; then
     echo "WARNING: must not enter the perf record; see EXPERIMENTS.md, 'Hardware baseline'." >&2
 else
     go test -run '^$' -bench . -benchtime 1x -benchmem ./...
+    echo "==> accumulator smoke (spgemm -accum dense vs auto, byte-identical products)"
+    go run ./cmd/spgemm -dataset youtube -scale 64 -accum dense -o "$smoke_dir/c_dense.mtx"
+    go run ./cmd/spgemm -dataset youtube -scale 64 -accum auto -o "$smoke_dir/c_auto.mtx"
+    if ! cmp -s "$smoke_dir/c_dense.mtx" "$smoke_dir/c_auto.mtx"; then
+        echo "accumulator strategies disagree: -accum dense and -accum auto wrote different products" >&2
+        exit 1
+    fi
 fi
 
 echo "==> graphrun smoke (genmat R-MAT -> MCL clustering)"
-smoke_dir=$(mktemp -d)
-trap 'rm -rf "$smoke_dir"' EXIT
 go run ./cmd/genmat -kind rmat -n 256 -nnz 1024 -seed 7 -o "$smoke_dir/net.mtx"
 go run ./cmd/graphrun -workload mcl -in "$smoke_dir/net.mtx" -symmetrize -profile
 

@@ -21,6 +21,7 @@ import (
 
 	"github.com/blockreorg/blockreorg/internal/bench"
 	"github.com/blockreorg/blockreorg/internal/gpusim"
+	"github.com/blockreorg/blockreorg/sparse"
 )
 
 func main() {
@@ -38,8 +39,15 @@ func main() {
 		tolerance = flag.Float64("tolerance", 0.10, "ns/op regression tolerance for -compare")
 		profile   = flag.Bool("profile", false, "trace one Block Reorganizer run per dataset and write the per-phase record")
 		profFile  = flag.String("profileout", "PROFILE_host.json", "per-phase record path for -profile")
+		accum     = flag.String("accum", "auto", "merge accumulator strategy: auto, dense, hash or sort")
 	)
 	flag.Parse()
+
+	accumKind, err := sparse.ParseAccumulator(*accum)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blockreorg-bench:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		listExperiments(os.Stdout)
@@ -53,7 +61,7 @@ func main() {
 		return
 	}
 	if *profile {
-		if err := runProfile(os.Stdout, *profFile, *scale, *gpu, *subset, *cacheDir, *workers, *csvDir); err != nil {
+		if err := runProfile(os.Stdout, *profFile, *scale, *gpu, *subset, *cacheDir, *workers, *csvDir, accumKind); err != nil {
 			fmt.Fprintln(os.Stderr, "blockreorg-bench:", err)
 			os.Exit(1)
 		}
@@ -70,7 +78,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "blockreorg-bench:", err)
 		os.Exit(2)
 	}
-	cfg := bench.Config{Scale: *scale, Device: dev, CacheDir: *cacheDir, Workers: *workers}
+	cfg := bench.Config{Scale: *scale, Device: dev, CacheDir: *cacheDir, Workers: *workers, Accum: accumKind}
 	if *subset != "" {
 		cfg.Datasets = strings.Split(*subset, ",")
 	}
@@ -113,6 +121,10 @@ func runHostBench(w io.Writer, write bool, path string, tolerance float64, scale
 	if err != nil {
 		return fmt.Errorf("no usable baseline (run -baseline first): %w", err)
 	}
+	if base.GoMaxProcs != cur.GoMaxProcs {
+		fmt.Fprintf(w, "WARNING: baseline recorded at GOMAXPROCS=%d but this run uses GOMAXPROCS=%d; ns/op comparisons across different parallelism are unreliable\n",
+			base.GoMaxProcs, cur.GoMaxProcs)
+	}
 	if problems := base.Compare(cur, tolerance); len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(w, "REGRESSION:", p)
@@ -127,12 +139,12 @@ func runHostBench(w io.Writer, write bool, path string, tolerance float64, scale
 // dataset (defaulting to the reduced host-bench grid), prints the per-phase
 // share table, and writes the machine-readable record to path. -csv
 // additionally exports the table.
-func runProfile(w io.Writer, path string, scale int, gpu, subset, cacheDir string, workers int, csvDir string) error {
+func runProfile(w io.Writer, path string, scale int, gpu, subset, cacheDir string, workers int, csvDir string, accum sparse.AccumulatorKind) error {
 	dev, err := gpusim.ByName(gpu)
 	if err != nil {
 		return err
 	}
-	cfg := bench.Config{Scale: scale, Device: dev, CacheDir: cacheDir, Workers: workers}
+	cfg := bench.Config{Scale: scale, Device: dev, CacheDir: cacheDir, Workers: workers, Accum: accum}
 	if subset != "" {
 		cfg.Datasets = strings.Split(subset, ",")
 	}

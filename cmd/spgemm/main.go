@@ -32,6 +32,7 @@ func main() {
 		compare  = flag.Bool("compare", false, "run all seven algorithms and print speedups")
 		outPath  = flag.String("o", "", "write the product to this Matrix Market file")
 		values   = flag.Bool("values", true, "compute numeric values (disable for timing-only)")
+		accum    = flag.String("accum", "auto", "merge accumulator strategy: auto, dense, hash or sort")
 		timeline = flag.Bool("timeline", false, "render a per-SM ASCII timeline of every kernel")
 	)
 	flag.Parse()
@@ -42,13 +43,13 @@ func main() {
 		}
 		return
 	}
-	if err := run(*aPath, *bPath, *dataset, *scale, *algName, *gpu, *compare, *outPath, *values); err != nil {
+	if err := run(*aPath, *bPath, *dataset, *scale, *algName, *gpu, *compare, *outPath, *values, *accum); err != nil {
 		fmt.Fprintf(os.Stderr, "spgemm: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(aPath, bPath, dataset string, scale int, algName, gpu string, compare bool, outPath string, values bool) error {
+func run(aPath, bPath, dataset string, scale int, algName, gpu string, compare bool, outPath string, values bool, accum string) error {
 	a, b, err := loadOperands(aPath, bPath, dataset, scale)
 	if err != nil {
 		return err
@@ -83,9 +84,10 @@ func run(aPath, bPath, dataset string, scale int, algName, gpu string, compare b
 	}
 
 	res, err := blockreorg.Multiply(a, b, blockreorg.Options{
-		Algorithm:  blockreorg.Algorithm(algName),
-		GPU:        blockreorg.GPU(gpu),
-		SkipValues: !values,
+		Algorithm:   blockreorg.Algorithm(algName),
+		GPU:         blockreorg.GPU(gpu),
+		SkipValues:  !values,
+		Accumulator: accum,
 	})
 	if err != nil {
 		return err

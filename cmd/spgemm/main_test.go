@@ -64,7 +64,7 @@ func TestLoadOperandsFiles(t *testing.T) {
 func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "c.mtx")
-	if err := run("", "", "poisson3Da", 32, "Block-Reorganizer", "TITAN Xp", false, out, true); err != nil {
+	if err := run("", "", "poisson3Da", 32, "Block-Reorganizer", "TITAN Xp", false, out, true, "auto"); err != nil {
 		t.Fatal(err)
 	}
 	c, err := sparse.ReadMatrixMarketFile(out)
@@ -74,11 +74,14 @@ func TestRunEndToEnd(t *testing.T) {
 	if c.NNZ() == 0 {
 		t.Fatal("empty product written")
 	}
-	if err := run("", "", "poisson3Da", 32, "", "TITAN Xp", true, "", false); err != nil {
+	if err := run("", "", "poisson3Da", 32, "", "TITAN Xp", true, "", false, "auto"); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", "", "poisson3Da", 32, "warp-drive", "TITAN Xp", false, "", false); err == nil {
+	if err := run("", "", "poisson3Da", 32, "warp-drive", "TITAN Xp", false, "", false, "auto"); err == nil {
 		t.Fatal("unknown algorithm accepted")
+	}
+	if err := run("", "", "poisson3Da", 32, "", "TITAN Xp", false, "", false, "radix"); err == nil {
+		t.Fatal("unknown accumulator accepted")
 	}
 }
 

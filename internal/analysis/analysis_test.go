@@ -55,7 +55,7 @@ func TestAnalyzers(t *testing.T) {
 		{"kernelvalidate", "kernels", 1, "MultiplyBad"},
 		{"seededrand", "seededrandbad", 4, "unseeded global generator"},
 		{"seededrand", "seededrandok", 0, ""},
-		{"scratchmake", "scratchmakebad", 3, "internal/parallel arenas"},
+		{"scratchmake", "scratchmakebad", 5, "internal/parallel arenas"},
 		{"scratchmake", "scratchmakeok", 0, ""},
 		{"rawindex", "pipelinebad", 5, "Row/Col accessors"},
 		{"rawindex", "pipelineok", 0, ""},

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"regexp"
 )
 
 // ScratchMakeAnalyzer enforces the arena rule: inside the kernel packages
@@ -34,6 +35,27 @@ func kernelPackage(name string) bool {
 	return false
 }
 
+// scratchName extends the shared nnz-scaled vocabulary (nnzName) with the
+// names the accumulator strategies size their per-row scratch by: symbolic
+// upper bounds, hash-table slot counts, accumulator vectors and touched
+// lists. A make sized by any of these inside a kernel loop is re-building
+// RowMerger scratch the arenas already pool.
+var scratchName = regexp.MustCompile(`(?i)nnz|work|flops?|population|intermediate|upper|slots?|accum|touched`)
+
+// mentionsScratch reports whether the expression's subtree references a
+// scratch-scaled identifier — mentionsNNZ over the extended vocabulary.
+func mentionsScratch(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && scratchName.MatchString(id.Name) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
 func runScratchMake(p *Pass) []Finding {
 	if !kernelPackage(p.PkgName) {
 		return nil
@@ -52,7 +74,7 @@ func runScratchMake(p *Pass) []Finding {
 				return true
 			}
 			for _, size := range call.Args[1:] {
-				if mentionsNNZ(size) {
+				if mentionsScratch(size) {
 					out = append(out, Finding{
 						Pos:      p.position(call),
 						Analyzer: "scratchmake",

@@ -40,3 +40,27 @@ func NestedScratch(n int, intermediate int) int {
 	}
 	return total
 }
+
+// HashTableScratch rebuilds the open-addressing table per row, sized from
+// the slot count — RowMerger scratch the arenas pool.
+func HashTableScratch(rows int, slots int) int {
+	total := 0
+	for r := 0; r < rows; r++ {
+		table := make([]int, slots) // want: arena
+		table[0] = r
+		total += table[0]
+	}
+	return total
+}
+
+// PairScratch sizes append buffers from the row's symbolic upper bound
+// inside the row loop.
+func PairScratch(rows []int, upper int64) float64 {
+	var sum float64
+	for range rows {
+		pairs := make([]float64, int(upper)) // want: arena
+		pairs[0] = 1
+		sum += pairs[0]
+	}
+	return sum
+}

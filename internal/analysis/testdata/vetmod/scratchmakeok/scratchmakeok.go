@@ -39,3 +39,27 @@ func MapScratch(rows int, nnz int) int {
 	}
 	return total
 }
+
+// HoistedHashTable sizes the table once, outside the row loop — the
+// sanctioned shape when an arena is not available.
+func HoistedHashTable(rows int, slots int) int {
+	table := make([]int, slots)
+	total := 0
+	for r := 0; r < rows; r++ {
+		table[0] = r
+		total += table[0]
+	}
+	return total
+}
+
+// UnrelatedSizeName makes a buffer inside the loop sized by a name outside
+// both vocabularies.
+func UnrelatedSizeName(rows int, lanes int) int {
+	total := 0
+	for r := 0; r < rows; r++ {
+		lane := make([]int, lanes)
+		lane[0] = r
+		total += lane[0]
+	}
+	return total
+}

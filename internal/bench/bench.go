@@ -31,6 +31,10 @@ type Config struct {
 	// sequential execution, anything else gets a dedicated executor.
 	// Results are identical for every setting.
 	Workers int
+	// Accum selects the merge accumulator strategy for every run; the
+	// zero value is per-row auto-selection. Results are bit-identical for
+	// every setting.
+	Accum sparse.AccumulatorKind
 
 	ex *parallel.Executor
 }
@@ -132,7 +136,7 @@ func (c Config) generate(spec datasets.Spec) (*sparse.CSR, error) {
 // runAlg multiplies a by b with the given algorithm, timing only. pc may
 // carry the shared symbolic analysis (nil recomputes it).
 func runAlg(alg kernels.Algorithm, a, b *sparse.CSR, cfg Config, pc *kernels.Precomputed) (*kernels.Product, error) {
-	return alg.Multiply(a, b, kernels.Options{Device: cfg.Device, SkipValues: true, Pre: pc, Exec: cfg.ex})
+	return alg.Multiply(a, b, kernels.Options{Device: cfg.Device, SkipValues: true, Pre: pc, Exec: cfg.ex, Accumulator: cfg.Accum})
 }
 
 // runReorganizer runs the Block Reorganizer with explicit pass parameters.
@@ -140,6 +144,7 @@ func runReorganizer(a, b *sparse.CSR, cfg Config, opts kernels.Options) (*kernel
 	opts.Device = cfg.Device
 	opts.SkipValues = true
 	opts.Exec = cfg.ex
+	opts.Accumulator = cfg.Accum
 	return kernels.Reorganizer{}.Multiply(a, b, opts)
 }
 

@@ -47,9 +47,10 @@ func hostBenchDatasets() []string {
 
 // RunHostBench measures the host execution engine on this machine: the
 // Table II precalculation sweep sequentially and on the full executor, the
-// plan execution path, and the Reorganizer's chunked multiply engine — the
-// latter two with the scratch arenas off and on. Scale (0 = 16) divides
-// the dataset sizes.
+// plan execution path, the Reorganizer's chunked multiply engine — the
+// latter two with the scratch arenas off and on — and the merge
+// accumulator strategies head to head (all-dense vs per-row auto) on a
+// skewed matrix. Scale (0 = 16) divides the dataset sizes.
 func RunHostBench(scale int) (*HostBench, error) {
 	if scale == 0 {
 		scale = 16
@@ -127,6 +128,29 @@ func RunHostBench(scale int) (*HostBench, error) {
 			return err
 		}
 	}
+	// The accumulator strategies, head to head on a skewed matrix: youtube's
+	// power-law rows are where the per-row selector diverges from the legacy
+	// all-dense merge. The symbolic populations are computed once and shared,
+	// so the pair isolates the merge-strategy cost alone.
+	ytSpec, err := datasets.ByName("youtube")
+	if err != nil {
+		return nil, err
+	}
+	yt, err := ytSpec.Generate(scale)
+	if err != nil {
+		return nil, err
+	}
+	ytNNZ, err := sparse.SymbolicRowNNZOn(yt, yt, gustEx)
+	if err != nil {
+		return nil, err
+	}
+	accumRun := func(kind sparse.AccumulatorKind) func() error {
+		return func() error {
+			_, err := sparse.MultiplyConfigured(yt, yt, gustEx, nil,
+				sparse.MulConfig{Accum: kind, RowNNZ: ytNNZ})
+			return err
+		}
+	}
 
 	out := &HostBench{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
@@ -141,12 +165,17 @@ func RunHostBench(scale int) (*HostBench, error) {
 	planWarm := bench("plan-execute/pooled", planRun(true))
 	gustCold := bench("reorganizer-multiply/unpooled", gustRun(false))
 	gustWarm := bench("reorganizer-multiply/pooled", gustRun(true))
+	accumDense := bench("accum-multiply/dense", accumRun(sparse.AccumDense))
+	accumAuto := bench("accum-multiply/auto", accumRun(sparse.AccumAuto))
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	out.Entries = []HostBenchEntry{*seq, *par, *planCold, *planWarm, *gustCold, *gustWarm}
+	out.Entries = []HostBenchEntry{*seq, *par, *planCold, *planWarm, *gustCold, *gustWarm, *accumDense, *accumAuto}
 	if par.NsPerOp > 0 {
 		out.Derived["tab2_speedup"] = seq.NsPerOp / par.NsPerOp
+	}
+	if accumAuto.NsPerOp > 0 {
+		out.Derived["accum_auto_speedup"] = accumDense.NsPerOp / accumAuto.NsPerOp
 	}
 	if gustCold.AllocsPerOp > 0 {
 		out.Derived["reorganizer_alloc_reduction"] =

@@ -65,6 +65,7 @@ func RunProfile(cfg Config) (*ProfileReport, error) {
 		rec := trace.New()
 		_, err = kernels.Reorganizer{}.Multiply(m, m, kernels.Options{
 			Device: cfg.Device, Exec: cfg.ex, Trace: rec,
+			Accumulator: cfg.Accum,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("bench: profiling %s: %w", name, err)
@@ -90,14 +91,18 @@ func (r *ProfileReport) Table() *tableio.Table {
 	for _, ph := range phases {
 		cols = append(cols, string(ph))
 	}
-	cols = append(cols, "coverage")
+	cols = append(cols, "coverage", "accum d/h/s")
 	t := tableio.New("Host phase profile (share of wall time, Block Reorganizer)", cols...)
 	for _, d := range r.Datasets {
 		row := []string{d.Dataset, fmt.Sprintf("%.2f", d.Profile.WallSeconds*1e3)}
 		for _, ph := range phases {
 			row = append(row, fmt.Sprintf("%.3f", d.Profile.PhaseSeconds(ph)/d.Profile.WallSeconds))
 		}
-		row = append(row, fmt.Sprintf("%.3f", d.Coverage))
+		row = append(row, fmt.Sprintf("%.3f", d.Coverage),
+			fmt.Sprintf("%d/%d/%d",
+				d.Profile.Counters[trace.CounterAccumDenseRows],
+				d.Profile.Counters[trace.CounterAccumHashRows],
+				d.Profile.Counters[trace.CounterAccumSortRows]))
 		t.AddRow(row...)
 	}
 	return t

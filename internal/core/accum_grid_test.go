@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/blockreorg/blockreorg/internal/datasets"
+	"github.com/blockreorg/blockreorg/internal/parallel"
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+// accumKinds is every requestable strategy, the per-row selector included.
+var accumKinds = []sparse.AccumulatorKind{
+	sparse.AccumAuto, sparse.AccumDense, sparse.AccumHash, sparse.AccumSort,
+}
+
+// TestAccumGridBitIdentical sweeps the Table II grid (downscaled) and
+// requires every accumulator strategy to reproduce its engine's oracle
+// exactly — tolerance zero. The Gustavson engine (MultiplyConfigured) is
+// checked against the sequential Multiply; the plan executor is checked
+// against its own legacy shape — the sequential sort-merge Execute —
+// because the plan's scattered product stream sums in scatter order, a
+// different (equally valid) floating-point order than the row loop's. All
+// strategies accumulate each column's products in stream order, so within
+// an engine they agree to the bit. The grid spans regular meshes and
+// hub-skewed networks, so the hash tables, the stable sort-combine and the
+// per-row selector all see both families.
+func TestAccumGridBitIdentical(t *testing.T) {
+	const scale = 100
+	ex := parallel.NewExecutor(6)
+	for _, spec := range datasets.RealWorld() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			m, err := spec.Generate(scale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := sparse.Multiply(m, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			legacy, err := BuildPlan(m, m, Params{Accumulator: sparse.AccumSort})
+			if err != nil {
+				t.Fatal(err)
+			}
+			planWant, err := legacy.Execute(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, kind := range accumKinds {
+				got, err := sparse.MultiplyConfigured(m, m, ex, nil,
+					sparse.MulConfig{Accum: kind})
+				if err != nil {
+					t.Fatalf("%v: %v", kind, err)
+				}
+				if !got.Equal(want, 0) {
+					t.Fatalf("MultiplyConfigured(%v) not bit-identical to Multiply", kind)
+				}
+
+				plan, err := BuildPlan(m, m, Params{Accumulator: kind})
+				if err != nil {
+					t.Fatalf("%v: %v", kind, err)
+				}
+				par, err := plan.ExecuteOn(ex, 0)
+				if err != nil {
+					t.Fatalf("%v: %v", kind, err)
+				}
+				if err := par.Validate(); err != nil {
+					t.Fatalf("%v: %v", kind, err)
+				}
+				if !par.Equal(planWant, 0) {
+					t.Fatalf("ExecuteOn(%v) not bit-identical to the sort-merge Execute", kind)
+				}
+			}
+		})
+	}
+}
+
+// TestAccumPlanCountsAndSelection checks the plan's per-row assignment: a
+// pinned strategy assigns every working row to it, auto matches
+// SelectAccumulator row by row, and the counts tally exactly the non-empty
+// rows.
+func TestAccumPlanCountsAndSelection(t *testing.T) {
+	spec, err := datasets.ByName("youtube")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := spec.Generate(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range accumKinds {
+		plan, err := BuildPlan(m, m, Params{Accumulator: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ap := plan.Accum
+		if ap == nil {
+			t.Fatalf("%v: plan has no accumulator assignment", kind)
+		}
+		if len(ap.Rows) != m.Rows {
+			t.Fatalf("%v: %d row assignments, want %d", kind, len(ap.Rows), m.Rows)
+		}
+		var counts sparse.AccumCounts
+		for i, got := range ap.Rows {
+			want := sparse.SelectAccumulator(kind, plan.Limit.RowWork[i], ap.Cols)
+			if got != want {
+				t.Fatalf("%v: row %d assigned %v, want %v (work %d)",
+					kind, i, got, want, plan.Limit.RowWork[i])
+			}
+			if plan.Limit.RowWork[i] == 0 {
+				continue
+			}
+			switch got {
+			case sparse.AccumDense:
+				counts.Dense++
+			case sparse.AccumHash:
+				counts.Hash++
+			case sparse.AccumSort:
+				counts.Sort++
+			}
+		}
+		if ap.Counts != counts {
+			t.Fatalf("%v: plan counts %+v, want %+v", kind, ap.Counts, counts)
+		}
+		if kind == sparse.AccumAuto && (counts.Sort == 0 || counts.Dense+counts.Hash == 0) {
+			t.Fatalf("auto on a skewed network selected only one class: %+v", counts)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+
+	"github.com/blockreorg/blockreorg/sparse"
 )
 
 // Default parameter values; see Params.
@@ -55,6 +57,10 @@ type Params struct {
 	// GatherPolicy selects how low performers are packed into combined
 	// blocks; the zero value is the paper's power-of-two bins.
 	GatherPolicy GatherPolicy
+	// Accumulator selects the merge strategy assigned to output rows (the
+	// plan's AccumPlan); the zero value, sparse.AccumAuto, picks per row
+	// from the intermediate populations.
+	Accumulator sparse.AccumulatorKind
 	// Toggles let the evaluation ablate each technique (Figure 10).
 	DisableSplit  bool
 	DisableGather bool
@@ -111,6 +117,8 @@ func (p Params) Normalize() (Params, error) {
 		return p, fmt.Errorf("core: split factor override %d must be a power of two", p.SplitFactorOverride)
 	case p.LimitFactor < 0:
 		return p, errors.New("core: negative limit factor")
+	case p.Accumulator > sparse.AccumSort:
+		return p, fmt.Errorf("core: unknown accumulator kind %d", p.Accumulator)
 	}
 	return p, nil
 }

@@ -159,20 +159,29 @@ func (p *Plan) ExecuteTraced(ex *parallel.Executor, maxIntermediate int64, rec *
 	parallel.PutFloats(strmV)
 	endScat()
 
-	// Merge: sort-combine each row in place and append it into its final
-	// slot, known up front from the stashed symbolic row populations. Row
-	// chunks are weighted by pre-merge population — the merge's true cost.
+	// Merge: combine each row under the plan's assigned accumulator
+	// strategy and append it into its final slot, known up front from the
+	// stashed symbolic row populations. Row chunks are weighted by
+	// pre-merge population — the merge's true cost. Every strategy sums
+	// duplicate columns in stream order (sparse.RowMerger), so the result
+	// is bit-identical regardless of the assignment.
 	c := sparse.NewCSRWithRowSizes(rows, p.B.Cols, p.RowNNZ)
 	endMerge := rec.SpanItems(trace.PhaseMerge, p.NNZC)
 	var badRow atomic.Int64
 	badRow.Store(-1)
 	ex.ForEach(parallel.WeightedRanges(p.Limit.RowWork, 4*ex.Workers()), func(r parallel.Range) {
+		mg := sparse.NewRowMerger(p.B.Cols)
+		defer mg.Release()
 		for i := r.Lo; i < r.Hi; i++ {
+			kind := sparse.AccumSort
+			if p.Accum != nil {
+				kind = p.Accum.Rows[i]
+			}
 			// Three-index slices cap the append at the row's slot: a row
 			// that merges to an unexpected length spills into a private
 			// reallocation instead of a neighbouring chunk's rows.
 			dstIdx, dstVal := c.Row(i)
-			outIdx, _ := sparse.CombineRow(
+			outIdx, _ := mg.Merge(kind,
 				scatIdx[ptr[i]:ptr[i+1]], scatVal[ptr[i]:ptr[i+1]],
 				dstIdx[0:0:len(dstIdx)], dstVal[0:0:len(dstVal)])
 			if len(outIdx) != p.RowNNZ[i] {

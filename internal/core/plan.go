@@ -66,6 +66,11 @@ type Plan struct {
 	// is what lets plan-cache hits skip the symbolic sweep entirely.
 	RowNNZ []int
 	NNZC   int64
+
+	// Accum is the per-row merge-strategy assignment resolved from
+	// Params.Accumulator and Limit.RowWork. Structure-only like RowNNZ, so
+	// rebound plans keep their selection.
+	Accum *AccumPlan
 }
 
 // BuildPlan runs the full Block Reorganizer preprocessing for C = A×B.
@@ -162,6 +167,7 @@ func BuildPlanTraced(a *sparse.CSR, acsc *sparse.CSC, b *sparse.CSR, rowWork []i
 		Params: p, A: a, ACSC: acsc, B: b,
 		Cls: cls, Split: split, Gather: gather, Limit: limit,
 		RowNNZ: rowNNZ, NNZC: nnzc,
+		Accum: BuildAccumPlan(p.Accumulator, limit.RowWork, b.Cols),
 	}
 	plan.RecordTrace(rec)
 	return plan, nil
@@ -282,6 +288,11 @@ func (p *Plan) RecordTrace(rec *trace.Recorder) {
 	rec.Add(trace.CounterLimitedRows, int64(st.LimitedRows))
 	rec.Add(trace.CounterFlops, st.TotalWork)
 	rec.Add(trace.CounterNNZC, p.NNZC)
+	if p.Accum != nil {
+		rec.Add(trace.CounterAccumDenseRows, p.Accum.Counts.Dense)
+		rec.Add(trace.CounterAccumHashRows, p.Accum.Counts.Hash)
+		rec.Add(trace.CounterAccumSortRows, p.Accum.Counts.Sort)
+	}
 	rec.Set(trace.GaugeAlpha, p.Params.Alpha)
 	rec.Set(trace.GaugeBeta, p.Params.Beta)
 	rec.Set(trace.GaugeLimitExtraShm, float64(p.Limit.ExtraSharedMem))

@@ -1,0 +1,97 @@
+package kernels
+
+import (
+	"testing"
+
+	"github.com/blockreorg/blockreorg/internal/datasets"
+	"github.com/blockreorg/blockreorg/internal/gpusim"
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+var accumKinds = []sparse.AccumulatorKind{
+	sparse.AccumAuto, sparse.AccumDense, sparse.AccumHash, sparse.AccumSort,
+}
+
+// TestAccumulatorBitIdenticalAcrossAlgorithms forces every strategy through
+// every simulated algorithm and requires the numeric product to match the
+// dense-oracle run bit for bit. The operand is a skewed network so the
+// auto selector actually mixes classes.
+func TestAccumulatorBitIdenticalAcrossAlgorithms(t *testing.T) {
+	spec, err := datasets.ByName("as-caida")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := spec.Generate(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sparse.Multiply(m, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range All() {
+		for _, kind := range accumKinds {
+			opts := titanOpts()
+			opts.Accumulator = kind
+			p, err := alg.Multiply(m, m, opts)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", alg.Name(), kind, err)
+			}
+			if !p.C.Equal(want, 0) {
+				t.Fatalf("%s/%v: product not bit-identical to Multiply", alg.Name(), kind)
+			}
+		}
+	}
+}
+
+// TestAccumulatorPricedByReorganizer checks the merge cost model reacts to
+// the strategy: on a hub-skewed network the all-dense, all-hash and
+// all-sort Reorganizer runs must price their merges differently — the
+// whole point of modeling probe and sort traffic — while the fixed-recipe
+// libraries (published timing models) must not move at all.
+func TestAccumulatorPricedByReorganizer(t *testing.T) {
+	spec, err := datasets.ByName("youtube")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := spec.Generate(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merge := func(alg Algorithm, kind sparse.AccumulatorKind) float64 {
+		opts := titanOpts()
+		opts.SkipValues = true
+		opts.Accumulator = kind
+		p, err := alg.Multiply(m, m, opts)
+		if err != nil {
+			t.Fatalf("%s/%v: %v", alg.Name(), kind, err)
+		}
+		return p.Report.PhaseSeconds(gpusim.PhaseMerge)
+	}
+
+	reorg := Reorganizer{}
+	dense := merge(reorg, sparse.AccumDense)
+	hash := merge(reorg, sparse.AccumHash)
+	sort := merge(reorg, sparse.AccumSort)
+	if dense <= 0 || hash <= 0 || sort <= 0 {
+		t.Fatalf("non-positive merge time: dense %v hash %v sort %v", dense, hash, sort)
+	}
+	if dense == hash && dense == sort {
+		t.Fatalf("merge cost model ignores the strategy: dense %v hash %v sort %v",
+			dense, hash, sort)
+	}
+
+	for _, name := range []string{"cuSPARSE", "CUSP", "bhSPARSE", "MKL"} {
+		alg, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := merge(alg, sparse.AccumAuto)
+		for _, kind := range accumKinds[1:] {
+			if got := merge(alg, kind); got != base {
+				t.Fatalf("%s: merge time moved with Options.Accumulator (%v: %v, auto: %v); fixed libraries keep their published recipe",
+					name, kind, got, base)
+			}
+		}
+	}
+}

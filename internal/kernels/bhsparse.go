@@ -14,6 +14,11 @@ import (
 // in their own blocks and pay the global-merge surcharge, which is why the
 // paper still measures it below the baseline on skewed networks (0.55x
 // average).
+//
+// In the accumulator taxonomy (sparse.AccumulatorKind) the bins fix a
+// heap/sort-flavoured strategy per size class — the library's published
+// design, the closest published relative of the per-row auto selector —
+// so Options.Accumulator never changes its timing model.
 type BhSPARSE struct{}
 
 // Name implements Algorithm.

@@ -1,7 +1,11 @@
 package kernels
 
 import (
+	"math/bits"
+
+	"github.com/blockreorg/blockreorg/internal/core"
 	"github.com/blockreorg/blockreorg/internal/gpusim"
+	"github.com/blockreorg/blockreorg/sparse"
 )
 
 // Shared cost constants. A sparse element is a (float64 value, int32 index)
@@ -41,6 +45,30 @@ const (
 	// longRow is the intermediate population above which a merge row gets
 	// its own thread block.
 	longRow = 256
+	// Hash-accumulator merge pricing: each product pays an expected probe
+	// plus table update instead of the dense RMW. At load factor ≤ 1/2 the
+	// expected linear-probe chain is short, but a probe touches a key and
+	// a value lane (not adjacent like the dense accumulator's), so the
+	// per-product traffic is higher while the *resident* working set —
+	// the power-of-two table — is proportional to the row, not the output
+	// dimension. That trade is the whole point of the strategy.
+	hashProbeTraffic = 20
+	// hashInstrPerIter raises the per-iteration instruction estimate over
+	// the device default (10): multiply-shift hashing plus the probe loop.
+	hashInstrPerIter = 14
+	// hashSlotBytes is the device footprint of one table slot (8B key
+	// lane + 8B value lane, separate arrays as the host merger lays out).
+	hashSlotBytes = 16
+	// Sort-accumulator merge pricing: the row is sorted by LSD radix
+	// passes over the column keys (8 bits per pass, so
+	// ceil(log2(cols)/8) passes) and then compacted in one streaming
+	// sweep. Each pass reads and writes every (key, value) pair —
+	// sortPassTraffic bytes per product per pass — but the passes are
+	// fully streaming: no atomics and no resident accumulator competing
+	// for L2, which is why tiny rows win here.
+	sortPassTraffic = 24
+	// sortRadixBits is the digit width of one radix pass.
+	sortRadixBits = 8
 	// expansionBlockThreads is the configured thread-block size of
 	// expansion kernels (paper's fixed launch size).
 	expansionBlockThreads = 256
@@ -124,26 +152,83 @@ func expansionPairBlock(colNNZ, rowNNZ int, label string) gpusim.BlockWork {
 	}
 }
 
-// mergeKernel builds the Gustavson dense-accumulator merge: one block per
-// long intermediate row, packed grid-stride blocks for the rest. readBytes
-// selects the row-form or matrix-form intermediate cost. limited rows (may
-// be nil) receive extraSmem bytes of additional shared memory — the
-// B-Limiting mechanism.
-func mergeKernel(name string, rowWork []int64, rowNNZ []int, readBytes float64, limited []int, extraSmem int) *gpusim.Kernel {
+// sortPasses is the LSD radix pass count over column keys bounded by cols.
+func sortPasses(cols int) int {
+	if cols < 2 {
+		return 1
+	}
+	return (bits.Len(uint(cols-1)) + sortRadixBits - 1) / sortRadixBits
+}
+
+// priceAccum rewrites a dense-priced merge block for the row's assigned
+// accumulator strategy. Dense is the identity; hash swaps the RMW traffic
+// for probe traffic and shrinks the resident working set to the
+// power-of-two table; sort folds the radix passes into the streaming read
+// and drops the accumulator entirely (no atomics, no resident set).
+func priceAccum(blk gpusim.BlockWork, kind sparse.AccumulatorKind, tableBytes int64, passes int) gpusim.BlockWork {
+	switch kind {
+	case sparse.AccumHash:
+		blk.AccumTrafficPerIter = hashProbeTraffic
+		blk.InstrPerIter = hashInstrPerIter
+		if tableBytes > accumWindow {
+			tableBytes = accumWindow
+		}
+		blk.AccumBytes = int(tableBytes)
+		blk.Label += "-hash"
+	case sparse.AccumSort:
+		blk.ReadBytesPerIter += float64(passes) * sortPassTraffic
+		blk.AccumTrafficPerIter = 0
+		blk.AtomicsPerIter = 0
+		blk.AccumBytes = 0
+		blk.Label += "-sort"
+	}
+	return blk
+}
+
+// mergeKernel builds the Gustavson merge under the plan's accumulator
+// assignment: one block per long intermediate row, packed grid-stride
+// blocks (one aggregate class per strategy) for the rest. readBytes selects
+// the row-form or matrix-form intermediate cost. limited rows (may be nil)
+// receive extraSmem bytes of additional shared memory — the B-Limiting
+// mechanism. A nil accum prices every row as the dense accumulator — the
+// pre-selection model, and the shape fixed-strategy libraries share.
+func mergeKernel(name string, rowWork []int64, rowNNZ []int, readBytes float64, limited []int, extraSmem int, accum *core.AccumPlan) *gpusim.Kernel {
 	isLimited := make(map[int]bool, len(limited))
 	for _, r := range limited {
 		isLimited[r] = true
 	}
+	passes := 1
+	if accum != nil {
+		passes = sortPasses(accum.Cols)
+	}
 	bb := newBlockBuilder()
-	var smallWork, smallOut int64
+	// Small rows aggregate into one grid-stride class per strategy: the
+	// strategies differ in per-product traffic, so folding them together
+	// would blur exactly the cost difference the selector exploits.
+	type smallBucket struct {
+		work, out, table int64
+	}
+	var small [3]smallBucket // dense, hash, sort
 	for i, w := range rowWork {
 		if w == 0 {
 			continue
 		}
+		kind := sparse.AccumDense
+		if accum != nil {
+			kind = accum.Rows[i]
+		}
 		outBytes := int64(rowNNZ[i]) * elemBytes
 		if w < longRow {
-			smallWork += w
-			smallOut += outBytes
+			sb := &small[0]
+			switch kind {
+			case sparse.AccumHash:
+				sb = &small[1]
+				sb.table += int64(sparse.HashTableSlots(w)) * hashSlotBytes
+			case sparse.AccumSort:
+				sb = &small[2]
+			}
+			sb.work += w
+			sb.out += outBytes
 			continue
 		}
 		threads := expansionBlockThreads
@@ -158,7 +243,7 @@ func mergeKernel(name string, rowWork []int64, rowNNZ []int, readBytes float64, 
 		if accumWS > accumWindow {
 			accumWS = accumWindow
 		}
-		bb.add(gpusim.BlockWork{
+		bb.add(priceAccum(gpusim.BlockWork{
 			Threads:             threads,
 			EffThreads:          threads,
 			MaxWarpIters:        iters,
@@ -172,16 +257,20 @@ func mergeKernel(name string, rowWork []int64, rowNNZ []int, readBytes float64, 
 			Segment:             gpusim.NoSegment,
 			AccumBytes:          int(accumWS),
 			Label:               label,
-		})
+		}, kind, int64(sparse.HashTableSlots(w))*hashSlotBytes, passes))
 	}
-	if smallWork > 0 {
+	for s, sb := range small {
+		if sb.work == 0 {
+			continue
+		}
+		kind := [3]sparse.AccumulatorKind{sparse.AccumDense, sparse.AccumHash, sparse.AccumSort}[s]
 		perBlock := int64(expansionBlockThreads * mergeItersPerThread)
-		nblocks := (smallWork + perBlock - 1) / perBlock
-		smallWS := smallOut / elemBytes * accumSector / max64(nblocks, 1)
+		nblocks := (sb.work + perBlock - 1) / perBlock
+		smallWS := sb.out / elemBytes * accumSector / max64(nblocks, 1)
 		if smallWS > accumWindow {
 			smallWS = accumWindow
 		}
-		bb.add(gpusim.BlockWork{
+		bb.add(priceAccum(gpusim.BlockWork{
 			Count:               int(nblocks),
 			Threads:             expansionBlockThreads,
 			EffThreads:          expansionBlockThreads,
@@ -189,14 +278,14 @@ func mergeKernel(name string, rowWork []int64, rowNNZ []int, readBytes float64, 
 			SumWarpIters:        mergeItersPerThread * int64(expansionBlockThreads/32),
 			SumThreadIters:      perBlock,
 			ReadBytesPerIter:    readBytes,
-			WriteBytesPerIter:   float64(smallOut) / float64(smallWork),
+			WriteBytesPerIter:   float64(sb.out) / float64(sb.work),
 			AccumTrafficPerIter: mergeAccumTraffic,
 			AtomicsPerIter:      1,
 			SharedMem:           mergeBaseSmem,
 			Segment:             gpusim.NoSegment,
 			AccumBytes:          int(smallWS),
 			Label:               "merge-small",
-		})
+		}, kind, sb.table/max64(nblocks, 1), passes))
 	}
 	return &gpusim.Kernel{Name: name, Phase: gpusim.PhaseMerge, Blocks: bb.grid()}
 }

@@ -12,6 +12,10 @@ import (
 // moves the entire intermediate several times through DRAM, which is why
 // the paper measures it slowest overall (0.22x of the row-product
 // baseline) regardless of structure.
+//
+// In the accumulator taxonomy (sparse.AccumulatorKind) ESC is a fixed
+// sort strategy applied to the whole intermediate at once rather than per
+// row; Options.Accumulator never changes its timing model.
 type CUSP struct{}
 
 // Name implements Algorithm.

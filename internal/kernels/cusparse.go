@@ -11,6 +11,11 @@ import (
 // a hub row serializes inside its single warp, so heavily skewed matrices
 // collapse — the behaviour the paper measures (0.29x of the row-product
 // baseline on average, best-in-class only on small regular inputs).
+//
+// In the accumulator taxonomy (sparse.AccumulatorKind) this is a fixed
+// hash strategy for every row — the library's published design, so
+// Options.Accumulator never changes its timing model; its own smem/global
+// split below plays the role the per-row selector plays elsewhere.
 type CuSPARSE struct{}
 
 // hashSmemProducts is the largest per-row product count whose hash table

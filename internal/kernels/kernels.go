@@ -55,6 +55,16 @@ type Options struct {
 	// for the run (see internal/trace). Nil disables tracing at zero
 	// cost; results never depend on it.
 	Trace *trace.Recorder
+	// Accumulator selects the per-row merge strategy of the numeric
+	// product and of the Gustavson-merge cost models (row-product,
+	// outer-product, and the Reorganizer — where Core.Accumulator, when
+	// set, takes precedence so plans stay self-describing). The zero
+	// value, sparse.AccumAuto, picks per row from the symbolic upper
+	// bounds. The fixed-strategy libraries (cuSPARSE, CUSP, bhSPARSE,
+	// MKL) keep their published merge models regardless — the knob never
+	// changes what those baselines are — but their numeric host product
+	// does use it, since the result is bit-identical either way.
+	Accumulator sparse.AccumulatorKind
 }
 
 // executor resolves the run's host-side executor.
@@ -185,7 +195,10 @@ func finishProduct(a, b *sparse.CSR, opts Options, rep *gpusim.Report, pc *Preco
 	if opts.SkipValues {
 		return p, nil
 	}
-	c, err := sparse.MultiplyTraced(a, b, executor(opts), opts.Trace)
+	// The shared analysis already holds the exact symbolic populations, so
+	// the numeric engine skips its own symbolic sweep.
+	c, err := sparse.MultiplyConfigured(a, b, executor(opts), opts.Trace,
+		sparse.MulConfig{Accum: opts.Accumulator, RowNNZ: pc.RowNNZ})
 	if err != nil {
 		return nil, err
 	}

@@ -40,7 +40,10 @@ func XeonE5_2640v4() CPUConfig {
 // MKL models Intel MKL's mkl_sparse_spmm: a multithreaded CPU Gustavson
 // whose throughput is bounded by core count and memory bandwidth. The GPU
 // baselines beat it roughly 2x on the paper's datasets (it averages 0.48x
-// of the GPU row-product).
+// of the GPU row-product). In the accumulator taxonomy
+// (sparse.AccumulatorKind) it is a fixed dense strategy per row — the
+// CPU's caches absorb the dense accumulator — so Options.Accumulator
+// never changes its timing model.
 type MKL struct{}
 
 // Name implements Algorithm.

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"github.com/blockreorg/blockreorg/internal/core"
 	"github.com/blockreorg/blockreorg/internal/gpusim"
 	"github.com/blockreorg/blockreorg/sparse"
 )
@@ -34,7 +35,8 @@ func (OuterProduct) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
 	if err := runKernels(sim, rep, opts.Trace,
 		precalcKernel("precalc(block-nnz)", pc.ACSC.Cols),
 		outerExpansionKernel(pc.ACSC, b),
-		mergeKernel("merge(gustavson)", pc.RowWork, pc.RowNNZ, mergeReadMatrixForm, nil, 0),
+		mergeKernel("merge(gustavson)", pc.RowWork, pc.RowNNZ, mergeReadMatrixForm, nil, 0,
+			core.BuildAccumPlan(opts.Accumulator, pc.RowWork, b.Cols)),
 	); err != nil {
 		return nil, err
 	}

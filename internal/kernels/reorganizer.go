@@ -75,6 +75,12 @@ func (Reorganizer) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
 		if params.NumSMs == 0 {
 			params.NumSMs = opts.Device.NumSMs
 		}
+		if params.Accumulator == sparse.AccumAuto {
+			// An explicit Core.Accumulator wins (plans stay
+			// self-describing); otherwise the run-level knob flows into the
+			// plan's strategy assignment.
+			params.Accumulator = opts.Accumulator
+		}
 		pc, err = pre(opts, a, b)
 		if err != nil {
 			return nil, err
@@ -129,7 +135,8 @@ func (Reorganizer) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
 	kernels = append(kernels,
 		restKernel,
 		mergeKernel("merge(b-limiting)", plan.Limit.RowWork, rowNNZ,
-			mergeReadMatrixForm, plan.Limit.Limited, plan.Limit.ExtraSharedMem),
+			mergeReadMatrixForm, plan.Limit.Limited, plan.Limit.ExtraSharedMem,
+			plan.Accum),
 	)
 	if err := runKernels(sim, rep, opts.Trace, kernels...); err != nil {
 		return nil, err
@@ -150,7 +157,10 @@ func (Reorganizer) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
 	if plan.Cls.TotalWork <= maxPlanExec {
 		c, err = plan.ExecuteTraced(executor(opts), 0, opts.Trace)
 	} else {
-		c, err = sparse.MultiplyTraced(a, b, executor(opts), opts.Trace)
+		// The plan already recorded the strategy counts (RecordTrace), so
+		// the fallback engine must not add its own.
+		c, err = sparse.MultiplyConfigured(a, b, executor(opts), opts.Trace,
+			sparse.MulConfig{Accum: plan.Params.Accumulator, RowNNZ: pc.RowNNZ, SkipCounters: true})
 	}
 	if err != nil {
 		return nil, err

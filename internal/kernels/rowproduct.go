@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"github.com/blockreorg/blockreorg/internal/core"
 	"github.com/blockreorg/blockreorg/internal/gpusim"
 	"github.com/blockreorg/blockreorg/sparse"
 )
@@ -33,7 +34,8 @@ func (RowProduct) Multiply(a, b *sparse.CSR, opts Options) (*Product, error) {
 	if err := runKernels(sim, rep, opts.Trace,
 		precalcKernel("precalc(row-nnz)", a.Rows),
 		rowExpansionKernel(a, b),
-		mergeKernel("merge(gustavson)", pc.RowWork, pc.RowNNZ, mergeReadRowForm, nil, 0),
+		mergeKernel("merge(gustavson)", pc.RowWork, pc.RowNNZ, mergeReadRowForm, nil, 0,
+			core.BuildAccumPlan(opts.Accumulator, pc.RowWork, b.Cols)),
 	); err != nil {
 		return nil, err
 	}

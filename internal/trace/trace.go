@@ -115,6 +115,13 @@ const (
 	CounterPipelinePlanHits   = "pipeline_plan_hits"
 	CounterPipelinePlanMisses = "pipeline_plan_misses"
 	CounterPipelinePruned     = "pipeline_pruned_entries"
+	// Accumulator selection: rows merged per strategy (see
+	// sparse.AccumulatorKind). Recorded once per multiply — by the plan
+	// for reorganized runs, by the host engine otherwise — so the three
+	// counters sum to the product's populated row count.
+	CounterAccumDenseRows = "accum_rows_dense"
+	CounterAccumHashRows  = "accum_rows_hash"
+	CounterAccumSortRows  = "accum_rows_sort"
 
 	// GaugeAlpha and GaugeBeta are the resolved threshold divisors;
 	// GaugeSplitFactorMax is the largest splitting factor chosen,

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/blockreorg/blockreorg"
+)
+
+// TestServerAccumulatorField covers the accumulator knob on the wire: every
+// strategy produces the same product, an unknown name fails as a client
+// error, "" and "auto" share one plan-cache entry while distinct strategies
+// get their own, and the per-strategy row counts surface in /metrics.
+func TestServerAccumulatorField(t *testing.T) {
+	a := testNetwork(t, 400, 6000, 13)
+	s, ts := newTestServer(t, Config{Workers: 1}, nil)
+
+	want, err := blockreorg.Multiply(a, a, blockreorg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, accum := range []string{"", "auto", "dense", "hash", "sort"} {
+		id := submit(t, ts.URL, MultiplyRequest{
+			A: Operand{COO: payloadFromCSR(a)}, Accumulator: accum, ReturnValues: true,
+		})
+		st := pollDone(t, ts.URL, id)
+		if st.State != StateDone {
+			t.Fatalf("accumulator %q: job failed: %s %s", accum, st.ErrorKind, st.Error)
+		}
+		got, err := st.Result.Values.toCSR()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want.C, 1e-9) {
+			t.Fatalf("accumulator %q: product diverges from direct Multiply", accum)
+		}
+	}
+
+	// "" and "auto" share a plan-cache entry (normalized key); dense, hash
+	// and sort each built their own. 5 runs, 4 distinct keys: 1 hit.
+	if stats := s.Cache().Stats(); stats.Hits != 1 || stats.Misses != 4 {
+		t.Fatalf("plan cache: %d hits, %d misses; want 1 and 4 (strategy-keyed entries)",
+			stats.Hits, stats.Misses)
+	}
+
+	// An unknown strategy is a client fault.
+	id := submit(t, ts.URL, MultiplyRequest{
+		A: Operand{COO: payloadFromCSR(a)}, Accumulator: "radix",
+	})
+	st := pollDone(t, ts.URL, id)
+	if st.State != StateFailed || st.ErrorKind != FailClient {
+		t.Fatalf("unknown accumulator: state %s kind %s, want failed/client", st.State, st.ErrorKind)
+	}
+	if !strings.Contains(st.Error, "radix") {
+		t.Fatalf("unknown accumulator: error does not name it: %s", st.Error)
+	}
+
+	// The per-strategy row counts reached the metrics. Five successful runs
+	// over a power-law network: the forced-dense run guarantees dense rows,
+	// the forced-sort run sort rows, so every class must be non-zero.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strategy := range []string{"dense", "hash", "sort"} {
+		re := regexp.MustCompile(`spgemmd_accum_rows_total\{strategy="` + strategy + `"\} (\d+)`)
+		m := re.FindStringSubmatch(string(body))
+		if m == nil {
+			t.Fatalf("metrics missing spgemmd_accum_rows_total{strategy=%q}:\n%s", strategy, body)
+		}
+		if n, _ := strconv.Atoi(m[1]); n == 0 {
+			t.Errorf("spgemmd_accum_rows_total{strategy=%q} is zero after forced runs", strategy)
+		}
+	}
+}

@@ -91,6 +91,12 @@ type MultiplyRequest struct {
 	Algorithm string `json:"algorithm,omitempty"` // default Block-Reorganizer
 	GPU       string `json:"gpu,omitempty"`       // default: the worker's device
 
+	// Accumulator selects the merge strategy: "auto" (or omitted, the
+	// default), "dense", "hash" or "sort". The product is bit-identical
+	// for every setting; the knob trades merge time and shows up in the
+	// spgemmd_accum_rows_total metrics.
+	Accumulator string `json:"accumulator,omitempty"`
+
 	// Block Reorganizer tuning; zero values select the paper's defaults.
 	Alpha       float64 `json:"alpha,omitempty"`
 	Beta        float64 `json:"beta,omitempty"`

@@ -70,6 +70,11 @@ type metrics struct {
 	// queueWait tracks time from admission to dequeue across all jobs —
 	// the latency component the per-algorithm service histograms exclude.
 	queueWait *latencyHist
+	// accumRows counts merged output rows per accumulator strategy across
+	// all completed jobs, fed from the per-job trace counters.
+	accumDenseRows uint64
+	accumHashRows  uint64
+	accumSortRows  uint64
 }
 
 func newMetrics() *metrics {
@@ -121,8 +126,9 @@ func (m *metrics) addPipeline(workload string, iterations, hits, misses int) {
 	m.pipelinePlanMiss += uint64(misses)
 }
 
-// addPhases folds one job's phase breakdown into the per-phase histograms.
-// The unattributed remainder ("other") is skipped — it is an artifact of the
+// addPhases folds one job's phase breakdown into the per-phase histograms
+// and its accumulator-strategy row counts into the strategy counters. The
+// unattributed remainder ("other") is skipped — it is an artifact of the
 // profile's accounting, not a pipeline stage.
 func (m *metrics) addPhases(p *trace.Profile) {
 	if p == nil {
@@ -141,6 +147,9 @@ func (m *metrics) addPhases(p *trace.Profile) {
 		}
 		h.observe(b.Seconds)
 	}
+	m.accumDenseRows += uint64(p.Counter(trace.CounterAccumDenseRows))
+	m.accumHashRows += uint64(p.Counter(trace.CounterAccumHashRows))
+	m.accumSortRows += uint64(p.Counter(trace.CounterAccumSortRows))
 }
 
 // write renders the metrics in Prometheus text exposition format. The
@@ -191,6 +200,13 @@ func (m *metrics) write(w io.Writer, cache CacheStats, queueDepth, queueCap int)
 	fmt.Fprintf(w, "spgemmd_arena_gets_total %d\n", ps.ArenaGets)
 	fmt.Fprintf(w, "# TYPE spgemmd_arena_allocs_total counter\n")
 	fmt.Fprintf(w, "spgemmd_arena_allocs_total %d\n", ps.ArenaNews)
+
+	// Accumulator selection across all completed jobs: how many merged
+	// output rows ran under each strategy (see sparse.AccumulatorKind).
+	fmt.Fprintf(w, "# TYPE spgemmd_accum_rows_total counter\n")
+	fmt.Fprintf(w, "spgemmd_accum_rows_total{strategy=\"dense\"} %d\n", m.accumDenseRows)
+	fmt.Fprintf(w, "spgemmd_accum_rows_total{strategy=\"hash\"} %d\n", m.accumHashRows)
+	fmt.Fprintf(w, "spgemmd_accum_rows_total{strategy=\"sort\"} %d\n", m.accumSortRows)
 
 	fmt.Fprintf(w, "# TYPE spgemmd_pipeline_plan_hits_total counter\n")
 	fmt.Fprintf(w, "spgemmd_pipeline_plan_hits_total %d\n", m.pipelinePlanHits)

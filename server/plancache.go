@@ -17,6 +17,10 @@ type PlanKey struct {
 	Alpha, Beta float64
 	SplitFactor int
 	LimitFactor int
+	// Accumulator is the normalized strategy name ("auto", "dense", …):
+	// plans embed their per-row strategy assignment, so requests asking
+	// for different strategies must not share a cached plan.
+	Accumulator string
 }
 
 // CacheStats is a point-in-time snapshot of the cache's counters.

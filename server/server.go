@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/blockreorg/blockreorg"
+	"github.com/blockreorg/blockreorg/sparse"
 	"github.com/blockreorg/blockreorg/workload"
 )
 
@@ -269,6 +270,7 @@ func (s *Server) runJob(j *job, workerGPU string) {
 		Beta:        j.req.Beta,
 		SplitFactor: j.req.SplitFactor,
 		LimitFactor: j.req.LimitFactor,
+		Accumulator: j.req.Accumulator,
 		Paranoid:    s.cfg.Paranoid,
 		Trace:       rec,
 	}
@@ -289,6 +291,10 @@ func (s *Server) runJob(j *job, workerGPU string) {
 	hit := false
 	cacheable := opts.Algorithm == blockreorg.BlockReorganizer
 	if cacheable {
+		// The accumulator name is normalized through its parsed form so
+		// "" and "auto" share cache entries; an invalid name falls through
+		// to Multiply's option validation (the key is never stored then).
+		accum, _ := sparse.ParseAccumulator(opts.Accumulator)
 		key = PlanKey{
 			FpA: j.fpA, FpB: j.fpB,
 			GPU:         string(opts.GPU),
@@ -296,6 +302,7 @@ func (s *Server) runJob(j *job, workerGPU string) {
 			Beta:        opts.Beta,
 			SplitFactor: opts.SplitFactor,
 			LimitFactor: opts.LimitFactor,
+			Accumulator: accum.String(),
 		}
 		if cached, ok := s.cache.Get(key); ok {
 			if bound, err := cached.Rebind(j.a, j.b); err == nil {

@@ -1,0 +1,460 @@
+package sparse
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/blockreorg/blockreorg/internal/parallel"
+)
+
+// AccumulatorKind selects the per-row merge strategy of the Gustavson /
+// outer-product accumulation phase. The merge combines a row's intermediate
+// products — duplicate column indices summed, output sorted by column — and
+// the spGEMM literature (Gao et al.'s survey, OpSparse) shows no single
+// structure wins every row shape:
+//
+//   - AccumDense stamps a marker array and accumulates into a dense
+//     O(Cols) vector — unbeatable when the row's footprint is a large
+//     fraction of the output dimension, wasteful cache traffic when a long
+//     sparse row scatters a few hundred updates across a huge vector.
+//   - AccumHash accumulates into an open-addressing table sized from the
+//     row's upper-bound population, keeping the working set proportional
+//     to the row instead of the matrix.
+//   - AccumSort appends the raw products and sort-combines them — cheapest
+//     for tiny rows, where a table or a dense sweep is all overhead.
+//
+// AccumAuto picks per row from the upper-bound intermediate population the
+// symbolic phase already computes (and plans stash as Limit.RowWork), so
+// the choice costs nothing extra. Every kind produces bit-identical output:
+// dense and hash add each column's products in stream order, and the sort
+// path's stable sort preserves stream order among duplicates.
+type AccumulatorKind uint8
+
+// Accumulator strategies. The zero value is AccumAuto: callers that leave
+// the knob alone get the per-row selector.
+const (
+	AccumAuto AccumulatorKind = iota
+	AccumDense
+	AccumHash
+	AccumSort
+)
+
+// String names the kind as accepted by ParseAccumulator.
+func (k AccumulatorKind) String() string {
+	switch k {
+	case AccumAuto:
+		return "auto"
+	case AccumDense:
+		return "dense"
+	case AccumHash:
+		return "hash"
+	case AccumSort:
+		return "sort"
+	default:
+		return fmt.Sprintf("accumulator(%d)", uint8(k))
+	}
+}
+
+// ParseAccumulator resolves an accumulator name. The empty string selects
+// AccumAuto, so an unset Options field or CLI flag means "let the selector
+// decide".
+func ParseAccumulator(s string) (AccumulatorKind, error) {
+	switch s {
+	case "", "auto":
+		return AccumAuto, nil
+	case "dense":
+		return AccumDense, nil
+	case "hash":
+		return AccumHash, nil
+	case "sort":
+		return AccumSort, nil
+	}
+	return AccumAuto, fmt.Errorf("sparse: unknown accumulator %q (want auto, dense, hash or sort)", s)
+}
+
+// Auto-selection thresholds (see DESIGN §15). Both layers — the host merge
+// engines and the gpusim merge cost model — resolve AccumAuto through
+// SelectAccumulator, so a plan's per-class counts describe exactly what the
+// functional path runs.
+const (
+	// SortRowMax is the upper-bound intermediate population at or below
+	// which a row sort-combines: at these sizes the products fit a handful
+	// of cache lines and an insertion sort beats both table setup and a
+	// dense-vector round trip.
+	SortRowMax = 32
+	// HashColsFactor gates the hash accumulator: a row hashes when its
+	// power-of-two table (about 2×upper slots) is still an order of
+	// magnitude smaller than the dense accumulator's O(Cols) working set.
+	// Rows failing the test keep the dense path — its unconditional
+	// per-product cost is lower than a probe.
+	HashColsFactor = 8
+)
+
+// SelectAccumulator resolves the effective strategy for one row: kind
+// itself unless it is AccumAuto, in which case the row's upper-bound
+// intermediate population (upper) is weighed against the output dimension
+// (cols). upper is an upper bound on the merged population — the symbolic
+// phase's row work — so the hash table it sizes never overflows.
+func SelectAccumulator(kind AccumulatorKind, upper int64, cols int) AccumulatorKind {
+	if kind != AccumAuto {
+		return kind
+	}
+	switch {
+	case upper <= SortRowMax:
+		return AccumSort
+	case upper*HashColsFactor < int64(cols):
+		return AccumHash
+	default:
+		return AccumDense
+	}
+}
+
+// AccumCounts tallies merged rows per accumulator strategy. Zero-work rows
+// are not counted: they merge through no strategy at all.
+type AccumCounts struct {
+	Dense int64
+	Hash  int64
+	Sort  int64
+}
+
+// add folds other into c.
+func (c *AccumCounts) add(other AccumCounts) {
+	c.Dense += other.Dense
+	c.Hash += other.Hash
+	c.Sort += other.Sort
+}
+
+// RowMerger is the pluggable accumulation engine behind every host merge
+// path: the Gustavson row loops (Multiply's pooled and chunked engines) and
+// the plan executor's scattered-stream merge. One merger serves one
+// goroutine; scratch — dense accumulator, marker array, hash table, pair
+// buffers — is drawn lazily from the internal/parallel arenas on first use
+// per strategy and returned by Release. Output rows are appended to
+// caller-provided slices (CombineRow's contract), so chunked engines pass
+// capped three-index slices and write straight into their final slots.
+type RowMerger struct {
+	cols int
+	// Counts tallies the rows merged per strategy since construction.
+	Counts AccumCounts
+
+	// Dense accumulator scratch: acc holds partial sums, marker carries
+	// the stamp of the row that last touched each column (stamps are
+	// per-merger monotonic, so the arrays never need re-zeroing between
+	// rows or even between matrices).
+	acc    []float64
+	marker []int
+	stamp  int
+
+	// Hash accumulator scratch: open addressing with linear probing over
+	// power-of-two tables; hKeys holds column indices (-1 = empty).
+	hKeys []int
+	hVals []float64
+
+	// Pair scratch shared by the strategies: the dense path's touched
+	// list, the hash path's insertion log (key + slot), and the sort
+	// path's append buffer.
+	pIdx   []int
+	pVal   []float64
+	pSlots []int
+}
+
+// NewRowMerger returns a merger for rows of an output with the given
+// column count. No scratch is acquired until a strategy first needs it.
+func NewRowMerger(cols int) *RowMerger {
+	return &RowMerger{cols: cols}
+}
+
+// Release returns all scratch to the arenas. The merger must not be used
+// afterwards.
+func (m *RowMerger) Release() {
+	parallel.PutFloats(m.acc)
+	parallel.PutInts(m.marker)
+	parallel.PutInts(m.hKeys)
+	parallel.PutFloats(m.hVals)
+	parallel.PutInts(m.pIdx)
+	parallel.PutFloats(m.pVal)
+	parallel.PutInts(m.pSlots)
+	*m = RowMerger{}
+}
+
+// ensureDense acquires the dense accumulator and marker arrays.
+func (m *RowMerger) ensureDense() {
+	if m.acc == nil {
+		m.acc = parallel.GetFloats(m.cols)
+		m.marker = parallel.GetIntsZeroed(m.cols)
+		m.stamp = 0
+	}
+}
+
+// ensurePairs guarantees the pair scratch holds at least n entries.
+func (m *RowMerger) ensurePairs(n int) {
+	if cap(m.pIdx) >= n {
+		return
+	}
+	parallel.PutInts(m.pIdx)
+	parallel.PutFloats(m.pVal)
+	parallel.PutInts(m.pSlots)
+	m.pIdx = parallel.GetInts(n)
+	m.pVal = parallel.GetFloats(n)
+	m.pSlots = parallel.GetInts(n)
+}
+
+// ensureHash guarantees the hash table holds at least `slots` entries
+// (rounded to the arena's power-of-two capacity) with every key empty. The
+// table is kept clean between rows — each merge resets exactly the slots
+// it filled — so growth is the only time it is wiped wholesale.
+func (m *RowMerger) ensureHash(slots int) {
+	if cap(m.hKeys) >= slots {
+		m.hKeys = m.hKeys[:cap(m.hKeys)]
+		m.hVals = m.hVals[:cap(m.hVals)]
+		return
+	}
+	parallel.PutInts(m.hKeys)
+	parallel.PutFloats(m.hVals)
+	m.hKeys = parallel.GetInts(slots)
+	m.hKeys = m.hKeys[:cap(m.hKeys)]
+	m.hVals = parallel.GetFloats(len(m.hKeys))
+	m.hVals = m.hVals[:cap(m.hVals)]
+	for i := range m.hKeys {
+		m.hKeys[i] = -1
+	}
+}
+
+// HashTableSlots sizes the open-addressing table for a row holding at most
+// `upper` distinct columns: the next power of two past 2×upper keeps the
+// load factor at or below one half. Exported so the gpusim merge cost
+// model prices exactly the table the host hash accumulator builds.
+func HashTableSlots(upper int64) int {
+	if upper < 4 {
+		upper = 4
+	}
+	return 1 << bits.Len64(uint64(2*upper-1))
+}
+
+// fibMul is the 64-bit Fibonacci hashing multiplier (2^64/φ).
+const fibMul = 0x9E3779B97F4A7C15
+
+// ProductRow computes row i of A×B under the given strategy (resolved
+// through SelectAccumulator when kind is AccumAuto) and appends the merged
+// row — column-sorted, duplicate-free — to outIdx/outVal. upper is the
+// row's intermediate product count, the symbolic upper bound that sizes the
+// scratch and drives auto-selection. The output is bit-identical across
+// strategies.
+func (m *RowMerger) ProductRow(kind AccumulatorKind, a, b *CSR, i int, upper int64,
+	outIdx []int, outVal []float64) ([]int, []float64) {
+	if upper == 0 || a.Ptr[i] == a.Ptr[i+1] {
+		return outIdx, outVal
+	}
+	switch SelectAccumulator(kind, upper, m.cols) {
+	case AccumHash:
+		m.Counts.Hash++
+		return m.hashProductRow(a, b, i, upper, outIdx, outVal)
+	case AccumSort:
+		m.Counts.Sort++
+		return m.sortProductRow(a, b, i, upper, outIdx, outVal)
+	default:
+		m.Counts.Dense++
+		return m.denseProductRow(a, b, i, upper, outIdx, outVal)
+	}
+}
+
+// Merge combines one row's scattered intermediate products (idx/val in
+// stream order, consumed destructively) under the given strategy and
+// appends the merged row to outIdx/outVal. With kind AccumSort this is
+// exactly CombineRow; dense and hash accumulate in stream order, so all
+// three agree to the bit.
+func (m *RowMerger) Merge(kind AccumulatorKind, idx []int, val []float64,
+	outIdx []int, outVal []float64) ([]int, []float64) {
+	if len(idx) == 0 {
+		return outIdx, outVal
+	}
+	switch SelectAccumulator(kind, int64(len(idx)), m.cols) {
+	case AccumHash:
+		m.Counts.Hash++
+		return m.hashMerge(idx, val, outIdx, outVal)
+	case AccumSort:
+		m.Counts.Sort++
+		return CombineRow(idx, val, outIdx, outVal)
+	default:
+		m.Counts.Dense++
+		return m.denseMerge(idx, val, outIdx, outVal)
+	}
+}
+
+// denseProductRow is the marker-stamped dense accumulation — the engine's
+// original strategy, kept verbatim as the bit-identity oracle shape.
+func (m *RowMerger) denseProductRow(a, b *CSR, i int, upper int64,
+	outIdx []int, outVal []float64) ([]int, []float64) {
+	m.ensureDense()
+	bound := int(upper)
+	if bound > m.cols {
+		bound = m.cols
+	}
+	m.ensurePairs(bound)
+	m.stamp++
+	stamp := m.stamp
+	acc, marker := m.acc, m.marker
+	touched := m.pIdx[:0]
+	for ka := a.Ptr[i]; ka < a.Ptr[i+1]; ka++ {
+		k := a.Idx[ka]
+		av := a.Val[ka]
+		for kb := b.Ptr[k]; kb < b.Ptr[k+1]; kb++ {
+			j := b.Idx[kb]
+			if marker[j] != stamp {
+				marker[j] = stamp
+				acc[j] = 0
+				touched = append(touched, j)
+			}
+			acc[j] += av * b.Val[kb]
+		}
+	}
+	insertionSortInts(touched)
+	for _, j := range touched {
+		outIdx = append(outIdx, j)
+		outVal = append(outVal, acc[j])
+	}
+	return outIdx, outVal
+}
+
+// hashProductRow accumulates through the open-addressing table. Each
+// column's products are added in stream order — the same addition order as
+// the dense path — and the merged pairs are co-sorted at the end (keys are
+// unique by then, so sort stability is irrelevant).
+func (m *RowMerger) hashProductRow(a, b *CSR, i int, upper int64,
+	outIdx []int, outVal []float64) ([]int, []float64) {
+	m.ensureHash(HashTableSlots(upper))
+	bound := int(upper)
+	if bound > m.cols {
+		bound = m.cols
+	}
+	m.ensurePairs(bound)
+	keys, vals := m.hKeys, m.hVals
+	mask := len(keys) - 1
+	shift := uint(64 - bits.Len(uint(mask)))
+	touched := m.pIdx[:0]
+	slots := m.pSlots[:0]
+	for ka := a.Ptr[i]; ka < a.Ptr[i+1]; ka++ {
+		k := a.Idx[ka]
+		av := a.Val[ka]
+		for kb := b.Ptr[k]; kb < b.Ptr[k+1]; kb++ {
+			j := b.Idx[kb]
+			pos := int((uint64(j) * fibMul) >> shift)
+			for {
+				kj := keys[pos]
+				if kj == j {
+					vals[pos] += av * b.Val[kb]
+					break
+				}
+				if kj < 0 {
+					keys[pos] = j
+					vals[pos] = av * b.Val[kb]
+					touched = append(touched, j)
+					slots = append(slots, pos)
+					break
+				}
+				pos = (pos + 1) & mask
+			}
+		}
+	}
+	base := len(outIdx)
+	for t, j := range touched {
+		slot := slots[t]
+		outIdx = append(outIdx, j)
+		outVal = append(outVal, vals[slot])
+		keys[slot] = -1
+	}
+	sortRowEntries(outIdx[base:], outVal[base:])
+	return outIdx, outVal
+}
+
+// sortProductRow appends the raw products and sort-combines them. The
+// stable pair sort preserves stream order among equal columns, so the
+// duplicate sums add in exactly the dense path's order.
+func (m *RowMerger) sortProductRow(a, b *CSR, i int, upper int64,
+	outIdx []int, outVal []float64) ([]int, []float64) {
+	m.ensurePairs(int(upper))
+	pi := m.pIdx[:0]
+	pv := m.pVal[:0]
+	for ka := a.Ptr[i]; ka < a.Ptr[i+1]; ka++ {
+		k := a.Idx[ka]
+		av := a.Val[ka]
+		for kb := b.Ptr[k]; kb < b.Ptr[k+1]; kb++ {
+			pi = append(pi, b.Idx[kb])
+			pv = append(pv, av*b.Val[kb])
+		}
+	}
+	return CombineRow(pi, pv, outIdx, outVal)
+}
+
+// denseMerge is denseProductRow over an already-materialized product
+// stream — the plan executor's merge shape.
+func (m *RowMerger) denseMerge(idx []int, val []float64,
+	outIdx []int, outVal []float64) ([]int, []float64) {
+	m.ensureDense()
+	bound := len(idx)
+	if bound > m.cols {
+		bound = m.cols
+	}
+	m.ensurePairs(bound)
+	m.stamp++
+	stamp := m.stamp
+	acc, marker := m.acc, m.marker
+	touched := m.pIdx[:0]
+	for k, j := range idx {
+		if marker[j] != stamp {
+			marker[j] = stamp
+			acc[j] = 0
+			touched = append(touched, j)
+		}
+		acc[j] += val[k]
+	}
+	insertionSortInts(touched)
+	for _, j := range touched {
+		outIdx = append(outIdx, j)
+		outVal = append(outVal, acc[j])
+	}
+	return outIdx, outVal
+}
+
+// hashMerge is hashProductRow over an already-materialized product stream.
+func (m *RowMerger) hashMerge(idx []int, val []float64,
+	outIdx []int, outVal []float64) ([]int, []float64) {
+	m.ensureHash(HashTableSlots(int64(len(idx))))
+	bound := len(idx)
+	if bound > m.cols {
+		bound = m.cols
+	}
+	m.ensurePairs(bound)
+	keys, vals := m.hKeys, m.hVals
+	mask := len(keys) - 1
+	shift := uint(64 - bits.Len(uint(mask)))
+	touched := m.pIdx[:0]
+	slots := m.pSlots[:0]
+	for k, j := range idx {
+		pos := int((uint64(j) * fibMul) >> shift)
+		for {
+			kj := keys[pos]
+			if kj == j {
+				vals[pos] += val[k]
+				break
+			}
+			if kj < 0 {
+				keys[pos] = j
+				vals[pos] = val[k]
+				touched = append(touched, j)
+				slots = append(slots, pos)
+				break
+			}
+			pos = (pos + 1) & mask
+		}
+	}
+	base := len(outIdx)
+	for t, j := range touched {
+		slot := slots[t]
+		outIdx = append(outIdx, j)
+		outVal = append(outVal, vals[slot])
+		keys[slot] = -1
+	}
+	sortRowEntries(outIdx[base:], outVal[base:])
+	return outIdx, outVal
+}

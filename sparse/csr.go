@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"github.com/blockreorg/blockreorg/internal/parallel"
 )
 
 // CSR is a matrix in compressed sparse row format.
@@ -203,21 +205,64 @@ func (m *CSR) SortRows() {
 	m.Ptr = newPtr
 }
 
-// sortRowEntries co-sorts one row's (column, value) pairs by column index
-// without allocating: median-of-three quicksort with insertion sort leaves,
-// swapping idx and val in lockstep. sort.Sort would box the pair into an
-// interface and cost one heap allocation per merged row.
+// sortRowEntriesRun is the run width sortRowEntries insertion-sorts
+// directly; longer inputs go through the bottom-up merge.
+const sortRowEntriesRun = 32
+
+// sortRowEntries co-sorts one row's (column, value) pairs by column index,
+// swapping idx and val in lockstep: insertion sort for short rows, a
+// bottom-up mergesort with arena scratch above sortRowEntriesRun entries.
+// sort.Sort would box the pair into an interface and cost one heap
+// allocation per merged row.
+//
+// The sort is STABLE, and that is a correctness property, not a detail:
+// CombineRow sums duplicate columns in post-sort order, so stability makes
+// that order the original stream order — exactly the order the dense and
+// hash accumulators add in. Bit-identity of the sort strategy (and of the
+// plan executor's merge) with the dense oracle rests on it.
 func sortRowEntries(idx []int, val []float64) {
-	for len(idx) > 24 {
-		mid := partitionRowEntries(idx, val)
-		if mid < len(idx)-mid {
-			sortRowEntries(idx[:mid], val[:mid])
-			idx, val = idx[mid:], val[mid:]
-		} else {
-			sortRowEntries(idx[mid:], val[mid:])
-			idx, val = idx[:mid], val[:mid]
-		}
+	n := len(idx)
+	if n <= sortRowEntriesRun {
+		insertionSortRowEntries(idx, val)
+		return
 	}
+	// Insertion-sort fixed-width runs, then merge them bottom-up. Both
+	// stages are stable, so equal columns keep their stream order.
+	for lo := 0; lo < n; lo += sortRowEntriesRun {
+		hi := lo + sortRowEntriesRun
+		if hi > n {
+			hi = n
+		}
+		insertionSortRowEntries(idx[lo:hi], val[lo:hi])
+	}
+	tmpIdx := parallel.GetInts(n)
+	tmpVal := parallel.GetFloats(n)
+	srcI, srcV := idx, val
+	dstI, dstV := tmpIdx, tmpVal
+	for width := sortRowEntriesRun; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			hi := lo + 2*width
+			if mid > n {
+				mid = n
+			}
+			if hi > n {
+				hi = n
+			}
+			mergeRowEntries(srcI, srcV, dstI, dstV, lo, mid, hi)
+		}
+		srcI, srcV, dstI, dstV = dstI, dstV, srcI, srcV
+	}
+	if &srcI[0] != &idx[0] {
+		copy(idx, srcI)
+		copy(val, srcV)
+	}
+	parallel.PutInts(tmpIdx)
+	parallel.PutFloats(tmpVal)
+}
+
+// insertionSortRowEntries is the stable base case of sortRowEntries.
+func insertionSortRowEntries(idx []int, val []float64) {
 	for i := 1; i < len(idx); i++ {
 		ci, cv := idx[i], val[i]
 		j := i - 1
@@ -229,32 +274,21 @@ func sortRowEntries(idx []int, val []float64) {
 	}
 }
 
-// partitionRowEntries partitions the pairs around a median-of-three pivot
-// column and returns the boundary.
-func partitionRowEntries(idx []int, val []float64) int {
-	a, b, c := idx[0], idx[len(idx)/2], idx[len(idx)-1]
-	pivot := a
-	if (a <= b && b <= c) || (c <= b && b <= a) {
-		pivot = b
-	} else if (a <= c && c <= b) || (b <= c && c <= a) {
-		pivot = c
-	}
-	i, j := 0, len(idx)-1
-	for i <= j {
-		for idx[i] < pivot {
+// mergeRowEntries merges the sorted runs src[lo:mid] and src[mid:hi] into
+// dst[lo:hi], taking from the left run on equal columns (stability).
+func mergeRowEntries(srcI []int, srcV []float64, dstI []int, dstV []float64, lo, mid, hi int) {
+	i, j := lo, mid
+	for k := lo; k < hi; k++ {
+		if i < mid && (j >= hi || srcI[i] <= srcI[j]) {
+			dstI[k] = srcI[i]
+			dstV[k] = srcV[i]
 			i++
-		}
-		for idx[j] > pivot {
-			j--
-		}
-		if i <= j {
-			idx[i], idx[j] = idx[j], idx[i]
-			val[i], val[j] = val[j], val[i]
-			i++
-			j--
+		} else {
+			dstI[k] = srcI[j]
+			dstV[k] = srcV[j]
+			j++
 		}
 	}
-	return i
 }
 
 // CombineRow sorts one row's (idx, val) entry pairs in place by column
@@ -262,11 +296,11 @@ func partitionRowEntries(idx []int, val []float64) int {
 // entries to outIdx/outVal, returning the extended slices.
 //
 // It is the single merge primitive behind SortRows (and therefore every
-// COO→CSR conversion) and the parallel plan executor. Sharing it matters
-// for bit-identical results: the sort is unstable, so the order in which
-// duplicate columns are summed is a property of the sort implementation —
-// running the identical code on the identical entry sequence is what makes
-// sequential and parallel merges agree to the last bit.
+// COO→CSR conversion), the plan executor's sort-class rows, and the sort
+// accumulator strategy. The underlying sort is stable, so duplicate
+// columns are summed in their original stream order — the same addition
+// order as the dense and hash accumulators, which is what makes every
+// merge path agree to the last bit.
 func CombineRow(idx []int, val []float64, outIdx []int, outVal []float64) ([]int, []float64) {
 	sortRowEntries(idx, val)
 	for k := 0; k < len(idx); {

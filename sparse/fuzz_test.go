@@ -90,3 +90,57 @@ func FuzzReadBinary(f *testing.F) {
 		}
 	})
 }
+
+// FuzzAccumulatorMerge feeds arbitrary product streams through every
+// accumulator strategy and requires bit-identical output to CombineRow,
+// the engine's historical sort-merge. Bytes decode as (column, value)
+// pairs over a small column space so duplicates are the common case; the
+// seed corpus pins the hostile shapes — empty rows, all-duplicate rows,
+// and streams long enough to cross the auto-selector's sort and hash
+// thresholds into every strategy.
+func FuzzAccumulatorMerge(f *testing.F) {
+	f.Add([]byte{})                             // empty row
+	f.Add([]byte{7, 1})                         // singleton
+	f.Add([]byte{9, 1, 9, 2, 9, 3, 9, 4})       // one column, all duplicates
+	f.Add([]byte{3, 1, 0, 2, 3, 3, 1, 4, 0, 5}) // small, interleaved duplicates
+	long := make([]byte, 0, 2*(SortRowMax+1))
+	for i := 0; i <= SortRowMax; i++ { // past SortRowMax: hash under auto
+		long = append(long, byte(i%5), byte(i+1))
+	}
+	f.Add(long)
+	wide := make([]byte, 0, 4096) // long enough to go dense under auto
+	for i := 0; i < 2048; i++ {
+		wide = append(wide, byte(i), byte(i%7+1))
+	}
+	f.Add(wide)
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		const cols = 257 // not a power of two: exercises table wraparound
+		n := len(in) / 2
+		idx := make([]int, n)
+		val := make([]float64, n)
+		for k := 0; k < n; k++ {
+			idx[k] = int(in[2*k]) % cols
+			val[k] = float64(int8(in[2*k+1])) / 8
+		}
+		wi := append([]int(nil), idx...)
+		wv := append([]float64(nil), val...)
+		wantIdx, wantVal := CombineRow(wi, wv, nil, nil)
+		for _, kind := range allAccumKinds {
+			m := NewRowMerger(cols)
+			ci := append([]int(nil), idx...)
+			cv := append([]float64(nil), val...)
+			gotIdx, gotVal := m.Merge(kind, ci, cv, nil, nil)
+			if len(gotIdx) != len(wantIdx) {
+				t.Fatalf("%v: %d entries, want %d", kind, len(gotIdx), len(wantIdx))
+			}
+			for k := range wantIdx {
+				if gotIdx[k] != wantIdx[k] || gotVal[k] != wantVal[k] {
+					t.Fatalf("%v: entry %d = (%d, %v), want (%d, %v)",
+						kind, k, gotIdx[k], gotVal[k], wantIdx[k], wantVal[k])
+				}
+			}
+			m.Release()
+		}
+	})
+}

@@ -1,6 +1,9 @@
 package sparse
 
 import (
+	"fmt"
+	"sync"
+
 	"github.com/blockreorg/blockreorg/internal/parallel"
 	"github.com/blockreorg/blockreorg/internal/trace"
 )
@@ -36,21 +39,65 @@ func MultiplyOn(a, b *CSR, ex *parallel.Executor) (*CSR, error) {
 // span on rec (see internal/trace). A nil recorder disables tracing at zero
 // cost and the result is identical either way.
 func MultiplyTraced(a, b *CSR, ex *parallel.Executor, rec *trace.Recorder) (*CSR, error) {
+	return MultiplyConfigured(a, b, ex, rec, MulConfig{Accum: AccumDense})
+}
+
+// MulConfig tunes MultiplyConfigured beyond the executor and recorder.
+type MulConfig struct {
+	// Accum selects the per-row merge strategy; the zero value is
+	// AccumAuto (per-row selection from the symbolic upper bound). Every
+	// setting is bit-identical — the knob trades merge locality, never
+	// values.
+	Accum AccumulatorKind
+	// RowNNZ optionally supplies the exact merged row populations of the
+	// product (sparse.SymbolicRowNNZ of the same operands), letting the
+	// chunked engine skip its own symbolic sizing pass — the plan and
+	// precompute layers already paid for it. Ignored unless its length is
+	// exactly a.Rows. The caller keeps ownership.
+	RowNNZ []int
+	// SkipCounters suppresses the accum_rows_* trace counters, for
+	// callers whose plan already recorded the identical per-class counts
+	// (the plan executor's fallback path).
+	SkipCounters bool
+}
+
+// recordAccumCounts publishes one run's per-strategy row counts.
+func recordAccumCounts(rec *trace.Recorder, cfg MulConfig, counts AccumCounts) {
+	if cfg.SkipCounters || !rec.Enabled() {
+		return
+	}
+	rec.Add(trace.CounterAccumDenseRows, counts.Dense)
+	rec.Add(trace.CounterAccumHashRows, counts.Hash)
+	rec.Add(trace.CounterAccumSortRows, counts.Sort)
+}
+
+// MultiplyConfigured is MultiplyTraced with the accumulator strategy and
+// symbolic reuse exposed: the merge runs per row on the strategy cfg.Accum
+// resolves to (see AccumulatorKind), and a caller-supplied cfg.RowNNZ lets
+// the two-phase engine write straight into final row slots without
+// re-running the symbolic sweep. Results are bit-identical across every
+// configuration.
+func MultiplyConfigured(a, b *CSR, ex *parallel.Executor, rec *trace.Recorder, cfg MulConfig) (*CSR, error) {
 	if a.Cols != b.Rows {
 		return nil, shapeError("MultiplyOn", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	if ex == nil {
 		ex = parallel.Default()
 	}
+	if len(cfg.RowNNZ) != a.Rows {
+		cfg.RowNNZ = nil
+	}
 	if ex.Workers() == 1 || a.Rows < 2*ex.Workers() {
 		endExp := rec.Span(trace.PhaseExpansion)
-		c, err := multiplyPooled(a, b)
+		c, err := multiplyPooled(a, b, rec, cfg)
 		endExp()
 		return c, err
 	}
 
 	// Work-weighted chunking: split rows so each chunk holds a similar
-	// number of intermediate products.
+	// number of intermediate products. The same per-row upper bounds
+	// drive the accumulator selector, so both layers (host engine, cost
+	// model) classify rows identically.
 	workStart := rec.Now()
 	rowWork := parallel.GetInt64s(a.Rows)
 	defer parallel.PutInt64s(rowWork)
@@ -66,106 +113,97 @@ func MultiplyTraced(a, b *CSR, ex *parallel.Executor, rec *trace.Recorder) (*CSR
 
 	// Symbolic phase: size every output row exactly, so the numeric phase
 	// writes straight into the final arrays — no per-chunk growth, no
-	// stitching copy, and peak memory is the result itself.
-	symStart := rec.Now()
-	rowNNZ := parallel.GetInts(a.Rows)
-	ex.ForEach(chunks, func(r parallel.Range) {
-		marker := parallel.GetIntsZeroed(b.Cols)
-		for i := r.Lo; i < r.Hi; i++ {
-			n := 0
-			for ka := a.Ptr[i]; ka < a.Ptr[i+1]; ka++ {
-				k := a.Idx[ka]
-				for kb := b.Ptr[k]; kb < b.Ptr[k+1]; kb++ {
-					j := b.Idx[kb]
-					if marker[j] != i+1 {
-						marker[j] = i + 1
-						n++
+	// stitching copy, and peak memory is the result itself. A caller that
+	// already holds the populations (plan reuse, precompute sharing)
+	// skips the sweep entirely.
+	rowNNZ := cfg.RowNNZ
+	if rowNNZ == nil {
+		symStart := rec.Now()
+		rowNNZ = parallel.GetInts(a.Rows)
+		defer parallel.PutInts(rowNNZ)
+		ex.ForEach(chunks, func(r parallel.Range) {
+			marker := parallel.GetIntsZeroed(b.Cols)
+			for i := r.Lo; i < r.Hi; i++ {
+				n := 0
+				for ka := a.Ptr[i]; ka < a.Ptr[i+1]; ka++ {
+					k := a.Idx[ka]
+					for kb := b.Ptr[k]; kb < b.Ptr[k+1]; kb++ {
+						j := b.Idx[kb]
+						if marker[j] != i+1 {
+							marker[j] = i + 1
+							n++
+						}
 					}
 				}
+				rowNNZ[i] = n
 			}
-			rowNNZ[i] = n
+			parallel.PutInts(marker)
+		})
+		if rec.Enabled() {
+			var nnzc int64
+			for _, n := range rowNNZ {
+				nnzc += int64(n)
+			}
+			rec.Observe(trace.PhaseSymbolic, nnzc, rec.Since(symStart))
 		}
-		parallel.PutInts(marker)
-	})
-
-	// Numeric phase: every chunk accumulates its rows and writes them into
-	// their precomputed slots.
-	c := NewCSRWithRowSizes(a.Rows, b.Cols, rowNNZ)
-	if rec.Enabled() {
-		var nnzc int64
-		for _, n := range rowNNZ {
-			nnzc += int64(n)
-		}
-		rec.Observe(trace.PhaseSymbolic, nnzc, rec.Since(symStart))
 	}
-	parallel.PutInts(rowNNZ)
+
+	// Numeric phase: every chunk merges its rows through a pluggable
+	// accumulator and writes them into their precomputed slots. Capped
+	// three-index appends keep a misbehaving row from spilling into its
+	// neighbour's slot; exact sizing makes any length mismatch a fault.
+	c := NewCSRWithRowSizes(a.Rows, b.Cols, rowNNZ)
 	endExp := rec.SpanItems(trace.PhaseExpansion, int64(c.NNZ()))
+	var mu sync.Mutex
+	var counts AccumCounts
+	badRow := int64(-1)
 	ex.ForEach(chunks, func(r parallel.Range) {
-		acc := parallel.GetFloats(b.Cols)
-		marker := parallel.GetIntsZeroed(b.Cols)
-		touched := parallel.GetInts(b.Cols)[:0]
+		mg := NewRowMerger(b.Cols)
 		for i := r.Lo; i < r.Hi; i++ {
-			touched = touched[:0]
-			for ka := a.Ptr[i]; ka < a.Ptr[i+1]; ka++ {
-				k := a.Idx[ka]
-				av := a.Val[ka]
-				for kb := b.Ptr[k]; kb < b.Ptr[k+1]; kb++ {
-					j := b.Idx[kb]
-					if marker[j] != i+1 {
-						marker[j] = i + 1
-						acc[j] = 0
-						touched = append(touched, j)
-					}
-					acc[j] += av * b.Val[kb]
-				}
-			}
-			insertionSortInts(touched)
 			dstIdx, dstVal := c.Row(i)
-			for t, j := range touched {
-				dstIdx[t] = j
-				dstVal[t] = acc[j]
+			outIdx, _ := mg.ProductRow(cfg.Accum, a, b, i, rowWork[i],
+				dstIdx[0:0:len(dstIdx)], dstVal[0:0:len(dstVal)])
+			if len(outIdx) != len(dstIdx) {
+				mu.Lock()
+				if badRow < 0 {
+					badRow = int64(i)
+				}
+				mu.Unlock()
+				break
 			}
 		}
-		parallel.PutInts(touched)
-		parallel.PutInts(marker)
-		parallel.PutFloats(acc)
+		mu.Lock()
+		counts.add(mg.Counts)
+		mu.Unlock()
+		mg.Release()
 	})
 	endExp()
+	if badRow >= 0 {
+		return nil, fmt.Errorf("sparse: row %d merged to a population different from its symbolic size", badRow)
+	}
+	recordAccumCounts(rec, cfg, counts)
 	return c, nil
 }
 
 // multiplyPooled is the sequential Gustavson kernel with arena scratch:
-// the same computation as Multiply, minus its per-call allocations.
-func multiplyPooled(a, b *CSR) (*CSR, error) {
+// the same computation as Multiply, minus its per-call allocations, with
+// the merge strategy pluggable per row. The per-row upper bound the
+// selector needs is one cheap sweep over the row of A (summing B row
+// populations), the same quantity the chunked engine's work-weighting
+// computes.
+func multiplyPooled(a, b *CSR, rec *trace.Recorder, cfg MulConfig) (*CSR, error) {
 	c := NewCSR(a.Rows, b.Cols)
-	acc := parallel.GetFloats(b.Cols)
-	marker := parallel.GetIntsZeroed(b.Cols)
-	touched := parallel.GetInts(256)[:0]
+	mg := NewRowMerger(b.Cols)
 	for i := 0; i < a.Rows; i++ {
-		touched = touched[:0]
+		var upper int64
 		for ka := a.Ptr[i]; ka < a.Ptr[i+1]; ka++ {
-			k := a.Idx[ka]
-			av := a.Val[ka]
-			for kb := b.Ptr[k]; kb < b.Ptr[k+1]; kb++ {
-				j := b.Idx[kb]
-				if marker[j] != i+1 {
-					marker[j] = i + 1
-					acc[j] = 0
-					touched = append(touched, j)
-				}
-				acc[j] += av * b.Val[kb]
-			}
+			upper += int64(b.RowNNZ(a.Idx[ka]))
 		}
-		insertionSortInts(touched)
-		for _, j := range touched {
-			c.Idx = append(c.Idx, j)
-			c.Val = append(c.Val, acc[j])
-		}
+		c.Idx, c.Val = mg.ProductRow(cfg.Accum, a, b, i, upper, c.Idx, c.Val)
 		c.Ptr[i+1] = len(c.Idx)
 	}
-	parallel.PutInts(touched)
-	parallel.PutInts(marker)
-	parallel.PutFloats(acc)
+	recordAccumCounts(rec, cfg, mg.Counts)
+	mg.Release()
 	return c, nil
 }
 
