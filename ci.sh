@@ -36,6 +36,14 @@
 #                      the committed schema golden, so the serving loop
 #                      (admission, queue-wait accounting, trace record/replay,
 #                      SLO scoring) stays exercised end to end
+#  10. cluster smoke  — spgemmd starts as a 2-instance cluster behind the
+#                      structure-affinity router, spgemmload drives a
+#                      structure-repeating spec at it over real HTTP, and
+#                      the gate asserts the router's affinity-hit counter
+#                      moved (cluster_routed_total{...,affinity_hit="true"}
+#                      > 0) and the fitness report still passes the schema
+#                      golden — so the routing path of docs/CLUSTER.md
+#                      stays exercised end to end
 #
 # Run from the repository root. Exits non-zero on the first failure.
 set -eu
@@ -136,5 +144,53 @@ if ! cmp -s "$smoke_dir/replay1.json" "$smoke_dir/replay2.json"; then
 fi
 go run ./cmd/spgemmload check -report "$smoke_dir/live.json" -schema workload/testdata/fitness_schema.json
 go run ./cmd/spgemmload check -report "$smoke_dir/replay1.json" -schema workload/testdata/fitness_schema.json
+
+echo "==> cluster smoke (2-instance affinity router, real HTTP)"
+cat >"$smoke_dir/cl.json" <<'EOF'
+{
+  "name": "ci-cluster",
+  "seed": 11,
+  "duration_seconds": 1.0,
+  "classes": [
+    {
+      "name": "repeat",
+      "arrival": {"process": "poisson", "rate": 20},
+      "matrix": {"kind": "rmat", "n": 96, "nnz": 600},
+      "structure_pool": 3
+    }
+  ]
+}
+EOF
+go run ./cmd/spgemmload gen -spec "$smoke_dir/cl.json" -o /dev/null
+go build -o "$smoke_dir/spgemmd" ./cmd/spgemmd
+cluster_addr=127.0.0.1:18448
+"$smoke_dir/spgemmd" -addr "$cluster_addr" -cluster 2 -workers 1 -route affinity \
+    >"$smoke_dir/spgemmd.log" 2>&1 &
+cluster_pid=$!
+trap 'kill "$cluster_pid" 2>/dev/null; rm -rf "$smoke_dir"' EXIT
+i=0
+until curl -sf "http://$cluster_addr/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ] || ! kill -0 "$cluster_pid" 2>/dev/null; then
+        echo "cluster spgemmd failed to come up:" >&2
+        cat "$smoke_dir/spgemmd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+go run ./cmd/spgemmload run -spec "$smoke_dir/cl.json" -target "http://$cluster_addr" \
+    -o "$smoke_dir/cluster.json"
+go run ./cmd/spgemmload check -report "$smoke_dir/cluster.json" -schema workload/testdata/fitness_schema.json
+curl -sf "http://$cluster_addr/metrics" >"$smoke_dir/cluster_metrics.txt"
+kill "$cluster_pid" 2>/dev/null || true
+trap 'rm -rf "$smoke_dir"' EXIT
+affinity_hits=$(awk '$1 == "cluster_routed_total{policy=\"affinity\",affinity_hit=\"true\"}" { print $2 }' \
+    "$smoke_dir/cluster_metrics.txt")
+if [ -z "$affinity_hits" ] || [ "$affinity_hits" -le 0 ]; then
+    echo "cluster smoke: affinity hit counter absent or zero (got '${affinity_hits:-missing}')" >&2
+    grep '^cluster_' "$smoke_dir/cluster_metrics.txt" >&2 || true
+    exit 1
+fi
+echo "cluster smoke: $affinity_hits affinity-routed requests"
 
 echo "ci.sh: all gates passed"

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/blockreorg/blockreorg/server"
+	"github.com/blockreorg/blockreorg/server/cluster"
+)
+
+// newClusterBackend stands up an in-process 2-instance cluster for the
+// client's cluster verbs.
+func newClusterBackend(t *testing.T) (*client, *bytes.Buffer) {
+	t.Helper()
+	c, err := cluster.NewInProcess(2, server.Config{Workers: 1}, nil, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := c.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(ts.Close)
+	var out bytes.Buffer
+	return &client{base: ts.URL, out: &out}, &out
+}
+
+func TestClusterVerbs(t *testing.T) {
+	c, out := newClusterBackend(t)
+
+	// Status shows both instances up under the default policy.
+	if err := c.cluster([]string{"status"}); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"policy affinity", "2 instances", "i0", "i1", "in-process"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("status output missing %q:\n%s", want, text)
+		}
+	}
+	out.Reset()
+
+	// Drain one instance; the status echo shows it cordoned.
+	if err := c.cluster([]string{"drain", "-instance", "i0"}); err != nil {
+		t.Fatal(err)
+	}
+	if text := out.String(); !strings.Contains(text, "i0 drained") || !strings.Contains(text, "cordoned") {
+		t.Fatalf("drain output:\n%s", text)
+	}
+	out.Reset()
+
+	// Uncordon restores it.
+	if err := c.cluster([]string{"uncordon", "-instance", "i0"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "i0 back in rotation") {
+		t.Fatalf("uncordon output:\n%s", out.String())
+	}
+	out.Reset()
+
+	// A rolling drain across an idle cluster completes immediately.
+	if err := c.cluster([]string{"drain", "-rolling"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "rolling drain complete") {
+		t.Fatalf("rolling drain output:\n%s", out.String())
+	}
+}
+
+func TestClusterVerbErrors(t *testing.T) {
+	c, _ := newClusterBackend(t)
+	cases := [][]string{
+		{},                              // missing verb
+		{"explode"},                     // unknown verb
+		{"drain"},                       // neither -instance nor -rolling
+		{"drain", "-instance", "ghost"}, // unknown instance
+		{"uncordon"},                    // missing -instance
+		{"uncordon", "-instance", "ghost"},
+	}
+	for _, args := range cases {
+		if err := c.cluster(args); err == nil {
+			t.Errorf("cluster %v succeeded, want error", args)
+		}
+	}
+}

@@ -6,10 +6,17 @@
 //	spgemmctl pipeline -a wiki -workload mcl -inflation 2
 //	spgemmctl job -id j-3
 //	spgemmctl metrics
+//	spgemmctl cluster status
+//	spgemmctl cluster drain -instance i0
+//	spgemmctl cluster drain -rolling
+//	spgemmctl cluster uncordon -instance i0
 //
 // multiply and pipeline submit the job and poll it to completion,
 // printing the profile (and whether the run hit the server's plan cache;
 // for pipeline jobs, the run's cross-iteration plan-cache traffic).
+//
+// The cluster verbs talk to a spgemmd running in cluster or router mode
+// (-cluster / -backend); see docs/CLUSTER.md for the drain runbook.
 package main
 
 import (
@@ -32,7 +39,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "spgemmctl: missing subcommand (matrices | upload | multiply | pipeline | job | metrics)")
+		fmt.Fprintln(os.Stderr, "spgemmctl: missing subcommand (matrices | upload | multiply | pipeline | job | metrics | cluster)")
 		os.Exit(2)
 	}
 	c := &client{base: strings.TrimRight(*serverURL, "/"), out: os.Stdout}
@@ -50,6 +57,8 @@ func main() {
 		err = c.job(args[1:])
 	case "metrics":
 		err = c.metrics()
+	case "cluster":
+		err = c.cluster(args[1:])
 	default:
 		err = fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -180,6 +189,7 @@ func (c *client) multiply(args []string) error {
 	b := fs.String("b", "", "registered name of operand B (default: A, computing A²)")
 	alg := fs.String("alg", "", "algorithm (default Block-Reorganizer)")
 	gpu := fs.String("gpu", "", "simulated device (default: the worker's)")
+	accum := fs.String("accum", "", "merge accumulator: auto | dense | hash | sort (default auto)")
 	values := fs.Bool("values", false, "fetch the product values")
 	outFile := fs.String("o", "", "write the product to this Matrix Market file (implies -values)")
 	timeout := fs.Duration("timeout", 0, "job deadline (0: server default)")
@@ -194,6 +204,7 @@ func (c *client) multiply(args []string) error {
 		A:             server.Operand{Name: *a},
 		Algorithm:     *alg,
 		GPU:           *gpu,
+		Accumulator:   *accum,
 		ReturnValues:  *values || *outFile != "",
 		Profile:       *profile,
 		TimeoutMillis: timeout.Milliseconds(),

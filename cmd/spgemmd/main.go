@@ -5,6 +5,15 @@
 //
 //	spgemmd -addr :8447 -data ./matrices -workers 4
 //	spgemmd -demo                       # serve generated demo networks
+//	spgemmd -demo -cluster 4 -route affinity
+//	                                    # shard into 4 routed instances
+//	spgemmd -backend http://n1:8447,http://n2:8447
+//	                                    # standalone router over remote spgemmds
+//
+// With -cluster N the process shards into N instances — each with its own
+// queue, workers and plan cache — behind a structure-affinity router (see
+// docs/CLUSTER.md). With -backend the process runs only the router,
+// proxying to already-running spgemmds.
 //
 // SIGINT/SIGTERM drains gracefully: new work is refused while every
 // admitted job runs to completion.
@@ -24,6 +33,7 @@ import (
 	"time"
 
 	"github.com/blockreorg/blockreorg/server"
+	"github.com/blockreorg/blockreorg/server/cluster"
 	"github.com/blockreorg/blockreorg/sparse/rmat"
 )
 
@@ -41,12 +51,18 @@ func main() {
 		drainWait  = flag.Duration("drain", time.Minute, "how long shutdown waits for in-flight jobs")
 		paranoid   = flag.Bool("paranoid", false, "run every job with the deep sanitizer layer")
 		traceOut   = flag.String("trace-out", "", "append a JSONL request trace to this file (replayable with spgemmload)")
+
+		clusterN   = flag.Int("cluster", 0, "shard into N in-process instances behind a routing front-end (0: single instance)")
+		route      = flag.String("route", cluster.PolicyAffinity, "cluster routing policy: "+strings.Join(cluster.Policies(), ", "))
+		backends   = flag.String("backend", "", "comma-separated spgemmd base URLs: run as a standalone router over them")
+		admitRate  = flag.Float64("admit-rate", 0, "cluster-wide admission rate limit in req/s (0: unlimited)")
+		admitBurst = flag.Int("admit-burst", 0, "admission token-bucket burst (default: admit-rate rounded up)")
 	)
 	flag.Parse()
 
 	cfg := server.Config{
 		Workers:        *workers,
-		GPUs:           splitGPUs(*gpus),
+		GPUs:           splitList(*gpus),
 		QueueDepth:     *queue,
 		PlanCacheSize:  *cacheSize,
 		DefaultTimeout: *timeout,
@@ -62,14 +78,15 @@ func main() {
 		defer f.Close()
 		cfg.RequestTrace = f
 	}
-	if err := run(cfg, *addr, *dataDir, *demo, *drainWait); err != nil {
+	opts := cluster.Options{Policy: *route, AdmitRate: *admitRate, AdmitBurst: *admitBurst}
+	if err := run(cfg, opts, *addr, *dataDir, *demo, *drainWait, *clusterN, splitList(*backends)); err != nil {
 		fmt.Fprintf(os.Stderr, "spgemmd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-// splitGPUs parses the -gpus flag.
-func splitGPUs(s string) []string {
+// splitList parses a comma-separated flag value.
+func splitList(s string) []string {
 	if s == "" {
 		return nil
 	}
@@ -125,27 +142,80 @@ func registerDemo(reg *server.Registry) error {
 	return nil
 }
 
+// service is what run serves and drains: a single server, an in-process
+// cluster, or a standalone router — all expose the same two methods.
+type service interface {
+	Handler() http.Handler
+	Shutdown(ctx context.Context) error
+}
+
+// buildService assembles the serving topology the flags selected.
+func buildService(cfg server.Config, opts cluster.Options, dataDir string, demo bool, clusterN int, backends []string) (service, string, error) {
+	if clusterN > 0 && len(backends) > 0 {
+		return nil, "", fmt.Errorf("-cluster and -backend are mutually exclusive: shard in-process or route to remote instances, not both")
+	}
+	switch {
+	case len(backends) > 0:
+		// Standalone router: no local workers, no local data loading — the
+		// backends own their registries; uploads through the router are
+		// broadcast to every backend.
+		instances := make([]*cluster.Instance, 0, len(backends))
+		for i, url := range backends {
+			inst, err := cluster.NewHTTPInstance(fmt.Sprintf("i%d", i), url, nil)
+			if err != nil {
+				return nil, "", err
+			}
+			instances = append(instances, inst)
+		}
+		c, err := cluster.New(instances, nil, opts)
+		if err != nil {
+			return nil, "", err
+		}
+		banner := fmt.Sprintf("routing to %d backends, policy %s", len(backends), c.PolicyName())
+		return c, banner, nil
+	case clusterN > 0:
+		reg, err := buildRegistry(dataDir, demo)
+		if err != nil {
+			return nil, "", err
+		}
+		c, err := cluster.NewInProcess(clusterN, cfg, reg, opts)
+		if err != nil {
+			return nil, "", err
+		}
+		banner := fmt.Sprintf("%d in-process instances (%d workers each, queue %d, plan cache %d), policy %s",
+			clusterN, cfg.Workers, cfg.QueueDepth, cfg.PlanCacheSize, c.PolicyName())
+		return c, banner, nil
+	default:
+		reg, err := buildRegistry(dataDir, demo)
+		if err != nil {
+			return nil, "", err
+		}
+		s, err := server.New(cfg, reg)
+		if err != nil {
+			return nil, "", err
+		}
+		s.Start()
+		banner := fmt.Sprintf("%d workers, queue %d, plan cache %d",
+			cfg.Workers, cfg.QueueDepth, cfg.PlanCacheSize)
+		return s, banner, nil
+	}
+}
+
 // run brings the service up and blocks until a termination signal drains it.
-func run(cfg server.Config, addr, dataDir string, demo bool, drainWait time.Duration) error {
-	reg, err := buildRegistry(dataDir, demo)
+func run(cfg server.Config, opts cluster.Options, addr, dataDir string, demo bool, drainWait time.Duration, clusterN int, backends []string) error {
+	svc, banner, err := buildService(cfg, opts, dataDir, demo, clusterN, backends)
 	if err != nil {
 		return err
 	}
-	s, err := server.New(cfg, reg)
-	if err != nil {
-		return err
-	}
-	s.Start()
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: s.Handler()}
+	httpSrv := &http.Server{Handler: svc.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
-	fmt.Printf("spgemmd listening on %s (%d workers, queue %d, plan cache %d)\n",
-		ln.Addr(), cfg.Workers, cfg.QueueDepth, cfg.PlanCacheSize)
+	fmt.Printf("spgemmd listening on %s (%s)\n", ln.Addr(), banner)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -159,7 +229,7 @@ func run(cfg server.Config, addr, dataDir string, demo bool, drainWait time.Dura
 	fmt.Println("spgemmd: draining…")
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainWait)
 	defer cancel()
-	if err := s.Shutdown(drainCtx); err != nil {
+	if err := svc.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("drain incomplete: %w", err)
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -1,15 +1,19 @@
 package main
 
 import (
+	"context"
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 
+	"github.com/blockreorg/blockreorg/server"
+	"github.com/blockreorg/blockreorg/server/cluster"
 	"github.com/blockreorg/blockreorg/sparse"
 	"github.com/blockreorg/blockreorg/sparse/rmat"
 )
 
-func TestSplitGPUs(t *testing.T) {
+func TestSplitList(t *testing.T) {
 	cases := []struct {
 		in   string
 		want []string
@@ -18,11 +22,70 @@ func TestSplitGPUs(t *testing.T) {
 		{"TITAN Xp", []string{"TITAN Xp"}},
 		{"TITAN Xp, Tesla V100", []string{"TITAN Xp", "Tesla V100"}},
 		{" , ,Tesla V100,", []string{"Tesla V100"}},
+		{"http://a:1,http://b:2", []string{"http://a:1", "http://b:2"}},
 	}
 	for _, tc := range cases {
-		if got := splitGPUs(tc.in); !reflect.DeepEqual(got, tc.want) {
-			t.Errorf("splitGPUs(%q) = %v, want %v", tc.in, got, tc.want)
+		if got := splitList(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("splitList(%q) = %v, want %v", tc.in, got, tc.want)
 		}
+	}
+}
+
+func TestBuildServiceTopologies(t *testing.T) {
+	cfg := server.Config{Workers: 1}
+
+	// -cluster and -backend together is an error.
+	if _, _, err := buildService(cfg, cluster.Options{}, "", false, 2, []string{"http://x:1"}); err == nil {
+		t.Fatal("buildService accepted -cluster with -backend")
+	}
+
+	// In-process cluster: the service is a *cluster.Cluster with N shards.
+	svc, _, err := buildService(cfg, cluster.Options{Policy: cluster.PolicyRoundRobin}, "", false, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := svc.(*cluster.Cluster)
+	if !ok {
+		t.Fatalf("cluster mode built a %T, want *cluster.Cluster", svc)
+	}
+	if got := len(c.Instances()); got != 3 {
+		t.Fatalf("cluster has %d instances, want 3", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Router mode: remote instances, no owned servers.
+	svc, _, err = buildService(cfg, cluster.Options{}, "", false, 0, []string{"http://n1:8447", "http://n2:8447"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, ok := svc.(*cluster.Cluster)
+	if !ok {
+		t.Fatalf("router mode built a %T, want *cluster.Cluster", svc)
+	}
+	if got := rc.PolicyName(); got != cluster.PolicyAffinity {
+		t.Fatalf("router policy %q, want default affinity", got)
+	}
+
+	// An unknown policy surfaces at build time.
+	if _, _, err := buildService(cfg, cluster.Options{Policy: "nope"}, "", false, 2, nil); err == nil {
+		t.Fatal("buildService accepted an unknown routing policy")
+	}
+
+	// Single-instance mode stays a plain *server.Server.
+	svc, _, err = buildService(cfg, cluster.Options{}, "", false, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := svc.(*server.Server)
+	if !ok {
+		t.Fatalf("default mode built a %T, want *server.Server", svc)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -26,13 +26,13 @@ func TestServerAccumulatorField(t *testing.T) {
 
 	for _, accum := range []string{"", "auto", "dense", "hash", "sort"} {
 		id := submit(t, ts.URL, MultiplyRequest{
-			A: Operand{COO: payloadFromCSR(a)}, Accumulator: accum, ReturnValues: true,
+			A: Operand{COO: PayloadFromCSR(a)}, Accumulator: accum, ReturnValues: true,
 		})
 		st := pollDone(t, ts.URL, id)
 		if st.State != StateDone {
 			t.Fatalf("accumulator %q: job failed: %s %s", accum, st.ErrorKind, st.Error)
 		}
-		got, err := st.Result.Values.toCSR()
+		got, err := st.Result.Values.ToCSR()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -50,7 +50,7 @@ func TestServerAccumulatorField(t *testing.T) {
 
 	// An unknown strategy is a client fault.
 	id := submit(t, ts.URL, MultiplyRequest{
-		A: Operand{COO: payloadFromCSR(a)}, Accumulator: "radix",
+		A: Operand{COO: PayloadFromCSR(a)}, Accumulator: "radix",
 	})
 	st := pollDone(t, ts.URL, id)
 	if st.State != StateFailed || st.ErrorKind != FailClient {

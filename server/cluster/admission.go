@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is the cluster-wide admission limiter: Rate tokens refill
+// per second up to Burst, and every multiply/pipeline submission spends
+// one. It sits in front of the per-instance bounded queues so a traffic
+// burst is refused at the router with a single 429 instead of filling
+// every shard's queue and starving the admitted work behind it.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable clock (tests)
+}
+
+// newTokenBucket builds a bucket refilling rate tokens/second with the
+// given burst capacity (minimum 1). A nil clock uses time.Now. The bucket
+// starts full — a cold router admits a burst, which is what an operator
+// restarting the front-end expects.
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	if now == nil {
+		now = time.Now
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	b := &tokenBucket{rate: rate, burst: float64(burst), now: now}
+	b.tokens = b.burst
+	b.last = now()
+	return b
+}
+
+// Allow spends one token, reporting false when the bucket is empty.
+func (b *tokenBucket) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.now()
+	if dt := t.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = t
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

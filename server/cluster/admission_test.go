@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable clock for the token bucket.
+type fakeClock struct {
+	t time.Time
+}
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestTokenBucketStartsFullAndRefills(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTokenBucket(2, 3, clk.now) // 2 tokens/s, burst 3
+
+	// The bucket starts full: the burst is admitted, the next is not.
+	for i := range 3 {
+		if !b.Allow() {
+			t.Fatalf("request %d of the initial burst was refused", i)
+		}
+	}
+	if b.Allow() {
+		t.Fatal("request beyond the burst was admitted")
+	}
+
+	// Half a second refills one token at 2/s.
+	clk.advance(500 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("refilled token was refused")
+	}
+	if b.Allow() {
+		t.Fatal("second request after a one-token refill was admitted")
+	}
+
+	// A long idle period caps the refill at the burst.
+	clk.advance(time.Hour)
+	for i := range 3 {
+		if !b.Allow() {
+			t.Fatalf("request %d after refill-to-burst was refused", i)
+		}
+	}
+	if b.Allow() {
+		t.Fatal("burst cap was exceeded after a long idle period")
+	}
+}
+
+func TestTokenBucketMinimumBurst(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newTokenBucket(1, 0, clk.now) // burst clamps to 1
+	if !b.Allow() {
+		t.Fatal("first request refused")
+	}
+	if b.Allow() {
+		t.Fatal("burst 0 should clamp to 1, not 2")
+	}
+}
+
+func TestTokenBucketSustainedRate(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newTokenBucket(10, 1, clk.now)
+	b.Allow() // drain the initial token
+
+	admitted := 0
+	for range 100 { // 100 ticks of 50ms = 5s at 10/s → ~50 admissions
+		clk.advance(50 * time.Millisecond)
+		if b.Allow() {
+			admitted++
+		}
+	}
+	if admitted < 49 || admitted > 51 {
+		t.Fatalf("admitted %d over 5s at 10 req/s, want ~50", admitted)
+	}
+}

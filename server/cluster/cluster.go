@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/blockreorg/blockreorg/server"
+)
+
+// Cluster is a router plus the in-process servers it owns, so the sharded
+// single-binary mode has one handle to start, serve and shut down. A
+// router over purely remote instances owns no servers; Shutdown then only
+// flips the router into drain mode.
+type Cluster struct {
+	*Router
+	owned []*server.Server
+}
+
+// New builds a cluster over pre-built instances (in-process, remote, or a
+// mix). reg is the router's operand registry; pass the registry shared by
+// the in-process instances, or nil for a fresh one. Servers wrapped by the
+// instances are not owned: the caller starts and shuts them down.
+func New(instances []*Instance, reg *server.Registry, opts Options) (*Cluster, error) {
+	rt, err := NewRouter(instances, reg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{Router: rt}, nil
+}
+
+// NewInProcess builds and starts an n-way sharded cluster inside this
+// process: n servers named i0..i<n-1>, all constructed from cfg, all
+// sharing one operand registry (and its data directory, if cfg loaded
+// one), each with its own plan cache, queue and workers. The shared
+// registry means a single upload through the router is visible on every
+// shard; the split plan caches are the point — the routing policy decides
+// which shard's cache amortizes which structure.
+func NewInProcess(n int, cfg server.Config, reg *server.Registry, opts Options) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 instance, got %d", n)
+	}
+	if reg == nil {
+		reg = server.NewRegistry()
+	}
+	instances := make([]*Instance, 0, n)
+	owned := make([]*server.Server, 0, n)
+	for i := 0; i < n; i++ {
+		srv, err := server.New(cfg, reg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: instance i%d: %w", i, err)
+		}
+		inst, err := NewInstance(fmt.Sprintf("i%d", i), srv)
+		if err != nil {
+			return nil, err
+		}
+		srv.Start()
+		instances = append(instances, inst)
+		owned = append(owned, srv)
+	}
+	rt, err := NewRouter(instances, reg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{Router: rt, owned: owned}, nil
+}
+
+// Shutdown stops routing new work and drains the owned in-process servers
+// concurrently, waiting for every admitted job to finish. The context
+// bounds the wait; the first error wins.
+func (c *Cluster) Shutdown(ctx context.Context) error {
+	c.setDraining()
+	errs := make([]error, len(c.owned))
+	var wg sync.WaitGroup
+	for i, srv := range c.owned {
+		wg.Add(1)
+		go func(i int, srv *server.Server) {
+			defer wg.Done()
+			errs[i] = srv.Shutdown(ctx)
+		}(i, srv)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("cluster: instance %s: %w", c.instances[i].name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/blockreorg/blockreorg/server"
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+// runChurnTraffic drives the same structure-churn traffic — five distinct
+// structures revisited over several rounds — through a fresh 2-instance
+// cluster under the given policy and returns the cluster-wide plan-cache
+// hit rate. Five structures against two instances makes round-robin
+// alternate each structure across both shards round to round, so every
+// structure pays the cold precalculation twice.
+func runChurnTraffic(t *testing.T, policy string) (hitRate float64) {
+	t.Helper()
+	_, ts := newTestCluster(t, 2, server.Config{Workers: 1}, Options{Policy: policy})
+
+	structures := make([]*sparse.CSR, 5)
+	for i := range structures {
+		structures[i] = testNetwork(t, 100, 600, uint64(100+i))
+	}
+	for i, m := range structures {
+		register(t, ts.URL, string(rune('a'+i)), m)
+	}
+	for range 4 { // rounds
+		for i := range structures {
+			id, _ := submit(t, ts.URL, server.MultiplyRequest{A: server.Operand{Name: string(rune('a' + i))}})
+			if st := pollDone(t, ts.URL, id); st.State != server.StateDone {
+				t.Fatalf("job %s failed: %s %s", id, st.ErrorKind, st.Error)
+			}
+		}
+	}
+	hits := scrapeMetric(t, ts.URL, "cluster_plancache_hits_total")
+	misses := scrapeMetric(t, ts.URL, "cluster_plancache_misses_total")
+	if hits+misses == 0 {
+		t.Fatal("no plan-cache traffic recorded")
+	}
+	return hits / (hits + misses)
+}
+
+// TestAffinityBeatsRoundRobinOnChurn is the PR's acceptance criterion: on
+// identical structure-churn traffic, structure-affinity routing must show
+// a strictly higher cluster-wide plan-cache hit rate than round-robin —
+// the whole point of co-locating same-fingerprint multiplies with the
+// instance that already paid their precalculation.
+func TestAffinityBeatsRoundRobinOnChurn(t *testing.T) {
+	affinity := runChurnTraffic(t, PolicyAffinity)
+	roundRobin := runChurnTraffic(t, PolicyRoundRobin)
+	t.Logf("cluster plan-cache hit rate: affinity %.3f, round-robin %.3f", affinity, roundRobin)
+	if affinity <= roundRobin {
+		t.Fatalf("affinity hit rate %.3f not strictly above round-robin %.3f", affinity, roundRobin)
+	}
+	// The expected figures are exact: affinity pays each structure's cold
+	// path once (hit rate 15/20), round-robin once per instance (10/20).
+	if affinity != 0.75 {
+		t.Errorf("affinity hit rate = %.3f, want 0.750", affinity)
+	}
+	if roundRobin != 0.50 {
+		t.Errorf("round-robin hit rate = %.3f, want 0.500", roundRobin)
+	}
+}

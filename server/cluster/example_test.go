@@ -1,0 +1,52 @@
+package cluster_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"github.com/blockreorg/blockreorg/server"
+	"github.com/blockreorg/blockreorg/server/cluster"
+)
+
+// ExampleNewInProcess shards one process into a routed 2-instance cluster:
+// the router owns the HTTP surface, each instance owns its queue, workers
+// and plan cache.
+func ExampleNewInProcess() {
+	c, err := cluster.NewInProcess(2, server.Config{Workers: 1}, nil, cluster.Options{
+		Policy: cluster.PolicyAffinity,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	st := c.Status()
+	fmt.Println("policy:", st.Policy)
+	for _, row := range st.Instances {
+		fmt.Printf("%s: %s (%s)\n", row.Name, row.State, row.Kind)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Shutdown(ctx); err != nil {
+		panic(err)
+	}
+	// Output:
+	// policy: affinity
+	// i0: up (in-process)
+	// i1: up (in-process)
+}
+
+// ExamplePolicies lists the routing policies a router can be built with.
+func ExamplePolicies() {
+	for _, name := range cluster.Policies() {
+		fmt.Println(name)
+	}
+	// Output:
+	// affinity
+	// least-loaded
+	// round-robin
+}

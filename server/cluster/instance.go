@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/blockreorg/blockreorg/server"
+)
+
+// Backend is the transport to one spgemmd instance: it serves one HTTP
+// request and returns the response. In-process backends call the server's
+// handler directly; remote backends round-trip over the network.
+type Backend interface {
+	RoundTrip(req *http.Request) (*http.Response, error)
+}
+
+// Instance is one spgemmd behind the router: a name (which prefixes the
+// job ids the router hands out, so it must stay stable across the fleet)
+// plus the transport to reach it.
+type Instance struct {
+	name    string
+	backend Backend
+	srv     *server.Server // non-nil for in-process instances
+}
+
+// NewInstance wraps an in-process server. The router talks to it through
+// its handler — no listener involved — and reads its queue depth directly
+// for load-aware routing.
+func NewInstance(name string, srv *server.Server) (*Instance, error) {
+	if err := checkInstanceName(name); err != nil {
+		return nil, err
+	}
+	if srv == nil {
+		return nil, fmt.Errorf("cluster: instance %q wraps a nil server", name)
+	}
+	return &Instance{name: name, backend: &localBackend{h: srv.Handler()}, srv: srv}, nil
+}
+
+// NewHTTPInstance wraps a remote spgemmd at baseURL (e.g.
+// "http://10.0.0.7:8447"). A nil client uses http.DefaultClient.
+func NewHTTPInstance(name, baseURL string, client *http.Client) (*Instance, error) {
+	if err := checkInstanceName(name); err != nil {
+		return nil, err
+	}
+	if baseURL == "" {
+		return nil, fmt.Errorf("cluster: instance %q has no base URL", name)
+	}
+	return &Instance{
+		name:    name,
+		backend: &httpBackend{base: strings.TrimRight(baseURL, "/"), client: client},
+	}, nil
+}
+
+// Name returns the instance's name.
+func (i *Instance) Name() string { return i.name }
+
+// Server returns the wrapped in-process server, nil for remote instances.
+func (i *Instance) Server() *server.Server { return i.srv }
+
+// checkInstanceName rejects names that would break the job-id prefix
+// scheme ("<instance>:<job>") or JSON/metrics rendering.
+func checkInstanceName(name string) error {
+	if name == "" {
+		return fmt.Errorf("cluster: empty instance name")
+	}
+	if strings.ContainsAny(name, ":/ \t\n\"") {
+		return fmt.Errorf("cluster: instance name %q may not contain ':', '/', quotes or whitespace", name)
+	}
+	return nil
+}
+
+// localBackend serves requests against an in-process handler through an
+// in-memory response writer — the sharded single-binary mode pays no
+// socket or serialization beyond the JSON bodies themselves.
+type localBackend struct {
+	h http.Handler
+}
+
+func (b *localBackend) RoundTrip(req *http.Request) (*http.Response, error) {
+	rw := &memoryResponseWriter{header: make(http.Header)}
+	b.h.ServeHTTP(rw, req)
+	status := rw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	return &http.Response{
+		StatusCode:    status,
+		Status:        http.StatusText(status),
+		Header:        rw.header,
+		Body:          io.NopCloser(bytes.NewReader(rw.body.Bytes())),
+		ContentLength: int64(rw.body.Len()),
+		Request:       req,
+	}, nil
+}
+
+// memoryResponseWriter collects a handler's response in memory.
+type memoryResponseWriter struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (w *memoryResponseWriter) Header() http.Header { return w.header }
+
+func (w *memoryResponseWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+}
+
+func (w *memoryResponseWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.body.Write(p)
+}
+
+// httpBackend forwards requests to a remote base URL, preserving method,
+// path, query, headers and body, and propagating the caller's context.
+type httpBackend struct {
+	base   string
+	client *http.Client
+}
+
+func (b *httpBackend) RoundTrip(req *http.Request) (*http.Response, error) {
+	url := b.base + req.URL.Path
+	if req.URL.RawQuery != "" {
+		url += "?" + req.URL.RawQuery
+	}
+	out, err := http.NewRequestWithContext(req.Context(), req.Method, url, req.Body)
+	if err != nil {
+		return nil, err
+	}
+	out.Header = req.Header.Clone()
+	client := b.client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return client.Do(out)
+}

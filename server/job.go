@@ -22,8 +22,10 @@ type COOPayload struct {
 	V    []float64 `json:"v"`
 }
 
-// toCSR validates the payload and converts it.
-func (p *COOPayload) toCSR() (*sparse.CSR, error) {
+// ToCSR validates the payload and converts it. Exported so front-ends
+// (the cluster router) can fingerprint inline operands without
+// re-implementing the wire validation.
+func (p *COOPayload) ToCSR() (*sparse.CSR, error) {
 	if p.Rows < 0 || p.Cols < 0 {
 		return nil, fmt.Errorf("negative dimensions %dx%d", p.Rows, p.Cols)
 	}
@@ -43,8 +45,10 @@ func (p *COOPayload) toCSR() (*sparse.CSR, error) {
 	return coo.ToCSR(), nil
 }
 
-// payloadFromCSR converts a product matrix for the response body.
-func payloadFromCSR(m *sparse.CSR) *COOPayload {
+// PayloadFromCSR converts a matrix to its wire form — used for response
+// bodies here and for building registration and inline-operand payloads in
+// clients and front-ends.
+func PayloadFromCSR(m *sparse.CSR) *COOPayload {
 	coo := m.ToCOO()
 	return &COOPayload{Rows: coo.Rows, Cols: coo.Cols, I: coo.I, J: coo.J, V: coo.V}
 }
@@ -69,7 +73,7 @@ func (o *Operand) resolve(reg *Registry) (*sparse.CSR, uint64, error) {
 		}
 		return m.M, m.Fingerprint, nil
 	case o.COO != nil:
-		m, err := o.COO.toCSR()
+		m, err := o.COO.ToCSR()
 		if err != nil {
 			return nil, 0, err
 		}

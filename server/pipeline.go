@@ -295,7 +295,7 @@ func (s *Server) runPipelineJob(j *job, workerGPU string) {
 		out.Profile = profile
 	}
 	if req.ReturnValues {
-		out.Values = payloadFromCSR(res.M)
+		out.Values = PayloadFromCSR(res.M)
 	}
 	s.jobs.finish(j, out)
 	s.metrics.addCompleted("pipeline/"+req.Workload, wall.Seconds())

@@ -219,6 +219,12 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
+// QueueStats reports the admission queue's current depth and capacity —
+// the load signal cluster routers use for saturation-aware placement.
+func (s *Server) QueueStats() (depth, capacity int) {
+	return len(s.queue), cap(s.queue)
+}
+
 // errSaturated is the admission queue's rejection.
 var errSaturated = errors.New("server: queue is full")
 
@@ -361,7 +367,7 @@ func (s *Server) runJob(j *job, workerGPU string) {
 		out.Profile = profile
 	}
 	if j.req.ReturnValues && res.C != nil {
-		out.Values = payloadFromCSR(res.C)
+		out.Values = PayloadFromCSR(res.C)
 	}
 	s.jobs.finish(j, out)
 	s.metrics.addCompleted(string(res.Algorithm), wall.Seconds())
@@ -443,7 +449,7 @@ func (s *Server) handleRegisterMatrix(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing \"coo\" payload")
 		return
 	}
-	m, err := req.COO.toCSR()
+	m, err := req.COO.ToCSR()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid matrix: %v", err)
 		return

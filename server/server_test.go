@@ -111,7 +111,7 @@ func TestServerEndToEnd(t *testing.T) {
 
 	// Register the operand over the API.
 	var info matrixInfo
-	resp := postJSON(t, ts.URL+"/v1/matrices", registerRequest{Name: "net", COO: payloadFromCSR(a)}, &info)
+	resp := postJSON(t, ts.URL+"/v1/matrices", registerRequest{Name: "net", COO: PayloadFromCSR(a)}, &info)
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("register: got status %d, want 201", resp.StatusCode)
 	}
@@ -121,7 +121,7 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 
 	// Duplicate registration must be refused.
-	resp = postJSON(t, ts.URL+"/v1/matrices", registerRequest{Name: "net", COO: payloadFromCSR(a)}, nil)
+	resp = postJSON(t, ts.URL+"/v1/matrices", registerRequest{Name: "net", COO: PayloadFromCSR(a)}, nil)
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("duplicate register: got status %d, want 409", resp.StatusCode)
 	}
@@ -161,7 +161,7 @@ func TestServerEndToEnd(t *testing.T) {
 		t.Fatalf("cold job: nnz %d flops %d, want %d and %d",
 			st1.Result.NNZC, st1.Result.Flops, want.NNZC, want.Flops)
 	}
-	got1, err := st1.Result.Values.toCSR()
+	got1, err := st1.Result.Values.ToCSR()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestServerEndToEnd(t *testing.T) {
 		t.Fatalf("warm job simulated %.9fs, want strictly below cold %.9fs (precalculation not skipped?)",
 			st2.Result.TotalSeconds, st1.Result.TotalSeconds)
 	}
-	got2, err := st2.Result.Values.toCSR()
+	got2, err := st2.Result.Values.ToCSR()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,12 +230,12 @@ func TestServerRebindCorrectness(t *testing.T) {
 
 	_, ts := newTestServer(t, Config{Workers: 1}, nil)
 
-	id1 := submit(t, ts.URL, MultiplyRequest{A: Operand{COO: payloadFromCSR(a)}})
+	id1 := submit(t, ts.URL, MultiplyRequest{A: Operand{COO: PayloadFromCSR(a)}})
 	if st := pollDone(t, ts.URL, id1); st.State != StateDone || st.Result.PlanCacheHit {
 		t.Fatalf("cold upload: state %s, hit %v", st.State, st.Result != nil && st.Result.PlanCacheHit)
 	}
 
-	id2 := submit(t, ts.URL, MultiplyRequest{A: Operand{COO: payloadFromCSR(a2)}, ReturnValues: true})
+	id2 := submit(t, ts.URL, MultiplyRequest{A: Operand{COO: PayloadFromCSR(a2)}, ReturnValues: true})
 	st := pollDone(t, ts.URL, id2)
 	if st.State != StateDone {
 		t.Fatalf("warm upload failed: %s %s", st.ErrorKind, st.Error)
@@ -247,7 +247,7 @@ func TestServerRebindCorrectness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := st.Result.Values.toCSR()
+	got, err := st.Result.Values.ToCSR()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +265,7 @@ func TestServerClientErrors(t *testing.T) {
 	}
 	_, ts := newTestServer(t, Config{Workers: 1}, reg)
 
-	rect := payloadFromCSR(testNetwork(t, 40, 200, 4)) // 40x40: mismatched against 50x50
+	rect := PayloadFromCSR(testNetwork(t, 40, 200, 4)) // 40x40: mismatched against 50x50
 	cases := []struct {
 		name string
 		req  MultiplyRequest

@@ -28,6 +28,10 @@ type FitnessReport struct {
 	Replay *ReplayOptions `json:"replay,omitempty"`
 	// Classes holds one report per class, sorted by name.
 	Classes []ClassReport `json:"classes"`
+	// PlanHitRate is the share of completed requests across all classes
+	// that reused a cached plan — the headline figure for comparing
+	// cluster routing policies on identical traffic (docs/EXPERIMENTS.md).
+	PlanHitRate float64 `json:"plan_hit_rate"`
 	// Fitness is the weighted mean of per-class SLO scores.
 	Fitness float64 `json:"fitness"`
 	// Calibration compares gpusim predictions against host measurements;

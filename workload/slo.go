@@ -238,10 +238,19 @@ func Score(recs []Record, spec *Spec, source string) *FitnessReport {
 		rep.Spec = spec.Name
 	}
 	var weighted, weights float64
+	completed, planHits := 0, 0
 	for _, name := range names {
 		cs := spec.Class(name)
 		cr := buildClassReport(name, byClass[name], cs)
 		rep.Classes = append(rep.Classes, cr)
+		for _, r := range byClass[name] {
+			if r.Outcome == OutcomeDone {
+				completed++
+				if r.PlanCacheHit {
+					planHits++
+				}
+			}
+		}
 		score := 1.0
 		if cr.SLO != nil {
 			score = cr.SLO.Score
@@ -253,6 +262,9 @@ func Score(recs []Record, spec *Spec, source string) *FitnessReport {
 	}
 	if weights > 0 {
 		rep.Fitness = round6(weighted / weights)
+	}
+	if completed > 0 {
+		rep.PlanHitRate = round6(float64(planHits) / float64(completed))
 	}
 	if cal := Calibrate(recs); cal != nil {
 		rep.Calibration = cal

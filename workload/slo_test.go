@@ -141,6 +141,10 @@ func TestScore(t *testing.T) {
 	if rep.Calibration != nil {
 		t.Fatal("calibration present without predictions")
 	}
+	// Top-level plan hit rate spans all classes: 1 hit over 3 completions.
+	if rep.PlanHitRate != round6(1.0/3.0) {
+		t.Fatalf("plan hit rate = %g, want %g", rep.PlanHitRate, round6(1.0/3.0))
+	}
 
 	// A nil spec still produces statistics, unweighted and verdict-free.
 	plain := Score(recs, nil, "trace")
