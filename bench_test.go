@@ -2,11 +2,12 @@
 // evaluation at a reduced dataset scale, one testing.B target per
 // artifact, plus ablation benches for the design choices DESIGN.md calls
 // out. Run the full-resolution versions with cmd/blockreorg-bench.
-package blockreorg
+package blockreorg_test
 
 import (
 	"testing"
 
+	"github.com/blockreorg/blockreorg"
 	"github.com/blockreorg/blockreorg/internal/bench"
 	"github.com/blockreorg/blockreorg/internal/core"
 	"github.com/blockreorg/blockreorg/internal/datasets"
@@ -144,7 +145,7 @@ func BenchmarkFacadeMultiply(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Square(m, Options{}); err != nil {
+		if _, err := blockreorg.Square(m, blockreorg.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -44,6 +44,12 @@
 #                      > 0) and the fitness report still passes the schema
 #                      golden — so the routing path of docs/CLUSTER.md
 #                      stays exercised end to end
+#  11. out-of-core smoke — genmat -stream writes a segmented R-MAT network,
+#                      graphrun powers it twice: once in memory, once under
+#                      a deliberately tiny -mem-budget (forcing a real tile
+#                      grid with spill and merge), and the two result files
+#                      must compare byte-identical — the engine's
+#                      bit-identity contract enforced end to end at the CLI
 #
 # Run from the repository root. Exits non-zero on the first failure.
 set -eu
@@ -76,7 +82,7 @@ fi
 rm -f "$vet_json"
 
 echo "==> go test -race (paranoid)"
-BLOCKREORG_PARANOID=1 go test -race . ./internal/core/... ./internal/gpusim/... ./internal/kernels/... ./internal/trace/... ./sparse/... ./server/... ./pipeline/... ./workload/...
+BLOCKREORG_PARANOID=1 go test -race . ./internal/core/... ./internal/gpusim/... ./internal/kernels/... ./internal/trace/... ./sparse/... ./server/... ./pipeline/... ./workload/... ./ooc/...
 
 echo "==> examples (godoc Examples + example programs)"
 go test -run Example ./...
@@ -192,5 +198,23 @@ if [ -z "$affinity_hits" ] || [ "$affinity_hits" -le 0 ]; then
     exit 1
 fi
 echo "cluster smoke: $affinity_hits affinity-routed requests"
+
+echo "==> out-of-core smoke (genmat -stream -> graphrun -mem-budget, byte-identical)"
+go run ./cmd/genmat -kind rmat -n 256 -nnz 2048 -seed 9 -stream -panel 32 -o "$smoke_dir/net.csrs"
+go run ./cmd/graphrun -workload power -in "$smoke_dir/net.csrs" -k 3 \
+    -o "$smoke_dir/power_mem.mtx"
+go run ./cmd/graphrun -workload power -in "$smoke_dir/net.csrs" -k 3 \
+    -mem-budget 64K -spill-dir "$smoke_dir/spill" -profile \
+    -o "$smoke_dir/power_ooc.mtx" | tee "$smoke_dir/power_ooc.txt"
+if ! cmp -s "$smoke_dir/power_mem.mtx" "$smoke_dir/power_ooc.mtx"; then
+    echo "out-of-core smoke: budgeted result differs from the in-memory run" >&2
+    exit 1
+fi
+ooc_tiles=$(awk '$1 == "ooc_tiles" { print $2 }' "$smoke_dir/power_ooc.txt")
+if [ -z "$ooc_tiles" ] || [ "$ooc_tiles" -le 1 ]; then
+    echo "out-of-core smoke: budget did not force a tile grid (ooc_tiles='${ooc_tiles:-missing}')" >&2
+    exit 1
+fi
+echo "out-of-core smoke: $ooc_tiles tiles, byte-identical result"
 
 echo "ci.sh: all gates passed"

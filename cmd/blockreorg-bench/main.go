@@ -4,6 +4,7 @@
 //	blockreorg-bench -list
 //	blockreorg-bench fig8 fig10
 //	blockreorg-bench -scale 4 -csv results/ all
+//	blockreorg-bench -mem-budget 4M -datasets as-caida
 //
 // Each experiment prints its tables; -csv additionally writes one CSV per
 // table into the given directory.
@@ -16,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -40,6 +42,7 @@ func main() {
 		profile   = flag.Bool("profile", false, "trace one Block Reorganizer run per dataset and write the per-phase record")
 		profFile  = flag.String("profileout", "PROFILE_host.json", "per-phase record path for -profile")
 		accum     = flag.String("accum", "auto", "merge accumulator strategy: auto, dense, hash or sort")
+		memBudget = flag.String("mem-budget", "", "run each dataset's A² out of core under this working-set budget (e.g. 4M) and compare with the in-memory run")
 	)
 	flag.Parse()
 
@@ -62,6 +65,18 @@ func main() {
 	}
 	if *profile {
 		if err := runProfile(os.Stdout, *profFile, *scale, *gpu, *subset, *cacheDir, *workers, *csvDir, accumKind); err != nil {
+			fmt.Fprintln(os.Stderr, "blockreorg-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *memBudget != "" {
+		budget, err := parseBytes(*memBudget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blockreorg-bench:", err)
+			os.Exit(2)
+		}
+		if err := runOOC(os.Stdout, budget, *scale, *gpu, *subset, *cacheDir, *workers, *csvDir, accumKind); err != nil {
 			fmt.Fprintln(os.Stderr, "blockreorg-bench:", err)
 			os.Exit(1)
 		}
@@ -166,6 +181,60 @@ func runProfile(w io.Writer, path string, scale int, gpu, subset, cacheDir strin
 	}
 	fmt.Fprintf(w, "\nper-phase record written to %s\n", path)
 	return nil
+}
+
+// runOOC squares each selected dataset once in memory and once through
+// the out-of-core tiled engine under the given byte budget, and renders
+// the tiling cost table: grid, plan cache traffic, streamed and spilled
+// volume, peak tracked bytes against the budget, and whether the two
+// products agreed bit for bit.
+func runOOC(w io.Writer, budget int64, scale int, gpu, subset, cacheDir string, workers int, csvDir string, accum sparse.AccumulatorKind) error {
+	dev, err := gpusim.ByName(gpu)
+	if err != nil {
+		return err
+	}
+	cfg := bench.Config{Scale: scale, Device: dev, CacheDir: cacheDir, Workers: workers, Accum: accum}
+	if subset != "" {
+		cfg.Datasets = strings.Split(subset, ",")
+	}
+	fmt.Fprintf(w, "out-of-core A² under a %d-byte budget (scale 1/%d)...\n", budget, scale)
+	runs, err := bench.RunOOC(cfg, budget)
+	if err != nil {
+		return err
+	}
+	t := bench.OOCTable(budget, runs)
+	fmt.Fprintln(w)
+	t.Render(w)
+	if csvDir != "" {
+		if err := writeCSV(csvDir, "ooc_budget.csv", t); err != nil {
+			return err
+		}
+	}
+	for _, r := range runs {
+		if !r.Identical {
+			return fmt.Errorf("out-of-core %s result not identical to the in-memory run", r.Dataset)
+		}
+	}
+	return nil
+}
+
+// parseBytes parses a byte size with an optional K/M/G suffix (powers of
+// 1024).
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("invalid -mem-budget %q (want e.g. 500K, 64M, 2G)", s)
+	}
+	return n * mult, nil
 }
 
 // listExperiments prints the experiment catalog.

@@ -66,3 +66,33 @@ func TestRunExperimentsAllExpansion(t *testing.T) {
 		t.Fatal("tab1 output missing")
 	}
 }
+
+func TestRunOOCMode(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := runOOC(&b, 1<<20, 32, "TITAN Xp", "as-caida", "", 0, dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "out-of-core") || !strings.Contains(out, "as-caida") {
+		t.Fatalf("output missing the comparison table:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ooc_budget.csv")); err != nil {
+		t.Fatalf("CSV export missing: %v", err)
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{"512": 512, "4K": 4 << 10, "64m": 64 << 20, "2G": 2 << 30}
+	for in, want := range cases {
+		got, err := parseBytes(in)
+		if err != nil || got != want {
+			t.Errorf("parseBytes(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"12X", "-4M", "K", "0"} {
+		if _, err := parseBytes(bad); err == nil {
+			t.Errorf("parseBytes(%q) accepted", bad)
+		}
+	}
+}

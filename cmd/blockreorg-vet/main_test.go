@@ -23,10 +23,12 @@ func TestRepoIsClean(t *testing.T) {
 	for _, f := range res.Findings {
 		t.Errorf("%s", f)
 	}
-	// The repo carries no suppressions today; if one is added, this
-	// count documents it in review.
-	if len(res.Suppressed) != 0 {
-		t.Errorf("want 0 suppressed findings in the repo, got %d: %v", len(res.Suppressed), res.Suppressed)
+	// The repo carries exactly one audited suppression: OpenSegmented in
+	// sparse/segio.go hands its file to newSegFile, which stores it in the
+	// returned SegFile (filehandle cannot see through the helper). Bumping
+	// this count is a review event — document the new suppression here.
+	if len(res.Suppressed) != 1 {
+		t.Errorf("want 1 suppressed finding in the repo, got %d: %v", len(res.Suppressed), res.Suppressed)
 	}
 }
 
@@ -69,7 +71,7 @@ func TestJSONOutput(t *testing.T) {
 // rule catalogue.
 func TestListIncludesNewRules(t *testing.T) {
 	out := runCapture(t, []string{"-list"}, 0)
-	for _, rule := range []string{"lockheld", "ctxflow", "goroleak", "spanpair", "poolreturn"} {
+	for _, rule := range []string{"lockheld", "ctxflow", "goroleak", "spanpair", "poolreturn", "filehandle"} {
 		if !strings.Contains(out, rule) {
 			t.Errorf("-list output missing rule %s:\n%s", rule, out)
 		}

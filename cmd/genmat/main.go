@@ -7,6 +7,14 @@
 //	genmat -kind mesh -n 50000 -rownnz 26 -o fem.mtx
 //	genmat -dataset loc-gowalla -scale 8 -o gowalla.mtx
 //	genmat -kind rmat -n 1024 -nnz 8192 -o - | inspect -in /dev/stdin
+//
+// `-stream` switches to the out-of-core path: the R-MAT network is
+// written panel by panel to the segmented binary container (see
+// sparse.CreateSegmented) with O(panel) working memory, so datasets
+// larger than RAM can be generated. It supports only `-kind rmat`,
+// power-of-two -n and -panel, and a real output file (no stdout):
+//
+//	genmat -kind rmat -n 1048576 -nnz 268435456 -stream -panel 65536 -o big.csrs
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"github.com/blockreorg/blockreorg/internal/datasets"
 	"github.com/blockreorg/blockreorg/internal/tableio"
 	"github.com/blockreorg/blockreorg/sparse"
+	"github.com/blockreorg/blockreorg/sparse/rmat"
 )
 
 func main() {
@@ -35,12 +44,21 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "generator seed")
 		dataset = flag.String("dataset", "", "generate a Table II stand-in instead")
 		scale   = flag.Int("scale", 8, "dataset scale divisor (with -dataset)")
+		stream  = flag.Bool("stream", false, "stream R-MAT panels to a segmented binary file (O(panel) memory)")
+		panel   = flag.Int64("panel", 4096, "rows per panel (with -stream; power of two)")
 		out     = flag.String("o", "", "output Matrix Market file, or - for stdout (required)")
 	)
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "genmat: -o FILE is required (- for stdout)")
 		os.Exit(2)
+	}
+	if *stream {
+		if err := streamRMAT(*kind, *out, int64(*n), int64(*nnz), rmat.Params{A: *pa, B: *pb, C: *pc, D: *pd}, *seed, *panel); err != nil {
+			fmt.Fprintln(os.Stderr, "genmat:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	spec := datasets.GenSpec{
 		Kind: *kind, N: *n, NNZ: *nnz, Alpha: *alpha,
@@ -64,6 +82,32 @@ func main() {
 	fmt.Fprintf(os.Stderr, "%s: %dx%d, nnz=%s, gini=%.2f, max row=%s, mean row=%.1f\n",
 		*out, m.Rows, m.Cols, tableio.Count(int64(m.NNZ())), st.Gini,
 		tableio.Count(int64(st.MaxRowNNZ)), st.MeanRowNNZ)
+}
+
+// streamRMAT drives the out-of-core generator and reports the resulting
+// container's header the way the in-memory path reports stats.
+func streamRMAT(kind, out string, n, nnz int64, p rmat.Params, seed uint64, panel int64) error {
+	if kind != "rmat" {
+		return fmt.Errorf("-stream supports only -kind rmat, got %q", kind)
+	}
+	if out == "-" {
+		return fmt.Errorf("-stream writes a seekable segmented file, not stdout")
+	}
+	if err := rmat.Stream(out, n, nnz, p, seed, panel); err != nil {
+		return err
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h, err := sparse.ReadSegmentedHeader(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: %dx%d segmented, nnz=%s, %d panels\n",
+		out, h.Rows, h.Cols, tableio.Count(h.NNZ), h.Panels)
+	return nil
 }
 
 // write emits the matrix to the named file, or to stdout for "-" so genmat

@@ -6,13 +6,20 @@
 //	graphrun -workload mcl -in net.mtx -inflation 2 -prune 1e-4
 //	graphrun -workload power -in net.mtx -k 4 -collapse -selfloops -profile
 //	graphrun -workload similarity -in net.mtx -measure cosine -mask new -o scores.mtx
+//	graphrun -workload power -in net.seg -k 4 -mem-budget 64M -profile
 //
-// Input is a Matrix Market file (see genmat for generating synthetic
-// networks). The per-iteration table reports the iterate's population,
+// Input is a Matrix Market file, a binary CSR container, or a segmented
+// container (genmat -stream) — the format is detected from the file
+// itself. The per-iteration table reports the iterate's population,
 // whether the iteration's multiply rebound a cached preprocessing plan,
 // the simulated device time, and the convergence measure. -profile adds
 // the phase breakdown: pipeline.* step spans plus the multiplies' own
 // phases, double-attributed by design (see internal/trace).
+//
+// -mem-budget SIZE (accepting K/M/G suffixes) routes every expansion
+// multiply through the out-of-core tiled engine with that working-set
+// budget; the result is bit-identical to the in-memory run. -spill-dir
+// chooses where panels spill (default: a private temp dir).
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 
 	"github.com/blockreorg/blockreorg"
 	"github.com/blockreorg/blockreorg/pipeline"
@@ -53,13 +61,15 @@ func run(stdout, stderr io.Writer, args []string) int {
 		mask     = fs.String("mask", "none", "similarity: none | existing | new")
 		minscore = fs.Float64("minscore", 0, "similarity: drop scores at or below this")
 
-		alg      = fs.String("alg", "", "spGEMM algorithm (default Block-Reorganizer)")
-		gpu      = fs.String("gpu", "", "simulated GPU (default TITAN Xp)")
-		workers  = fs.Int("workers", 0, "host executor width (0 = shared pool, 1 = sequential)")
-		noreuse  = fs.Bool("noreuse", false, "disable the cross-iteration plan cache")
-		profile  = fs.Bool("profile", false, "print the phase breakdown after the run")
-		clusters = fs.Bool("clusters", false, "mcl: print the full node -> cluster table")
-		out      = fs.String("o", "", "write the result matrix as Matrix Market")
+		alg       = fs.String("alg", "", "spGEMM algorithm (default Block-Reorganizer)")
+		gpu       = fs.String("gpu", "", "simulated GPU (default TITAN Xp)")
+		workers   = fs.Int("workers", 0, "host executor width (0 = shared pool, 1 = sequential)")
+		noreuse   = fs.Bool("noreuse", false, "disable the cross-iteration plan cache")
+		memBudget = fs.String("mem-budget", "", "run multiplies out of core under this working-set budget (e.g. 64M, 2G)")
+		spillDir  = fs.String("spill-dir", "", "out-of-core scratch/spill directory (default: private temp dir)")
+		profile   = fs.Bool("profile", false, "print the phase breakdown after the run")
+		clusters  = fs.Bool("clusters", false, "mcl: print the full node -> cluster table")
+		out       = fs.String("o", "", "write the result matrix as Matrix Market")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -68,7 +78,12 @@ func run(stdout, stderr io.Writer, args []string) int {
 		fmt.Fprintln(stderr, "graphrun: -in FILE is required")
 		return 2
 	}
-	a, err := sparse.ReadMatrixMarketFile(*in)
+	budget, err := parseBytes(*memBudget)
+	if err != nil {
+		fmt.Fprintln(stderr, "graphrun:", err)
+		return 2
+	}
+	a, err := loadMatrix(*in)
 	if err != nil {
 		fmt.Fprintln(stderr, "graphrun:", err)
 		return 1
@@ -86,6 +101,8 @@ func run(stdout, stderr io.Writer, args []string) int {
 		GPU:         blockreorg.GPU(*gpu),
 		Workers:     *workers,
 		NoPlanReuse: *noreuse,
+		MemBudget:   budget,
+		SpillDir:    *spillDir,
 		Trace:       rec,
 	}
 
@@ -171,4 +188,53 @@ func printProfile(w io.Writer, p *blockreorg.Profile) {
 	} {
 		fmt.Fprintf(w, "%-24s %d\n", c, p.Counters[c])
 	}
+	if p.Counters["ooc_tiles"] > 0 {
+		for _, c := range []string{
+			"ooc_tiles", "ooc_tile_plan_hits", "ooc_tile_plan_misses",
+			"ooc_bytes_loaded", "ooc_bytes_spilled",
+		} {
+			fmt.Fprintf(w, "%-24s %d\n", c, p.Counters[c])
+		}
+		fmt.Fprintf(w, "%-24s %.0f\n", "ooc_budget_bytes", p.Gauges["ooc_budget_bytes"])
+		fmt.Fprintf(w, "%-24s %.0f\n", "ooc_peak_tracked_bytes", p.Gauges["ooc_peak_tracked_bytes"])
+	}
+}
+
+// loadMatrix reads the input in whatever container it arrives: the two
+// binary formats are sniffed from their magic, anything else parses as
+// Matrix Market.
+func loadMatrix(path string) (*sparse.CSR, error) {
+	kind, err := sparse.SniffContainer(path)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case "segmented":
+		return sparse.ReadSegmentedFile(path)
+	case "binary":
+		return sparse.ReadBinaryFile(path)
+	}
+	return sparse.ReadMatrixMarketFile(path)
+}
+
+// parseBytes parses a byte size with an optional K/M/G suffix (powers of
+// 1024). Empty means zero.
+func parseBytes(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("invalid -mem-budget %q (want e.g. 500K, 64M, 2G)", s)
+	}
+	return n * mult, nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -117,6 +118,68 @@ func TestGraphrunSimilarityWritesOutput(t *testing.T) {
 	}
 	if m.Rows != 48 || m.Cols != 48 || m.NNZ() == 0 {
 		t.Fatalf("written scores are %dx%d with %d entries", m.Rows, m.Cols, m.NNZ())
+	}
+}
+
+// TestGraphrunOutOfCoreMatchesInMemory drives the same power chain with
+// and without -mem-budget and asserts the written results are identical
+// files — the CLI-level face of the engine's bit-identity contract. The
+// out-of-core run reads its input from a segmented container to exercise
+// format sniffing along the way.
+func TestGraphrunOutOfCoreMatchesInMemory(t *testing.T) {
+	mtx := writeFull(t, 16)
+	m, err := sparse.ReadMatrixMarketFile(mtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(t.TempDir(), "full.seg")
+	if err := sparse.WriteSegmentedFile(seg, m, sparse.SegRows, 4); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	memOut := filepath.Join(dir, "mem.mtx")
+	oocOut := filepath.Join(dir, "ooc.mtx")
+
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{
+		"-workload", "power", "-in", mtx, "-k", "4", "-o", memOut,
+	}); code != 0 {
+		t.Fatalf("in-memory run: exit %d, stderr: %s", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(&stdout, &stderr, []string{
+		"-workload", "power", "-in", seg, "-k", "4",
+		"-mem-budget", "8K", "-spill-dir", t.TempDir(), "-profile", "-o", oocOut,
+	}); code != 0 {
+		t.Fatalf("out-of-core run: exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"ooc_tiles", "ooc_tile_plan_hits", "ooc_peak_tracked_bytes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-profile output is missing %q:\n%s", want, out)
+		}
+	}
+	a, err := os.ReadFile(memOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(oocOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("out-of-core result file differs from the in-memory run")
+	}
+}
+
+func TestGraphrunBadBudget(t *testing.T) {
+	path := writeGraph(t, 16, 48, 1)
+	for _, bad := range []string{"12X", "-4M", "zero", "0"} {
+		var stdout, stderr bytes.Buffer
+		if code := run(&stdout, &stderr, []string{"-in", path, "-mem-budget", bad}); code != 2 {
+			t.Errorf("-mem-budget %q: exit %d, want 2", bad, code)
+		}
 	}
 }
 

@@ -62,6 +62,7 @@ func All() []*Analyzer {
 		GoroLeakAnalyzer(),
 		SpanPairAnalyzer(),
 		PoolReturnAnalyzer(),
+		FileHandleAnalyzer(),
 	}
 }
 

@@ -74,6 +74,8 @@ func TestAnalyzers(t *testing.T) {
 		{"spanpair", "spanpairok", 0, ""},
 		{"poolreturn", "poolreturnbad", 3, "not released"},
 		{"poolreturn", "poolreturnok", 0, ""},
+		{"filehandle", "filehandlebad", 3, "not closed on every path"},
+		{"filehandle", "filehandleok", 0, ""},
 	}
 	for _, c := range cases {
 		got := findingsFor(all, c.analyzer, c.pkgDir)

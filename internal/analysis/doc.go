@@ -52,6 +52,10 @@
 //     GetIntsZeroed/GetInt64s) not released through the matching Put on
 //     every path out of the function; returning the buffer itself hands
 //     ownership to the caller and is accepted.
+//   - filehandle: a file opened with os.Open/Create/OpenFile/CreateTemp
+//     whose Close is unreachable on some path to return; returning the
+//     handle or storing it into a container transfers ownership, and the
+//     open's own error path is exempt.
 //
 // A finding can be silenced at one site with a reasoned directive on the
 // same line or the line above:

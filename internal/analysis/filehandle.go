@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// FileHandleAnalyzer tracks file descriptor lifetimes: a handle opened
+// with os.Open / os.Create / os.OpenFile / os.CreateTemp must reach a
+// Close on every path out of the function. The out-of-core engine opens
+// panel, spill, and scratch files in loops; a handle leaked on an error
+// path there is not garbage the GC cleans up promptly — it is a
+// descriptor held until finalization, and a tiled multiply over a large
+// grid can exhaust the process limit long before that.
+//
+// What the CFG walk accepts as settling the handle:
+//
+//   - a Close call naming the handle, direct or deferred;
+//   - a return whose result is the handle itself — ownership transfers
+//     to the caller;
+//   - a return on the open's own error path (the result mentions the
+//     error bound alongside the handle): the handle was never opened.
+//
+// A handle assigned into a struct field, slice element, or map entry
+// escapes the function's view — the container owns the lifetime — and
+// is not tracked. Passing the handle to another function does not
+// transfer ownership: the project's helpers read or write through the
+// handle and leave closing to the opener.
+func FileHandleAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "filehandle",
+		Doc:  "file opened but not closed on some path",
+		Run:  runFileHandle,
+	}
+}
+
+// openers are the os functions returning a (*os.File, error) the rule
+// tracks.
+var openers = map[string]bool{
+	"Open":       true,
+	"Create":     true,
+	"OpenFile":   true,
+	"CreateTemp": true,
+}
+
+func runFileHandle(p *Pass) []Finding {
+	var out []Finding
+	for _, ff := range p.Facts().Funcs {
+		for _, node := range ff.Graph.Nodes {
+			as, ok := node.Stmt.(*ast.AssignStmt)
+			// The idiomatic acquire is the two-value form
+			// `f, err := os.Open(path)`; anything else either does not
+			// compile or escapes immediately (field destination).
+			if !ok || len(as.Lhs) != 2 || len(as.Rhs) != 1 {
+				continue
+			}
+			call, opener := osOpen(as.Rhs[0])
+			if call == nil {
+				continue
+			}
+			id, ok := as.Lhs[0].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			errName := ""
+			if eid, ok := as.Lhs[1].(*ast.Ident); ok && eid.Name != "_" {
+				errName = eid.Name
+			}
+			if handleEscapes(ff, id.Name, as) {
+				continue
+			}
+			settled := func(n *Node) bool { return settlesHandle(n, id.Name, errName) }
+			if ff.Graph.exitReachableFrom(node, settled) {
+				out = append(out, Finding{
+					Pos:      p.position(call),
+					Analyzer: "filehandle",
+					Message: fmt.Sprintf("%q from os.%s is not closed on every path to return; close it before early returns or defer %s.Close()",
+						id.Name, opener, id.Name),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// osOpen unwraps an os opener call, returning the call and the opener
+// name, or nil. Matching is syntactic — the fixture loader stubs the
+// standard library — and the "os" qualifier keeps lookalike methods
+// (dec.Open, cache.Create) out.
+func osOpen(e ast.Expr) (*ast.CallExpr, string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	callee := renderCallee(call)
+	if name, found := strings.CutPrefix(callee, "os."); found && openers[name] {
+		return call, name
+	}
+	return nil, ""
+}
+
+// handleEscapes extends the shared escape check with composite-literal
+// capture: `&SegWriter{f: f}` hands the handle to a container whose
+// Close owns it from then on.
+func handleEscapes(ff *FuncFacts, name string, acquire *ast.AssignStmt) bool {
+	if escapes(ff, name, acquire) {
+		return true
+	}
+	esc := false
+	ast.Inspect(ff.Body, func(n ast.Node) bool {
+		if esc {
+			return false
+		}
+		if cl, ok := n.(*ast.CompositeLit); ok && mentionsIdent(cl, name) {
+			esc = true
+			return false
+		}
+		return true
+	})
+	return esc
+}
+
+// settlesHandle reports whether the node closes the named handle, hands
+// it to the caller, or returns along the open's error path.
+func settlesHandle(n *Node, name, errName string) bool {
+	// A Close call anywhere in the statement — direct, deferred, or as a
+	// return value (`return f.Close()`) — settles the handle.
+	found := false
+	shallowInspect(n.Stmt, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if renderCallee(call) == name+".Close" {
+			found = true
+			return false
+		}
+		return true
+	})
+	if found {
+		return true
+	}
+	ret, ok := n.Stmt.(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	for _, r := range ret.Results {
+		if id, ok := r.(*ast.Ident); ok && id.Name == name {
+			return true
+		}
+		// The error path: the open failed, the handle is nil and there
+		// is nothing to close. A bare error return after a successful
+		// open also matches — acceptable imprecision, the repo idiom
+		// defers the close right after the error check.
+		if errName != "" && mentionsIdent(r, errName) {
+			return true
+		}
+	}
+	return false
+}

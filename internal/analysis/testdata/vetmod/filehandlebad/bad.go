@@ -1,0 +1,49 @@
+// Package filehandlebad is a fixture for the filehandle analyzer: files
+// opened but not closed on some path out of the function.
+package filehandlebad
+
+import (
+	"errors"
+	"os"
+)
+
+var errNegative = errors.New("negative count")
+
+// NeverClosed opens the file and leaks it on the success path.
+func NeverClosed(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 16)
+	if _, err := f.Read(buf); err != nil {
+		return err
+	}
+	return nil
+}
+
+// EarlyReturnLeavesOpen closes on the tail but leaks on the guard.
+func EarlyReturnLeavesOpen(path string, n int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if n < 0 {
+		return errNegative
+	}
+	f.Close()
+	return nil
+}
+
+// CloseOnlyOnBranch settles one arm of the if and forgets the other.
+func CloseOnlyOnBranch(path string, flush bool) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if flush {
+		f.Close()
+		return nil
+	}
+	return nil
+}

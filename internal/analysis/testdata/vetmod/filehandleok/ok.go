@@ -1,0 +1,77 @@
+// Package filehandleok is the negative fixture for the filehandle
+// analyzer: handles deferred closed, closed on every path, handed to the
+// caller, or escaped into a container that owns them.
+package filehandleok
+
+import (
+	"errors"
+	"os"
+)
+
+var errNegative = errors.New("negative count")
+
+// DeferClose is the canonical settled form.
+func DeferClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return err
+}
+
+// CloseBeforeEveryReturn closes explicitly on both paths.
+func CloseBeforeEveryReturn(path string, n int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if n < 0 {
+		f.Close()
+		return errNegative
+	}
+	return f.Close()
+}
+
+// HandedOff returns the handle; closing is now the caller's job.
+func HandedOff(path string) (*os.File, error) {
+	f, err := os.CreateTemp("", path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// writer owns the handle stored into it.
+type writer struct {
+	f *os.File
+}
+
+// FieldEscape stores the handle into a struct; the container's Close
+// owns the lifetime and the rule stops tracking.
+func FieldEscape(path string) (*writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &writer{}
+	w.f = f
+	return w, nil
+}
+
+// CompositeEscape captures the handle in a composite literal; the
+// container owns the lifetime.
+func CompositeEscape(path string) (*writer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &writer{f: f}, nil
+}
+
+// Discarded never binds the handle; there is nothing to track.
+func Discarded(path string) {
+	_, _ = os.Open(path)
+}

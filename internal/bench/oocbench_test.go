@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// RunOOC on a scaled-down skewed dataset under a budget small enough to
+// force a real tile grid: every run must come back bit-identical to the
+// in-memory product, within budget, and the table must render the
+// verdict.
+func TestRunOOCBitIdentical(t *testing.T) {
+	cfg := Config{Scale: 32, Datasets: []string{"as-caida", "harbor"}}
+	const budget = 1 << 20
+	runs, err := RunOOC(cfg, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs, want 2", len(runs))
+	}
+	gridded := false
+	for _, r := range runs {
+		if !r.Identical {
+			t.Errorf("%s: out-of-core product differs from the in-memory run", r.Dataset)
+		}
+		s := r.Stats
+		if s.Tiles != int64(s.Grid[0]*s.Grid[1]) || s.Tiles == 0 {
+			t.Errorf("%s: %d tiles for a %dx%d grid", r.Dataset, s.Tiles, s.Grid[0], s.Grid[1])
+		}
+		if s.PeakBytes > s.BudgetBytes {
+			t.Errorf("%s: peak %d bytes over the %d budget", r.Dataset, s.PeakBytes, s.BudgetBytes)
+		}
+		if s.Grid[0] > 1 || s.Grid[1] > 1 {
+			gridded = true
+		}
+	}
+	if !gridded {
+		t.Error("budget never forced a multi-tile grid; shrink it")
+	}
+	tb := OOCTable(budget, runs)
+	if !strings.Contains(tb.String(), "true") {
+		t.Fatalf("table does not render the identity verdict:\n%s", tb)
+	}
+}
+
+func TestRunOOCRejectsBadBudget(t *testing.T) {
+	if _, err := RunOOC(Config{}, 0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}

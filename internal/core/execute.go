@@ -12,15 +12,20 @@ import (
 // ExecuteOn is Execute on an explicit executor (nil selects the
 // process-wide default), with all scratch drawn from the shared arenas.
 //
-// The result is bit-identical to Execute. Execute materializes the
-// intermediate products as one stream in block launch order, scatters them
-// into rows preserving stream order, and sort-merges each row; ExecuteOn
-// reproduces that stream exactly — every block's triplets land at
-// precomputed disjoint offsets, so expansion parallelism cannot reorder
-// them — and runs the identical per-row merge (sparse.CombineRow) over
-// work-weighted row chunks. The plan's stashed row populations give every
-// merged row its final position up front, so chunks write straight into
-// the result arrays with no stitching pass.
+// The result is bit-identical to Execute, to sparse.Multiply, and to the
+// engine's Gustavson fallback: every output entry sums its intermediate
+// products in the canonical order — ascending k over A's row entries,
+// B-row order within one k — regardless of how the plan's block structure
+// reorganizes the launch. Expansion achieves this by writing each
+// partition's products directly at precomputed canonical offsets inside
+// their output row's segment, so neither the block launch order nor
+// expansion parallelism can influence a single bit of the result. This
+// canonical-order contract is what lets an out-of-core tiling (package
+// ooc) slice operands into arbitrary panels and still reassemble the
+// bitwise-identical product: a column slice of B drops contributions
+// without reordering the survivors. The plan's stashed row populations
+// give every merged row its final position up front, so chunks write
+// straight into the result arrays with no stitching pass.
 func (p *Plan) ExecuteOn(ex *parallel.Executor, maxIntermediate int64) (*sparse.CSR, error) {
 	return p.ExecuteTraced(ex, maxIntermediate, nil)
 }
@@ -46,9 +51,8 @@ func (p *Plan) ExecuteTraced(ex *parallel.Executor, maxIntermediate int64, rec *
 
 	// Snapshot the launch order as flat arena-backed arrays: a counting
 	// visit sizes them, a second visit fills partition triples plus the
-	// per-block partition extents and stream offsets. A per-block
-	// []Partition copy would cost one allocation per block, which for real
-	// plans is thousands.
+	// per-block partition extents. A per-block []Partition copy would cost
+	// one allocation per block, which for real plans is thousands.
 	nBlocks, nParts := 0, 0
 	p.VisitBlocks(func(_ BlockKind, parts []Partition) {
 		nBlocks++
@@ -58,12 +62,10 @@ func (p *Plan) ExecuteTraced(ex *parallel.Executor, maxIntermediate int64, rec *
 	partLo := parallel.GetInts(nParts)
 	partHi := parallel.GetInts(nParts)
 	blockPart := parallel.GetInts(nBlocks + 1)
-	blockOff := parallel.GetInts(nBlocks + 1)
 	weights := parallel.GetInt64s(nBlocks)
 	bi, pi, total := 0, 0, 0
 	p.VisitBlocks(func(_ BlockKind, parts []Partition) {
 		blockPart[bi] = pi
-		blockOff[bi] = total
 		n := 0
 		for _, part := range parts {
 			partPair[pi] = part.Pair
@@ -77,39 +79,84 @@ func (p *Plan) ExecuteTraced(ex *parallel.Executor, maxIntermediate int64, rec *
 		total += n
 	})
 	blockPart[nBlocks] = pi
-	blockOff[nBlocks] = total
 	if int64(total) != p.Cls.TotalWork {
 		parallel.PutInts(partPair)
 		parallel.PutInts(partLo)
 		parallel.PutInts(partHi)
 		parallel.PutInts(blockPart)
-		parallel.PutInts(blockOff)
 		parallel.PutInt64s(weights)
 		return nil, fmt.Errorf("core: plan launches %d products, classified %d", total, p.Cls.TotalWork)
 	}
 
-	// Expansion: every block writes its triplets at its stream offset.
-	// Blocks are chunked by product count so the split dominators at the
-	// head of the launch order do not serialize the phase.
-	strmI := parallel.GetInts(total)
-	strmJ := parallel.GetInts(total)
-	strmV := parallel.GetFloats(total)
+	// Scatter preparation: the row segment extents (exact, from the plan's
+	// intermediate row populations) plus the canonical offset of every
+	// ACSC entry's product run inside its row segment. Entry (i, k) — the
+	// t-th entry of A's row i — owns the run of B.RowNNZ(k) products that
+	// starts after the runs of the row's earlier entries; walking A's rows
+	// while advancing one fill cursor per column reproduces the CSC entry
+	// order exactly, so the offsets line up with ACSC's column storage.
+	rows := p.A.Rows
+	endScat := rec.SpanItems(trace.PhaseScatter, int64(total))
+	ptr := parallel.GetInts(rows + 1)
+	ptr[0] = 0
+	for i := 0; i < rows; i++ {
+		ptr[i+1] = ptr[i] + int(p.Limit.RowWork[i])
+	}
+	if ptr[rows] != total {
+		parallel.PutInts(ptr)
+		parallel.PutInts(partPair)
+		parallel.PutInts(partLo)
+		parallel.PutInts(partHi)
+		parallel.PutInts(blockPart)
+		parallel.PutInt64s(weights)
+		endScat()
+		return nil, fmt.Errorf("core: row work sums to %d products, classified %d", ptr[rows], total)
+	}
+	nCols := p.ACSC.Cols
+	cscStart := parallel.GetInts(nCols + 1)
+	cscStart[0] = 0
+	for k := 0; k < nCols; k++ {
+		cscStart[k+1] = cscStart[k] + p.ACSC.ColNNZ(k)
+	}
+	canon := parallel.GetInts(cscStart[nCols])
+	cursor := parallel.GetIntsZeroed(nCols)
+	for i := 0; i < rows; i++ {
+		idx, _ := p.A.Row(i)
+		off := 0
+		for _, ka := range idx {
+			canon[cscStart[ka]+cursor[ka]] = off
+			cursor[ka]++
+			off += p.B.RowNNZ(ka)
+		}
+	}
+	parallel.PutInts(cursor)
+	endScat()
+
+	// Expansion: every partition writes each entry's product run directly
+	// at its canonical position — row segment start plus canonical offset —
+	// so the scattered arrays come out in canonical merge order with no
+	// separate scatter pass. Blocks are chunked by product count so the
+	// split dominators at the head of the launch order do not serialize
+	// the phase; chunks write disjoint positions by construction.
+	scatIdx := parallel.GetInts(total)
+	scatVal := parallel.GetFloats(total)
 	chunks := parallel.WeightedRanges(weights, 4*ex.Workers())
 	parallel.PutInt64s(weights)
 	endExp := rec.SpanItems(trace.PhaseExpansion, int64(total))
 	ex.ForEach(chunks, func(r parallel.Range) {
 		for b := r.Lo; b < r.Hi; b++ {
-			pos := blockOff[b]
 			for k := blockPart[b]; k < blockPart[b+1]; k++ {
-				colIdx, colVal := p.ACSC.Col(partPair[k])
-				rowIdx, rowVal := p.B.Row(partPair[k])
+				ka := partPair[k]
+				colIdx, colVal := p.ACSC.Col(ka)
+				rowIdx, rowVal := p.B.Row(ka)
+				base := cscStart[ka]
 				for e := partLo[k]; e < partHi[k]; e++ {
 					i := colIdx[e]
 					av := colVal[e]
+					pos := ptr[i] + canon[base+e]
 					for rr := range rowIdx {
-						strmI[pos] = i
-						strmJ[pos] = rowIdx[rr]
-						strmV[pos] = av * rowVal[rr]
+						scatIdx[pos] = rowIdx[rr]
+						scatVal[pos] = av * rowVal[rr]
 						pos++
 					}
 				}
@@ -121,43 +168,8 @@ func (p *Plan) ExecuteTraced(ex *parallel.Executor, maxIntermediate int64, rec *
 	parallel.PutInts(partLo)
 	parallel.PutInts(partHi)
 	parallel.PutInts(blockPart)
-	parallel.PutInts(blockOff)
-
-	// Scatter the stream into rows. The plan's intermediate row populations
-	// are the exact per-row triplet counts, so the row extents need no
-	// counting pass; the walk itself is sequential to preserve stream order
-	// within each row (the merge order contract).
-	rows := p.A.Rows
-	endScat := rec.SpanItems(trace.PhaseScatter, int64(total))
-	ptr := parallel.GetInts(rows + 1)
-	ptr[0] = 0
-	for i := 0; i < rows; i++ {
-		ptr[i+1] = ptr[i] + int(p.Limit.RowWork[i])
-	}
-	if ptr[rows] != total {
-		parallel.PutInts(ptr)
-		parallel.PutInts(strmI)
-		parallel.PutInts(strmJ)
-		parallel.PutFloats(strmV)
-		endScat()
-		return nil, fmt.Errorf("core: row work sums to %d products, stream has %d", ptr[rows], total)
-	}
-	scatIdx := parallel.GetInts(total)
-	scatVal := parallel.GetFloats(total)
-	next := parallel.GetInts(rows)
-	copy(next, ptr[:rows])
-	for k := 0; k < total; k++ {
-		i := strmI[k]
-		pos := next[i]
-		scatIdx[pos] = strmJ[k]
-		scatVal[pos] = strmV[k]
-		next[i] = pos + 1
-	}
-	parallel.PutInts(next)
-	parallel.PutInts(strmI)
-	parallel.PutInts(strmJ)
-	parallel.PutFloats(strmV)
-	endScat()
+	parallel.PutInts(cscStart)
+	parallel.PutInts(canon)
 
 	// Merge: combine each row under the plan's assigned accumulator
 	// strategy and append it into its final slot, known up front from the

@@ -68,6 +68,50 @@ func TestExecuteOnSkewedBitIdentical(t *testing.T) {
 	}
 }
 
+// The canonical-order contract: the plan path must reproduce the
+// Gustavson reference bit for bit, and slicing the operands into panels
+// must reproduce the corresponding slice of the full product bit for bit
+// — the block structure (and therefore the classification of a tile,
+// which differs from the full matrix's) must not influence association.
+func TestExecuteCanonicalOrder(t *testing.T) {
+	a, err := rmat.PowerLaw(900, 14000, 2.05, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rmat.Generate(900, 11000, rmat.Default, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildPlan(a, b, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := plan.ExecuteOn(parallel.NewExecutor(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sparse.Multiply(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Equal(want, 0) {
+		t.Fatal("plan execution differs bitwise from the Gustavson reference")
+	}
+	ai := a.RowPanel(100, 500)
+	bj := b.ColPanel(200, 650)
+	tilePlan, err := BuildPlan(ai, bj, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile, err := tilePlan.ExecuteOn(parallel.NewExecutor(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tile.Equal(full.RowPanel(100, 500).ColPanel(200, 650), 0) {
+		t.Fatal("tile product differs bitwise from the slice of the full product")
+	}
+}
+
 func TestExecuteOnRespectsLimit(t *testing.T) {
 	rng := testRNG(5)
 	a := randomCSR(rng, 20, 20, 0.3)

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"github.com/blockreorg/blockreorg/internal/trace"
 	"github.com/blockreorg/blockreorg/sparse"
@@ -211,7 +212,12 @@ func (p *Plan) NumBlocks() int {
 // Execute computes C = A×B functionally by walking the transformed block
 // structure — every split sub-block, gathered partition and normal pair —
 // and merging the intermediate products, proving that the reorganized
-// launch produces exactly the reference product.
+// launch produces exactly the reference product. The products are
+// enumerated in block launch order but merged in the canonical order
+// (ascending k within each output row, B-row order within one k), so the
+// result is bit-identical to ExecuteOn, to sparse.Multiply, and to any
+// panel-tiled reassembly — the launch order covers the multiset of
+// products, the canonical order fixes their floating-point association.
 //
 // Memory is O(nnz(Ĉ)); intended for validation and moderate sizes. The
 // maxIntermediate guard (0 = no limit) rejects materializations that would
@@ -220,7 +226,11 @@ func (p *Plan) Execute(maxIntermediate int64) (*sparse.CSR, error) {
 	if maxIntermediate > 0 && p.Cls.TotalWork > maxIntermediate {
 		return nil, fmt.Errorf("core: intermediate matrix has %d products, over limit %d", p.Cls.TotalWork, maxIntermediate)
 	}
-	coo := sparse.NewCOO(p.A.Rows, p.B.Cols, int(p.Cls.TotalWork))
+	total := int(p.Cls.TotalWork)
+	is := make([]int, 0, total)
+	ks := make([]int, 0, total)
+	js := make([]int, 0, total)
+	vs := make([]float64, 0, total)
 	p.VisitBlocks(func(_ BlockKind, parts []Partition) {
 		for _, part := range parts {
 			colIdx, colVal := p.ACSC.Col(part.Pair)
@@ -229,11 +239,28 @@ func (p *Plan) Execute(maxIntermediate int64) (*sparse.CSR, error) {
 				i := colIdx[e]
 				av := colVal[e]
 				for r := range rowIdx {
-					coo.Add(i, rowIdx[r], av*rowVal[r])
+					is = append(is, i)
+					ks = append(ks, part.Pair)
+					js = append(js, rowIdx[r])
+					vs = append(vs, av*rowVal[r])
 				}
 			}
 		}
 	})
+	ord := make([]int, len(is))
+	for k := range ord {
+		ord[k] = k
+	}
+	sort.SliceStable(ord, func(a, b int) bool {
+		if is[ord[a]] != is[ord[b]] {
+			return is[ord[a]] < is[ord[b]]
+		}
+		return ks[ord[a]] < ks[ord[b]]
+	})
+	coo := sparse.NewCOO(p.A.Rows, p.B.Cols, len(is))
+	for _, o := range ord {
+		coo.Add(is[o], js[o], vs[o])
+	}
 	return coo.ToCSR(), nil
 }
 

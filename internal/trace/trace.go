@@ -72,6 +72,29 @@ const (
 	PhasePipelineConverge Phase = "pipeline.converge"
 )
 
+// The out-of-core engine's span taxonomy (package ooc): one multiply is a
+// sequence of panel loads, tile multiplies, tile spills, and a final
+// row-merge producing the streamed result. OOCMultiply wraps the whole
+// planned multiplication of one tile pair, whose inner phases record on
+// the same recorder — the same double-attribution convention as the
+// pipeline phases above.
+const (
+	// PhaseOOCLoad covers reading operand panels from the segmented
+	// container into memory.
+	PhaseOOCLoad Phase = "ooc.load"
+	// PhaseOOCReshard covers the one-time pass slicing B into per-column-
+	// panel scratch files (reused across iterations for a fixed B).
+	PhaseOOCReshard Phase = "ooc.reshard"
+	// PhaseOOCMultiply covers the planned multiplication of one tile pair.
+	PhaseOOCMultiply Phase = "ooc.multiply"
+	// PhaseOOCSpill covers writing partial result tiles to the spill
+	// directory.
+	PhaseOOCSpill Phase = "ooc.spill"
+	// PhaseOOCMerge covers the k-way row merge of spilled tiles into the
+	// final streamed result.
+	PhaseOOCMerge Phase = "ooc.merge"
+)
+
 // Phases returns the taxonomy in pipeline order (PhaseOther last).
 func Phases() []Phase {
 	return []Phase{
@@ -80,6 +103,8 @@ func Phases() []Phase {
 		PhaseSimulate, PhaseExpansion, PhaseScatter, PhaseMerge,
 		PhasePipelineExpand, PhasePipelineInflate,
 		PhasePipelinePrune, PhasePipelineConverge,
+		PhaseOOCLoad, PhaseOOCReshard, PhaseOOCMultiply,
+		PhaseOOCSpill, PhaseOOCMerge,
 		PhaseOther,
 	}
 }
@@ -122,6 +147,16 @@ const (
 	CounterAccumDenseRows = "accum_rows_dense"
 	CounterAccumHashRows  = "accum_rows_hash"
 	CounterAccumSortRows  = "accum_rows_sort"
+	// Out-of-core engine accounting (package ooc): tile pairs multiplied,
+	// the tile-plan cache's hit/miss split (a hit reuses a structurally
+	// identical tile pair's preprocessing via Rebind), and the traffic
+	// through the memory budget — bytes of operand panels loaded and bytes
+	// of partial result tiles spilled.
+	CounterOOCTiles       = "ooc_tiles"
+	CounterOOCPlanHits    = "ooc_tile_plan_hits"
+	CounterOOCPlanMisses  = "ooc_tile_plan_misses"
+	CounterOOCBytesLoaded = "ooc_bytes_loaded"
+	CounterOOCBytesSpill  = "ooc_bytes_spilled"
 
 	// GaugeAlpha and GaugeBeta are the resolved threshold divisors;
 	// GaugeSplitFactorMax is the largest splitting factor chosen,
@@ -133,6 +168,11 @@ const (
 	GaugeSplitFactorMax = "split_factor_max"
 	GaugeLimitExtraShm  = "limit_extra_shared_bytes"
 	GaugeArenaHitRate   = "arena_hit_rate"
+	// GaugeOOCBudget is the configured out-of-core memory budget in bytes;
+	// GaugeOOCPeakBytes the accountant's high-water mark of tracked
+	// allocations, which correctness tests assert stays under the budget.
+	GaugeOOCBudget    = "ooc_budget_bytes"
+	GaugeOOCPeakBytes = "ooc_peak_tracked_bytes"
 )
 
 // span is one recorded interval.

@@ -1,0 +1,63 @@
+package ooc
+
+import (
+	"sync"
+
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+// Accountant tracks the engine's working-set bytes: every panel, tile and
+// merge buffer the engine materializes is Grab'd while resident and
+// Release'd when dropped. The budget is soft — the accountant never blocks
+// or fails an allocation — but the high-water mark it records is the
+// engine's honest answer to "how much memory did this run actually hold at
+// once", surfaced through Stats.PeakBytes and the ooc_peak_tracked_bytes
+// trace gauge so tests and CI can assert it stays under the budget.
+type Accountant struct {
+	mu   sync.Mutex
+	cur  int64
+	peak int64
+}
+
+// Grab records n bytes becoming resident.
+func (a *Accountant) Grab(n int64) {
+	a.mu.Lock()
+	a.cur += n
+	if a.cur > a.peak {
+		a.peak = a.cur
+	}
+	a.mu.Unlock()
+}
+
+// Release records n bytes leaving the working set.
+func (a *Accountant) Release(n int64) {
+	a.mu.Lock()
+	a.cur -= n
+	a.mu.Unlock()
+}
+
+// Current returns the resident tracked bytes.
+func (a *Accountant) Current() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cur
+}
+
+// Peak returns the high-water mark of tracked bytes.
+func (a *Accountant) Peak() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak
+}
+
+// csrBytes returns the in-memory footprint of a CSR with the given shape:
+// the pointer array plus one int and one float64 per entry. This is the
+// unit the grid planner sizes panels in and the accountant tracks.
+func csrBytesFor(rows, nnz int64) int64 {
+	return 8*(rows+1) + 16*nnz
+}
+
+// csrBytes returns the in-memory footprint of m.
+func csrBytes(m *sparse.CSR) int64 {
+	return csrBytesFor(int64(m.Rows), int64(m.NNZ()))
+}

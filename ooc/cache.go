@@ -1,0 +1,53 @@
+package ooc
+
+import (
+	blockreorg "github.com/blockreorg/blockreorg"
+)
+
+// planKey identifies a tile pair by the structure fingerprints of its
+// operand panels. Two tiles with the same key share every preprocessing
+// decision, so one plan (rebound per tile) serves them all — the
+// out-of-core analogue of the serving layer's plan cache, and what makes
+// iterative workloads (PowerIterate, MCL) pay the tile preprocessing only
+// on their first pass.
+type planKey struct {
+	a, b uint64
+}
+
+// planCache is a bounded fingerprint-keyed cache of reusable tile plans
+// with insertion-ordered eviction: when full, the oldest entry goes. Tile
+// grids are visited in a fixed order every iteration, so insertion order
+// is visit order and the working set stays resident as long as the
+// capacity covers the grid.
+type planCache struct {
+	cap   int
+	plans map[planKey]*blockreorg.Plan
+	order []planKey
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{cap: capacity, plans: make(map[planKey]*blockreorg.Plan, capacity)}
+}
+
+func (c *planCache) get(k planKey) *blockreorg.Plan {
+	return c.plans[k]
+}
+
+func (c *planCache) put(k planKey, p *blockreorg.Plan) {
+	if c.cap <= 0 || p == nil {
+		return
+	}
+	if _, ok := c.plans[k]; ok {
+		c.plans[k] = p
+		return
+	}
+	if len(c.order) >= c.cap {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.plans, oldest)
+	}
+	c.plans[k] = p
+	c.order = append(c.order, k)
+}
+
+func (c *planCache) len() int { return len(c.plans) }

@@ -1,0 +1,36 @@
+// Package ooc is the out-of-core spGEMM engine: memory-budgeted streaming
+// multiplication of sparse matrices whose CSR representations exceed
+// physical RAM.
+//
+// The engine partitions A into row panels and B into column panels sized
+// by a byte Budget, streams panel pairs through the in-memory planned
+// multiply (blockreorg.NewPlan / Plan.Rebind, with a tile-pair-structure-
+// keyed plan cache so iterative workloads reuse tile preprocessing across
+// iterations), spills each finished C tile to a spill directory, and
+// finally merges the tiles row-wise into the result — streamed back to
+// disk in the segmented container format, or assembled in memory when the
+// caller wants a *sparse.CSR.
+//
+// # Bit-identity
+//
+// A tile C[I,J] = A[I,:]×B[:,J] is a complete product — no partial sums
+// cross tiles — and the planned engine sums every output entry's
+// intermediate products in the canonical order (ascending k, B-row order
+// within one k; see core.Plan.ExecuteOn). Column-slicing B drops
+// contributions without reordering the survivors, so the reassembled
+// out-of-core product is bit-identical to the in-memory blockreorg
+// product and to sparse.Multiply for every budget and tile grid. Tests
+// assert Equal(·, 0), not approximate agreement.
+//
+// # Memory accounting
+//
+// Every panel, tile and merge buffer the engine materializes is tracked
+// by an Accountant; its high-water mark is surfaced through Stats and the
+// ooc_peak_tracked_bytes trace gauge, and stays under the configured
+// budget for any feasible grid. The budget is split into quarters: one
+// for the resident A row panel, one for the resident B column panel, and
+// two for the result tile plus merge working set. Operands or results the
+// caller holds in memory are the caller's, not the engine's — the
+// accountant tracks the engine's working set, which is the quantity a
+// bigger-than-RAM run needs bounded.
+package ooc

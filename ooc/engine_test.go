@@ -1,0 +1,401 @@
+package ooc
+
+import (
+	"errors"
+	"math/rand/v2"
+	"path/filepath"
+	"testing"
+
+	"github.com/blockreorg/blockreorg"
+	"github.com/blockreorg/blockreorg/internal/trace"
+	"github.com/blockreorg/blockreorg/sparse"
+	"github.com/blockreorg/blockreorg/sparse/rmat"
+)
+
+// fullCSR returns an n×n matrix with every entry stored — the structure
+// iterative workloads converge to, and the one that keeps tile
+// fingerprints stable across iterations.
+func fullCSR(rng *rand.Rand, n int) *sparse.CSR {
+	m := sparse.NewCSR(n, n)
+	idx := make([]int, n)
+	val := make([]float64, n)
+	for j := 0; j < n; j++ {
+		idx[j] = j
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			val[j] = rng.Float64()*2 - 1
+		}
+		m.AppendRow(i, idx, val)
+	}
+	return m
+}
+
+func testOperands(t *testing.T) (a, b, want *sparse.CSR) {
+	t.Helper()
+	a, err := rmat.PowerLaw(1500, 6000, 2.05, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = rmat.Generate(1500, 6000, rmat.Default, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := blockreorg.Multiply(a, b, blockreorg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b, res.C
+}
+
+// The tentpole contract: for any budget the out-of-core product is
+// bit-identical to the in-memory engine (itself bit-identical to
+// sparse.Multiply), and the engine's tracked working set stays under the
+// budget. The tightest budget must force a real grid with spilled tiles
+// merged k-way.
+func TestMultiplyBitIdenticalAcrossBudgets(t *testing.T) {
+	a, b, want := testOperands(t)
+	for _, tc := range []struct {
+		name    string
+		budget  int64
+		minGrid int
+	}{
+		{"one-tile", 64 << 20, 1},
+		{"few-tiles", 400 << 10, 2},
+		{"grid-4x4", 100 << 10, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := New(Options{Budget: tc.budget, Dir: t.TempDir()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			got, err := e.Multiply(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want, 0) {
+				t.Fatal("out-of-core product differs bitwise from the in-memory engine")
+			}
+			st := e.Stats()
+			if st.Grid[0] < tc.minGrid || st.Grid[1] < tc.minGrid {
+				t.Fatalf("budget %d produced grid %dx%d, want at least %dx%d",
+					tc.budget, st.Grid[0], st.Grid[1], tc.minGrid, tc.minGrid)
+			}
+			if st.PeakBytes > tc.budget {
+				t.Fatalf("peak tracked bytes %d over budget %d", st.PeakBytes, tc.budget)
+			}
+			if st.Tiles != int64(st.Grid[0]*st.Grid[1]) {
+				t.Fatalf("ran %d tiles for a %dx%d grid", st.Tiles, st.Grid[0], st.Grid[1])
+			}
+			if tc.minGrid > 1 && st.BytesSpilled == 0 {
+				t.Fatal("gridded run spilled nothing")
+			}
+		})
+	}
+}
+
+// Random small operands across many seeds: the bit-identity must hold for
+// arbitrary structures, not just the skewed generators.
+func TestMultiplyBitIdenticalRandom(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		n := 30 + rng.IntN(60)
+		a := randomCSR(rng, n, n+7, 0.15)
+		b := randomCSR(rng, n+7, n+3, 0.15)
+		want, err := sparse.Multiply(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(Options{Budget: 16 << 10, Dir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Multiply(a, b)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !got.Equal(want, 0) {
+			t.Fatalf("seed %d: out-of-core product differs from sparse.Multiply", seed)
+		}
+		e.Close()
+	}
+}
+
+func randomCSR(rng *rand.Rand, rows, cols int, density float64) *sparse.CSR {
+	m := sparse.NewCSR(rows, cols)
+	var idx []int
+	var val []float64
+	for i := 0; i < rows; i++ {
+		idx, val = idx[:0], val[:0]
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				idx = append(idx, j)
+				val = append(val, rng.Float64()*2-1)
+			}
+		}
+		m.AppendRow(i, idx, val)
+	}
+	return m
+}
+
+// The file-to-file path: both operands live in segmented containers, the
+// result streams into one, and nothing but panels is ever resident. The
+// assembled result must match the in-memory product bitwise.
+func TestMultiplyFilesBitIdentical(t *testing.T) {
+	a, b, want := testOperands(t)
+	dir := t.TempDir()
+	aPath := filepath.Join(dir, "a.seg")
+	bPath := filepath.Join(dir, "b.seg")
+	outPath := filepath.Join(dir, "c.seg")
+	// Stored panels bound the grid planner's cut granularity (a file cut
+	// must land on a stored panel boundary), so keep them fine relative
+	// to the budget's panel share.
+	if err := sparse.WriteSegmentedFile(aPath, a, sparse.SegRows, 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := sparse.WriteSegmentedFile(bPath, b, sparse.SegRows, 32); err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Options{Budget: 200 << 10, Dir: filepath.Join(dir, "scratch")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.MultiplyFiles(aPath, bPath, outPath); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sparse.ReadSegmentedFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 0) {
+		t.Fatal("file-to-file product differs bitwise from the in-memory engine")
+	}
+	st := e.Stats()
+	if st.Grid[0] < 2 || st.Grid[1] < 2 {
+		t.Fatalf("grid %dx%d, want a real tiling", st.Grid[0], st.Grid[1])
+	}
+	if st.PeakBytes > 200<<10 {
+		t.Fatalf("peak tracked bytes %d over budget", st.PeakBytes)
+	}
+}
+
+// Iterating M ← M·B with a fixed B must pay reshard and tile planning
+// once: every later iteration rebinds the cached plans (one hit per tile)
+// and reuses the on-disk reshard.
+func TestPlanAndReshardReuseAcrossIterations(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	m := fullCSR(rng, 48)
+	b := fullCSR(rng, 48)
+	e, err := New(Options{Budget: 48 << 10, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	const iters = 4
+	for k := 0; k < iters; k++ {
+		want, err := blockreorg.Multiply(m, b, blockreorg.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Multiply(m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want.C, 0) {
+			t.Fatalf("iteration %d differs from the in-memory engine", k)
+		}
+		m = got
+	}
+	st := e.Stats()
+	tilesPerIter := int64(st.Grid[0] * st.Grid[1])
+	if tilesPerIter < 4 {
+		t.Fatalf("grid %dx%d too small to exercise reuse", st.Grid[0], st.Grid[1])
+	}
+	// Misses happen only on the first iteration, and only once per
+	// distinct tile structure (structurally identical tiles share a plan
+	// immediately); everything else rebinds a cached plan.
+	if st.PlanMisses == 0 || st.PlanMisses > tilesPerIter {
+		t.Fatalf("plan misses %d for %d tiles per iteration", st.PlanMisses, tilesPerIter)
+	}
+	if want := tilesPerIter * (iters - 1); st.PlanHits < want {
+		t.Fatalf("plan hits %d, want at least %d", st.PlanHits, want)
+	}
+	if st.PlanHits+st.PlanMisses != st.Tiles {
+		t.Fatalf("hits %d + misses %d != tiles %d", st.PlanHits, st.PlanMisses, st.Tiles)
+	}
+	if st.ReshardReuses != iters-1 {
+		t.Fatalf("reshard reuses %d, want %d", st.ReshardReuses, iters-1)
+	}
+}
+
+// The engine's trace output: ooc phases appear as spans, the counters add
+// up against Stats, and the gauges publish budget and peak.
+func TestTraceCountersAndGauges(t *testing.T) {
+	a, b, _ := testOperands(t)
+	rec := blockreorg.NewTrace()
+	e, err := New(Options{Budget: 1 << 20, Dir: t.TempDir(), Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Multiply(a, b); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	p := rec.Profile()
+	if p.Counter(trace.CounterOOCTiles) != st.Tiles {
+		t.Fatalf("tile counter %d, stats %d", p.Counter(trace.CounterOOCTiles), st.Tiles)
+	}
+	if p.Counter(trace.CounterOOCBytesLoaded) != st.BytesLoaded ||
+		p.Counter(trace.CounterOOCBytesSpill) != st.BytesSpilled {
+		t.Fatal("byte counters disagree with stats")
+	}
+	if p.Counter(trace.CounterOOCPlanMisses) != st.PlanMisses {
+		t.Fatal("plan miss counter disagrees with stats")
+	}
+	if p.Gauges[trace.GaugeOOCBudget] != float64(1<<20) {
+		t.Fatalf("budget gauge %v", p.Gauges[trace.GaugeOOCBudget])
+	}
+	if p.Gauges[trace.GaugeOOCPeakBytes] != float64(st.PeakBytes) {
+		t.Fatalf("peak gauge %v, stats %d", p.Gauges[trace.GaugeOOCPeakBytes], st.PeakBytes)
+	}
+	phases := map[string]bool{}
+	for _, s := range p.Phases {
+		phases[s.Phase] = true
+	}
+	for _, ph := range []trace.Phase{trace.PhaseOOCLoad, trace.PhaseOOCReshard,
+		trace.PhaseOOCMultiply, trace.PhaseOOCSpill, trace.PhaseOOCMerge} {
+		if !phases[string(ph)] {
+			t.Fatalf("phase %s missing from profile", ph)
+		}
+	}
+}
+
+func TestEngineRejectsBadRequests(t *testing.T) {
+	if _, err := New(Options{Budget: 0}); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	e, err := New(Options{Budget: 1 << 20, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Multiply(nil, sparse.NewCSR(2, 2)); !errors.Is(err, blockreorg.ErrInvalidOptions) {
+		t.Fatalf("nil operand: %v", err)
+	}
+	if _, err := e.Multiply(sparse.NewCSR(2, 3), sparse.NewCSR(2, 3)); !errors.Is(err, blockreorg.ErrDimensionMismatch) {
+		t.Fatalf("dimension mismatch: %v", err)
+	}
+	if err := e.MultiplyFiles(filepath.Join(t.TempDir(), "missing.seg"), "x", "y"); err == nil {
+		t.Fatal("missing operand file accepted")
+	}
+}
+
+func TestDegenerateOperands(t *testing.T) {
+	e, err := New(Options{Budget: 1 << 20, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	got, err := e.Multiply(sparse.NewCSR(5, 4), sparse.NewCSR(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 5 || got.Cols != 3 || got.NNZ() != 0 {
+		t.Fatalf("empty product wrong: %dx%d nnz %d", got.Rows, got.Cols, got.NNZ())
+	}
+	dir := t.TempDir()
+	aPath := filepath.Join(dir, "a.seg")
+	bPath := filepath.Join(dir, "b.seg")
+	outPath := filepath.Join(dir, "c.seg")
+	if err := sparse.WriteSegmentedFile(aPath, sparse.NewCSR(5, 4), sparse.SegRows, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sparse.WriteSegmentedFile(bPath, sparse.NewCSR(4, 3), sparse.SegRows, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.MultiplyFiles(aPath, bPath, outPath); err != nil {
+		t.Fatal(err)
+	}
+	out, err := sparse.ReadSegmentedFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows != 5 || out.Cols != 3 || out.NNZ() != 0 {
+		t.Fatal("empty file product wrong")
+	}
+}
+
+// The accountant is the budget's book-keeper: balanced grabs and a peak
+// that never understates the concurrent maximum.
+func TestAccountant(t *testing.T) {
+	var a Accountant
+	a.Grab(100)
+	a.Grab(50)
+	if a.Current() != 150 || a.Peak() != 150 {
+		t.Fatalf("current %d peak %d", a.Current(), a.Peak())
+	}
+	a.Release(100)
+	a.Grab(20)
+	if a.Current() != 70 || a.Peak() != 150 {
+		t.Fatalf("current %d peak %d after release", a.Current(), a.Peak())
+	}
+}
+
+// After every successful multiplication the accountant must be back to
+// zero — anything else is a leak in the engine's grab/release pairing.
+func TestAccountingBalanced(t *testing.T) {
+	a, b, _ := testOperands(t)
+	e, err := New(Options{Budget: 300 << 10, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Multiply(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if cur := e.acct.Current(); cur != 0 {
+		t.Fatalf("tracked bytes leaked: %d still resident", cur)
+	}
+}
+
+func TestPlanCacheEviction(t *testing.T) {
+	c := newPlanCache(2)
+	p := &blockreorg.Plan{}
+	c.put(planKey{1, 1}, p)
+	c.put(planKey{2, 2}, p)
+	c.put(planKey{3, 3}, p)
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries, cap 2", c.len())
+	}
+	if c.get(planKey{1, 1}) != nil {
+		t.Fatal("oldest entry not evicted")
+	}
+	if c.get(planKey{3, 3}) == nil {
+		t.Fatal("newest entry missing")
+	}
+}
+
+func TestColCuts(t *testing.T) {
+	// 4 columns of 10 entries each, 3 rows: base = 8*4 = 32 bytes, each
+	// column adds 160 bytes. share 200 → one column per panel.
+	cuts := colCuts([]int64{10, 10, 10, 10}, 3, 200)
+	if len(cuts) != 5 {
+		t.Fatalf("cuts %v, want one column per panel", cuts)
+	}
+	// A huge share keeps everything in one panel.
+	cuts = colCuts([]int64{10, 10, 10, 10}, 3, 1<<20)
+	if len(cuts) != 2 || cuts[1] != 4 {
+		t.Fatalf("cuts %v, want a single panel", cuts)
+	}
+	// A single column over the share still gets a panel of its own.
+	cuts = colCuts([]int64{1000, 1, 1}, 3, 100)
+	if cuts[1] != 1 {
+		t.Fatalf("cuts %v, want the heavy column isolated", cuts)
+	}
+}

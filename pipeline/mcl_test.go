@@ -66,6 +66,29 @@ func TestMCLSerialParallelPlanReuseBitIdentical(t *testing.T) {
 	}
 }
 
+// MCL under a memory budget: the expansion squarings run out of core,
+// and because the tiled engine is bit-identical to the in-memory one the
+// whole clustering — limit matrix, iteration count, clusters — matches
+// exactly.
+func TestMCLOutOfCoreBitIdentical(t *testing.T) {
+	a := testGraph(t, 96, 400, 77)
+	want, err := MCL(context.Background(), a, MCLOptions{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MCL(context.Background(), a, MCLOptions{},
+		Options{MemBudget: 64 << 10, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iterations != want.Iterations || !got.M.Equal(want.M, 0) {
+		t.Fatal("out-of-core MCL diverged from the in-memory run")
+	}
+	if !equalInts(got.Clusters, want.Clusters) {
+		t.Fatal("out-of-core MCL assigned different clusters")
+	}
+}
+
 func TestMCLDisjointCliques(t *testing.T) {
 	// Two disjoint triangles must come out as exactly two clusters, with
 	// deterministic first-node labeling: {0,1,2} -> 0, {3,4,5} -> 1.

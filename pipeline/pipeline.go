@@ -7,6 +7,7 @@ import (
 
 	"github.com/blockreorg/blockreorg"
 	"github.com/blockreorg/blockreorg/internal/trace"
+	"github.com/blockreorg/blockreorg/ooc"
 	"github.com/blockreorg/blockreorg/sparse"
 )
 
@@ -49,6 +50,22 @@ type Options struct {
 	// pipeline_iterations / pipeline_plan_hits / pipeline_plan_misses
 	// counters.
 	Trace *blockreorg.Trace
+	// MemBudget, when positive, routes every expansion multiply through
+	// the out-of-core tiled engine (package ooc) with this working-set
+	// byte budget: operands are cut into panels, tile products spill to
+	// disk, and the result is reassembled — bit-identical to the
+	// in-memory path for any budget, so PowerIterate and MCL produce the
+	// same matrices either way. Plan hits and misses are then counted
+	// per tile rather than per multiply (a tile grid reuses one plan per
+	// tile across iterations; an iteration's PlanHit is set when no tile
+	// missed). Requires the Block Reorganizer algorithm.
+	MemBudget int64
+	// SpillDir hosts the out-of-core engine's scratch and spill files.
+	// Empty uses a private temporary directory removed when the run
+	// ends; a caller-supplied directory is created if missing and only
+	// the engine's own files are deleted from it. Ignored without
+	// MemBudget.
+	SpillDir string
 }
 
 // Step is one stage of a pipeline iteration. Implementations mutate or
@@ -139,6 +156,7 @@ type runState struct {
 	runner *Runner
 	trace  *trace.Recorder
 	cache  *planCache
+	ooc    *ooc.Engine
 	hits   int
 	misses int
 }
@@ -183,6 +201,30 @@ func (r *Runner) Run(ctx context.Context, p *Pipeline, st *State) (*Result, erro
 		runner: r,
 		trace:  r.opts.Trace,
 		cache:  newPlanCache(r.opts.PlanCacheSize),
+	}
+	if r.opts.MemBudget > 0 {
+		if r.opts.Algorithm != "" && r.opts.Algorithm != blockreorg.BlockReorganizer {
+			return nil, invalidf("out-of-core execution requires the %s algorithm, got %q",
+				blockreorg.BlockReorganizer, r.opts.Algorithm)
+		}
+		cacheSize := r.opts.PlanCacheSize
+		if r.opts.NoPlanReuse {
+			cacheSize = -1
+		}
+		eng, err := ooc.New(ooc.Options{
+			Budget:        r.opts.MemBudget,
+			Dir:           r.opts.SpillDir,
+			GPU:           r.opts.GPU,
+			Workers:       r.opts.Workers,
+			Paranoid:      r.opts.Paranoid,
+			PlanCacheSize: cacheSize,
+			Trace:         r.opts.Trace,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer eng.Close()
+		rs.ooc = eng
 	}
 	st.run = rs
 	res := &Result{Pipeline: p.Name, Iters: make([]IterationStat, 0, maxIter)}
@@ -248,6 +290,9 @@ func (r *Runner) planReusable() bool {
 // replaces the cached one so the cache always holds the latest binding.
 func (st *State) multiply(a, b *sparse.CSR) (*sparse.CSR, error) {
 	rs := st.run
+	if rs.ooc != nil {
+		return st.multiplyOOC(a, b)
+	}
 	opts := rs.runner.multiplyOptions()
 	cacheable := rs.runner.planReusable()
 	var key planKey
@@ -283,6 +328,38 @@ func (st *State) multiply(a, b *sparse.CSR) (*sparse.CSR, error) {
 	st.Stat.Flops += res.Flops
 	st.Stat.SimSeconds += res.TotalSeconds
 	return res.C, nil
+}
+
+// multiplyOOC runs one expansion product through the run's out-of-core
+// engine. The engine keeps its own tile-level plan cache and reshard
+// cache across iterations (the fixed right-hand operand of a power chain
+// is resharded once), so the pipeline's hit/miss counters report tile
+// plan reuse: an iteration whose tiles all rebound cached plans counts as
+// a plan hit.
+func (st *State) multiplyOOC(a, b *sparse.CSR) (*sparse.CSR, error) {
+	rs := st.run
+	if err := rs.ctx.Err(); err != nil {
+		return nil, err
+	}
+	before := rs.ooc.Stats()
+	c, err := rs.ooc.Multiply(a, b)
+	if err != nil {
+		return nil, err
+	}
+	after := rs.ooc.Stats()
+	if rs.runner.planReusable() {
+		dh := int(after.PlanHits - before.PlanHits)
+		dm := int(after.PlanMisses - before.PlanMisses)
+		rs.hits += dh
+		rs.misses += dm
+		rs.trace.Add(trace.CounterPipelinePlanHits, int64(dh))
+		rs.trace.Add(trace.CounterPipelinePlanMisses, int64(dm))
+		st.Stat.PlanHit = dm == 0 && dh > 0
+	}
+	st.Stat.Multiplies++
+	st.Stat.Flops += after.Flops - before.Flops
+	st.Stat.SimSeconds += after.SimSeconds - before.SimSeconds
+	return c, nil
 }
 
 // planKey identifies an operand-pair structure: both fingerprints must

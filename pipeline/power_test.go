@@ -85,6 +85,62 @@ func TestPowerIteratePlanHitsForFixedStructure(t *testing.T) {
 	}
 }
 
+func TestPowerIterateOutOfCorePlanHits(t *testing.T) {
+	// Out-of-core power iteration with a structurally full iterate: the
+	// tile grid is identical every iteration, so after the first pass
+	// every tile rebinds a cached plan. k iterations must report at
+	// least k−1 tile-plan hits (in fact one hit per tile per later
+	// iteration), and the result must be bit-identical to the in-memory
+	// run — same engine, different tiling.
+	a := randomCSR(testRNG(4), 24, 24, 1.0)
+	const k = 5
+	want, err := PowerIterate(context.Background(), a, k, PowerOptions{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := blockreorg.NewTrace()
+	res, err := PowerIterate(context.Background(), a, k, PowerOptions{},
+		Options{MemBudget: 24 << 10, SpillDir: t.TempDir(), Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != k-1 {
+		t.Fatalf("got %d iterations, want %d", res.Iterations, k-1)
+	}
+	if !res.M.Equal(want.M, 0) {
+		t.Fatal("out-of-core power differs bitwise from the in-memory run")
+	}
+	if res.PlanHits < res.Iterations-1 {
+		t.Fatalf("got %d tile-plan hits over %d iterations, want >= %d",
+			res.PlanHits, res.Iterations, res.Iterations-1)
+	}
+	p := rec.Profile()
+	if p.Counter("ooc_tile_plan_hits") != int64(res.PlanHits) {
+		t.Fatalf("trace counter reports %d tile hits, result %d",
+			p.Counter("ooc_tile_plan_hits"), res.PlanHits)
+	}
+	if p.Counter("ooc_tiles") == 0 || p.Counter("ooc_bytes_spilled") == 0 {
+		t.Fatal("out-of-core run recorded no tiles or spills")
+	}
+	if peak := p.Gauges["ooc_peak_tracked_bytes"]; peak <= 0 || peak > float64(24<<10) {
+		t.Fatalf("peak tracked bytes gauge %v outside (0, budget]", peak)
+	}
+	for i, it := range res.Iters {
+		if wantHit := i > 0; it.PlanHit != wantHit {
+			t.Fatalf("iteration %d plan_hit=%v, want %v", it.Iteration, it.PlanHit, wantHit)
+		}
+	}
+}
+
+func TestPowerIterateOutOfCoreRejectsOtherAlgorithms(t *testing.T) {
+	a := randomCSR(testRNG(4), 16, 16, 0.5)
+	_, err := PowerIterate(context.Background(), a, 3, PowerOptions{},
+		Options{MemBudget: 1 << 20, Algorithm: blockreorg.RowProduct})
+	if !errors.Is(err, blockreorg.ErrInvalidOptions) {
+		t.Fatalf("out-of-core row-product accepted: %v", err)
+	}
+}
+
 func TestPowerIterateNoPlanReuse(t *testing.T) {
 	a := randomCSR(testRNG(4), 24, 24, 1.0)
 	res, err := PowerIterate(context.Background(), a, 4, PowerOptions{}, Options{NoPlanReuse: true})

@@ -28,6 +28,50 @@ const binVersion = 1
 // ErrBinaryFormat is wrapped by all binary-container parse errors.
 var ErrBinaryFormat = errors.New("sparse: invalid binary CSR data")
 
+// BinaryHeader is the fixed-size header of a binary CSR container, with
+// every population carried as int64 — the on-disk format always stored
+// u64 fields, so a header may legitimately describe more than 2^31
+// entries even where the host could never hold them. ReadBinaryHeader
+// parses one without touching the arrays behind it, which is what an
+// out-of-core planner needs: dimensions and nnz to size a tile grid,
+// no allocation proportional to the matrix.
+type BinaryHeader struct {
+	Rows, Cols, NNZ int64
+}
+
+// ReadBinaryHeader parses only the fixed header of a binary CSR
+// container. Unlike ReadBinary it performs no sanity cap and no array
+// allocation: a header describing 10^10 nonzeros round-trips in O(1)
+// memory. The reader is left positioned at the start of the ptr array.
+func ReadBinaryHeader(r io.Reader) (BinaryHeader, error) {
+	var h BinaryHeader
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return h, fmt.Errorf("%w: missing magic: %v", ErrBinaryFormat, err)
+	}
+	if magic != binMagic {
+		return h, fmt.Errorf("%w: bad magic %q", ErrBinaryFormat, magic[:])
+	}
+	var buf [4 + 3*8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return h, fmt.Errorf("%w: truncated header", ErrBinaryFormat)
+	}
+	if v := binary.LittleEndian.Uint32(buf[0:4]); v != binVersion {
+		return h, fmt.Errorf("%w: unsupported version %d", ErrBinaryFormat, v)
+	}
+	for i, dst := range []*int64{&h.Rows, &h.Cols, &h.NNZ} {
+		v := binary.LittleEndian.Uint64(buf[4+8*i:])
+		if v > math.MaxInt64 {
+			return h, fmt.Errorf("%w: field overflows int64", ErrBinaryFormat)
+		}
+		*dst = int64(v)
+	}
+	if h.Rows < 0 || h.Cols < 0 || h.NNZ < 0 {
+		return h, fmt.Errorf("%w: negative dimension", ErrBinaryFormat)
+	}
+	return h, nil
+}
+
 // WriteBinary writes m in the binary CSR container format.
 func WriteBinary(w io.Writer, m *CSR) error {
 	if m.Cols > math.MaxUint32 {

@@ -1,0 +1,40 @@
+package sparse
+
+import "sort"
+
+// Panel slicing: the two cuts the out-of-core tiler needs. Both return
+// independent copies — panels are loaded, multiplied and released on
+// their own schedules, so aliasing the parent's storage would pin the
+// whole matrix in memory for as long as any panel lives.
+
+// RowPanel returns rows [lo, hi) of m as a (hi−lo)×Cols matrix with the
+// column indices unchanged.
+func (m *CSR) RowPanel(lo, hi int) *CSR {
+	p := NewCSR(hi-lo, m.Cols)
+	p.Idx = make([]int, 0, m.Ptr[hi]-m.Ptr[lo])
+	p.Val = make([]float64, 0, m.Ptr[hi]-m.Ptr[lo])
+	for i := lo; i < hi; i++ {
+		idx, val := m.Row(i)
+		p.AppendRow(i-lo, idx, val)
+	}
+	return p
+}
+
+// ColPanel returns columns [lo, hi) of m as a Rows×(hi−lo) matrix with
+// column indices local to the panel (global j stored as j−lo). Rows are
+// sorted, so each row's slice is found by binary search.
+func (m *CSR) ColPanel(lo, hi int) *CSR {
+	p := NewCSR(m.Rows, hi-lo)
+	var scratch []int
+	for i := 0; i < m.Rows; i++ {
+		idx, val := m.Row(i)
+		a := sort.SearchInts(idx, lo)
+		b := a + sort.SearchInts(idx[a:], hi)
+		scratch = scratch[:0]
+		for _, j := range idx[a:b] {
+			scratch = append(scratch, j-lo)
+		}
+		p.AppendRow(i, scratch, val[a:b])
+	}
+	return p
+}

@@ -1,0 +1,132 @@
+package rmat
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/blockreorg/blockreorg/sparse"
+)
+
+func TestStreamDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.csrs")
+	b := filepath.Join(dir, "b.csrs")
+	for _, path := range []string{a, b} {
+		if err := Stream(path, 128, 1000, Default, 7, 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(da, db) {
+		t.Fatal("two streams with identical parameters wrote different files")
+	}
+}
+
+func TestStreamProducesValidPanels(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.csrs")
+	const n, nnz, panel = 128, 900, 16
+	if err := Stream(path, n, nnz, Default, 11, panel); err != nil {
+		t.Fatal(err)
+	}
+	s, err := sparse.OpenSegmented(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h := s.Header()
+	if h.Rows != n || h.Cols != n || h.Panels != n/panel {
+		t.Fatalf("header = %+v, want %dx%d in %d panels", h, n, n, n/panel)
+	}
+	// LoadPanel validates each panel's CSR invariants; the assembled
+	// matrix must carry nearly the requested edge count (duplicates merge).
+	m, err := sparse.ReadSegmentedFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.NNZ(); got < nnz*7/10 || got > nnz {
+		t.Fatalf("stored nnz = %d, want within (%d, %d]", got, nnz*7/10, nnz)
+	}
+	if int64(m.NNZ()) != h.NNZ {
+		t.Fatalf("header nnz %d != assembled nnz %d", h.NNZ, m.NNZ())
+	}
+}
+
+func TestStreamSkewConcentratesTopLeft(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.csrs")
+	const n = 128
+	skew := Params{0.7, 0.1, 0.1, 0.1}
+	if err := Stream(path, n, 2000, skew, 3, 16); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sparse.ReadSegmentedFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var topLeft, bottomRight int
+	for i := 0; i < m.Rows; i++ {
+		idx, _ := m.Row(i)
+		for _, j := range idx {
+			switch {
+			case i < n/2 && j < n/2:
+				topLeft++
+			case i >= n/2 && j >= n/2:
+				bottomRight++
+			}
+		}
+	}
+	if topLeft <= 2*bottomRight {
+		t.Fatalf("skewed params placed %d edges top-left vs %d bottom-right", topLeft, bottomRight)
+	}
+}
+
+func TestStreamRejectsBadArguments(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]func() error{
+		"non-pow2 n":     func() error { return Stream(filepath.Join(dir, "a"), 100, 10, Default, 1, 4) },
+		"non-pow2 panel": func() error { return Stream(filepath.Join(dir, "b"), 64, 10, Default, 1, 3) },
+		"negative nnz":   func() error { return Stream(filepath.Join(dir, "c"), 64, -1, Default, 1, 4) },
+		"bad params":     func() error { return Stream(filepath.Join(dir, "d"), 64, 10, Params{1, 1, 1, 1}, 1, 4) },
+	}
+	for name, run := range cases {
+		if err := run(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	// Small-m exact path and large-m normal path must both land near mp.
+	for _, tc := range []struct {
+		m int64
+		p float64
+	}{{1000, 0.3}, {1 << 20, 0.3}} {
+		var sum int64
+		const reps = 200
+		for r := 0; r < reps; r++ {
+			k := binomial(rng, tc.m, tc.p)
+			if k < 0 || k > tc.m {
+				t.Fatalf("binomial(%d, %g) = %d out of range", tc.m, tc.p, k)
+			}
+			sum += k
+		}
+		mean := float64(sum) / reps
+		want := float64(tc.m) * tc.p
+		if mean < want*0.97 || mean > want*1.03 {
+			t.Errorf("binomial(%d, %g) mean %g, want ~%g", tc.m, tc.p, mean, want)
+		}
+	}
+	if binomial(rng, 10, 0) != 0 || binomial(rng, 10, 1) != 10 || binomial(rng, 0, 0.5) != 0 {
+		t.Fatal("binomial edge cases wrong")
+	}
+}
